@@ -1,0 +1,41 @@
+//! E1–E3: classification cost over the paper's catalog — the decision
+//! procedure is query-complexity only and must be interactive-speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cq::{parse_query, Vocabulary};
+use dichotomy::{classify, CATALOG};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classification");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("full_catalog", |b| {
+        b.iter(|| {
+            let mut hard = 0;
+            for entry in CATALOG {
+                let mut voc = Vocabulary::new();
+                let q = parse_query(&mut voc, entry.text).unwrap();
+                if !classify(&q).unwrap().complexity.is_ptime() {
+                    hard += 1;
+                }
+            }
+            hard
+        })
+    });
+    // The most expensive single query (erasable inversions).
+    let ex17 = CATALOG.iter().find(|e| e.name == "example_1_7").unwrap();
+    group.bench_function("example_1_7", |b| {
+        b.iter(|| {
+            let mut voc = Vocabulary::new();
+            let q = parse_query(&mut voc, ex17.text).unwrap();
+            classify(&q).unwrap().complexity.is_ptime()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

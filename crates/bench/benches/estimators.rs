@@ -1,0 +1,39 @@
+//! E4b: Monte-Carlo estimator throughput — naive sampling vs Karp–Luby on
+//! the H_0 lineage.
+
+use bench_harness::h0_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lineage::{karp_luby, naive_mc};
+use pdb::lineage_of;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimators");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let (db, q) = h0_workload(20, 9);
+    let dnf = lineage_of(&db, &q);
+    let probs = db.prob_vector();
+    for samples in [10_000u64, 50_000] {
+        group.bench_with_input(BenchmarkId::new("naive_mc", samples), &samples, |b, &s| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(21);
+                naive_mc(&dnf, &probs, s, &mut rng).estimate
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("karp_luby", samples), &samples, |b, &s| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(22);
+                karp_luby(&dnf, &probs, s, &mut rng).estimate
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

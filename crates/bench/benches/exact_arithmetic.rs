@@ -1,0 +1,39 @@
+//! E10 (ablation): the price of exactness — the same safe plan executed in
+//! `f64` vs exact rational arithmetic, and substructure counting at
+//! `p = 1/2`. The rational path stays polynomial (the paper measures
+//! complexity in the bit-size of the rational probabilities), but the
+//! constants grow with the numerators the workload produces; dyadic
+//! probabilities (as here) keep denominators to powers of two.
+
+use bench_harness::star_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dichotomy::count_substructures_recurrence;
+use pdb::RatProbs;
+use safeplan::{build_plan, query_probability, query_probability_exact};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_arithmetic");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for n in [20u64, 40, 80] {
+        let (db, q) = star_workload(n, 3, 11);
+        let plan = build_plan(&q).unwrap();
+        let probs = RatProbs::from_db(&db);
+        group.bench_with_input(BenchmarkId::new("plan_f64", n), &n, |b, _| {
+            b.iter(|| query_probability(&db, &plan))
+        });
+        group.bench_with_input(BenchmarkId::new("plan_exact_rational", n), &n, |b, _| {
+            b.iter(|| query_probability_exact(&db, &probs, &plan))
+        });
+        group.bench_with_input(BenchmarkId::new("count_substructures", n), &n, |b, _| {
+            b.iter(|| count_substructures_recurrence(&db, &q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

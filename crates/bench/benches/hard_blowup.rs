@@ -1,0 +1,35 @@
+//! E7: exact lineage compilation on the #P-hard H_0 workload — cost grows
+//! super-polynomially with instance size, while a PTIME query of the same
+//! size stays cheap.
+
+use bench_harness::{h0_workload, star_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dichotomy::engine::{Engine, Strategy};
+use lineage::exact_probability;
+use pdb::lineage_of;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hard_blowup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let engine = Engine::new();
+    for n in [6u64, 10, 14] {
+        let (db, q) = h0_workload(n, 3);
+        let dnf = lineage_of(&db, &q);
+        let probs = db.prob_vector();
+        group.bench_with_input(BenchmarkId::new("h0_exact_lineage", n), &n, |b, _| {
+            b.iter(|| exact_probability(&dnf, &probs))
+        });
+        let (db_e, q_e) = star_workload(n, 2, 3);
+        group.bench_with_input(BenchmarkId::new("easy_same_size", n), &n, |b, _| {
+            b.iter(|| engine.evaluate(&db_e, &q_e, Strategy::Auto).unwrap().probability)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

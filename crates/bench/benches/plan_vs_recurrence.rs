@@ -1,0 +1,47 @@
+//! E9 (ablation): set-at-a-time extensional plans vs the tuple-at-a-time
+//! Eq. 3 recurrence on the same safe queries. Both are O(poly(N)); the plan
+//! executor does one pass per operator instead of one recursive descent per
+//! domain value, which is how a production engine (the paper's MystiQ
+//! context) would run safe queries.
+
+use bench_harness::{deep_workload, star_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dichotomy::eval_recurrence;
+use safeplan::{build_plan, query_probability};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_vs_recurrence");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for n in [50u64, 100, 200] {
+        let (db, q) = star_workload(n, 4, 7);
+        let plan = build_plan(&q).unwrap();
+        // Sanity: both agree before we time them.
+        let a = query_probability(&db, &plan);
+        let b = eval_recurrence(&db, &q).unwrap();
+        assert!((a - b).abs() < 1e-9);
+        group.bench_with_input(BenchmarkId::new("star_plan", n), &n, |bch, _| {
+            bch.iter(|| query_probability(&db, &plan))
+        });
+        group.bench_with_input(BenchmarkId::new("star_recurrence", n), &n, |bch, _| {
+            bch.iter(|| eval_recurrence(&db, &q).unwrap())
+        });
+    }
+    for n in [5u64, 10, 20] {
+        let (db, q) = deep_workload(n, 3, 7);
+        let plan = build_plan(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("deep_plan", n), &n, |bch, _| {
+            bch.iter(|| query_probability(&db, &plan))
+        });
+        group.bench_with_input(BenchmarkId::new("deep_recurrence", n), &n, |bch, _| {
+            bch.iter(|| eval_recurrence(&db, &q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

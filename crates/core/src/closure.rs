@@ -1,0 +1,398 @@
+//! Hierarchical unifiers, hierarchical joins, and the hierarchical closure
+//! (§2.6, Appendix E.1).
+//!
+//! Given two strict hierarchical queries `h1`, `h2` (renamed apart) and a
+//! unifiable pair of sub-goals, the *hierarchical unifier* `θu` is the
+//! maximal top-down prefix of the MGU's variable pairing whose equivalence
+//! levels match on both sides and whose induced join query stays
+//! hierarchical (Definition 2.16). The closure `H` starts from the factors
+//! of a coverage and repeatedly adds hierarchical joins; `H* ⊆ H` keeps the
+//! inversion-free elements plus the original factors (Definition 2.19).
+//! Lemma 2.18 makes `H` finite; we additionally enforce an explicit budget.
+
+use crate::coverage::Coverage;
+use crate::hierarchy::{is_hierarchical, var_rel, VarRel};
+use cq::{equivalent, mgu_atoms, Pred, PredTheory, Query, Subst, Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An element of the hierarchical closure.
+#[derive(Clone, Debug)]
+pub struct ClosureItem {
+    pub query: Query,
+    /// `Factors(h)`: the original factor indices this item was built from.
+    pub factors: BTreeSet<usize>,
+    /// Whether the item is inversion-free (hence a member of `F*`/`H*`).
+    pub inversion_free: bool,
+}
+
+/// The hierarchical closure of a coverage.
+#[derive(Clone, Debug)]
+pub struct Closure {
+    pub items: Vec<ClosureItem>,
+}
+
+impl Closure {
+    /// Indices of the `H*` members: inversion-free items plus the original
+    /// factors (which occupy the first `num_factors` slots).
+    pub fn h_star(&self, num_factors: usize) -> Vec<usize> {
+        (0..self.items.len())
+            .filter(|&i| i < num_factors || self.items[i].inversion_free)
+            .collect()
+    }
+}
+
+/// Closure construction failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClosureError {
+    /// The closure exceeded the item or join budget (defensive; Lemma 2.18
+    /// bounds it in theory, but adversarial vocabularies could be huge).
+    BudgetExceeded,
+    /// Propagated coverage failure from inversion-freeness sub-checks.
+    Coverage(crate::coverage::CoverageError),
+}
+
+impl fmt::Display for ClosureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClosureError::BudgetExceeded => write!(f, "hierarchical closure budget exceeded"),
+            ClosureError::Coverage(e) => write!(f, "coverage error during closure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClosureError {}
+
+const MAX_ITEMS: usize = 48;
+const MAX_JOINS: usize = 4000;
+
+/// A join of two queries: the unified query together with the images of
+/// the two participants inside it (needed by the Lemma E.11 eraser
+/// condition: an eraser's image conjoined with each participant image must
+/// stay hierarchical).
+#[derive(Clone, Debug)]
+pub struct Join {
+    pub query: Query,
+    pub left_image: Query,
+    pub right_image: Query,
+}
+
+/// All joins of `h1` and `h2` relevant to the dichotomy analysis:
+///
+/// * **full-unifier joins** — for every unifiable sub-goal pair with a
+///   consistent strict MGU, the query `θ(h1 h2)` with *all* equalities
+///   applied. A shared tuple instance forces the full unification, so these
+///   are the joins whose independence predicates the expansion needs; they
+///   may be non-hierarchical (e.g. `H_0`'s S-join `R(x),S(x,y),T(y)`).
+/// * **hierarchical-prefix joins** (Definition 2.16) — the maximal
+///   level-matched top-down prefix of the unifier whose join stays
+///   hierarchical (e.g. Example 2.17's `θu = {(r,r')}`).
+pub fn joins_with_images(h1: &Query, h2: &Query) -> Vec<Join> {
+    let mut out: Vec<Join> = Vec::new();
+    let offset = h1.max_var().map_or(0, |v| v.0 + 1);
+    let h2r = h2.rename_apart(offset);
+    let mut push = |j: Join| {
+        if !out.iter().any(|q| equivalent(&q.query, &j.query)) {
+            out.push(j);
+        }
+    };
+    for (i1, a1) in h1.atoms.iter().enumerate() {
+        for (i2, a2) in h2r.atoms.iter().enumerate() {
+            // Full-unifier join.
+            if let Some(mgu) = mgu_atoms(a1, a2) {
+                if mgu.is_strict(&h1.vars(), &h2r.vars()) {
+                    let joined = mgu.apply(&h1.conjoin(&h2r));
+                    if let Some(query) = joined.normalize() {
+                        push(Join {
+                            query,
+                            left_image: mgu.apply(h1),
+                            right_image: mgu.apply(&h2r),
+                        });
+                    }
+                }
+            }
+            // Hierarchical-prefix join.
+            if let Some(j) = hierarchical_join_of(h1, i1, &h2r, i2) {
+                push(j);
+            }
+        }
+    }
+    out
+}
+
+/// Compute every hierarchical join query of `h1` and `h2` — the members of
+/// [`joins_with_images`] whose query is hierarchical — minimized and
+/// variable-compacted (the form stored in the closure).
+pub fn hierarchical_joins(h1: &Query, h2: &Query) -> Vec<Query> {
+    let mut out: Vec<Query> = Vec::new();
+    for j in joins_with_images(h1, h2) {
+        if !is_hierarchical(&j.query) {
+            continue;
+        }
+        let Some(m) = cq::minimize(&j.query) else {
+            continue;
+        };
+        let m = m.compact_vars();
+        if !out.iter().any(|q| equivalent(q, &m)) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// The hierarchical join of `h1` and `h2r` via sub-goals `g1`, `g2`
+/// (Definition 2.16), or `None` when the hierarchical unifier is empty.
+fn hierarchical_join_of(h1: &Query, g1: usize, h2r: &Query, g2: usize) -> Option<Join> {
+    let a1 = &h1.atoms[g1];
+    let a2 = &h2r.atoms[g2];
+    let mgu = mgu_atoms(a1, a2)?;
+    // Consistency of the full unification with both predicate sets.
+    let mut preds: Vec<Pred> = h1.preds.clone();
+    preds.extend(h2r.preds.iter().copied());
+    preds.extend(mgu.equalities());
+    if !PredTheory::satisfiable(&preds) {
+        return None;
+    }
+    // Strictness: in a strict coverage every MGU is strict; joins of joins
+    // inherit it. Skip non-strict unifications defensively.
+    if !mgu.is_strict(&h1.vars(), &h2r.vars()) {
+        return None;
+    }
+
+    // Variable pairing restricted to the two sub-goals.
+    let v1 = a1.vars();
+    let v2 = a2.vars();
+    let mut pairs: Vec<(Var, Var)> = Vec::new();
+    for &x in &v1 {
+        let ix = mgu.subst.apply_term_deep(Term::Var(x));
+        for &y in &v2 {
+            let iy = mgu.subst.apply_term_deep(Term::Var(y));
+            if ix == iy {
+                pairs.push((x, y));
+            }
+        }
+    }
+
+    // Group each side's sub-goal variables into ≡-levels, top-down.
+    let levels1 = levels_desc(h1, &v1);
+    let levels2 = levels_desc(h2r, &v2);
+
+    // Matched top-down prefix: level k matches when the pairing maps
+    // levels1[k] exactly onto levels2[k].
+    let mut matched: Vec<Vec<(Var, Var)>> = Vec::new();
+    for k in 0..levels1.len().min(levels2.len()) {
+        let l1: BTreeSet<Var> = levels1[k].iter().copied().collect();
+        let l2: BTreeSet<Var> = levels2[k].iter().copied().collect();
+        let level_pairs: Vec<(Var, Var)> = pairs
+            .iter()
+            .copied()
+            .filter(|&(x, y)| l1.contains(&x) && l2.contains(&y))
+            .collect();
+        let img: BTreeSet<Var> = level_pairs.iter().map(|&(_, y)| y).collect();
+        let dom: BTreeSet<Var> = level_pairs.iter().map(|&(x, _)| x).collect();
+        if dom == l1 && img == l2 && level_pairs.len() == l1.len() {
+            matched.push(level_pairs);
+        } else {
+            break;
+        }
+    }
+    if matched.is_empty() {
+        return None;
+    }
+
+    // Largest hierarchical prefix (condition 3 of Definition 2.16).
+    for len in (1..=matched.len()).rev() {
+        let mut subst = Subst::new();
+        for level in &matched[..len] {
+            for &(x, y) in level {
+                subst.bind(y, x);
+            }
+        }
+        let right_image = h2r.apply(&subst);
+        let joined = h1.conjoin(&right_image);
+        let Some(joined) = joined.normalize() else {
+            continue;
+        };
+        if is_hierarchical(&joined) {
+            return Some(Join {
+                query: joined,
+                left_image: h1.clone(),
+                right_image,
+            });
+        }
+    }
+    None
+}
+
+/// The `≡`-classes of `vars` inside `q`, ordered from the hierarchy top
+/// downward.
+fn levels_desc(q: &Query, vars: &[Var]) -> Vec<Vec<Var>> {
+    let mut classes: Vec<Vec<Var>> = Vec::new();
+    'outer: for &v in vars {
+        for class in &mut classes {
+            if var_rel(q, class[0], v) == VarRel::Equivalent {
+                class.push(v);
+                continue 'outer;
+            }
+        }
+        classes.push(vec![v]);
+    }
+    // Sort descending: class A before class B when A ❂ B. Within one
+    // sub-goal of a hierarchical query the classes form a chain.
+    classes.sort_by(|a, b| match var_rel(q, a[0], b[0]) {
+        VarRel::Above => std::cmp::Ordering::Less,
+        VarRel::Below => std::cmp::Ordering::Greater,
+        _ => std::cmp::Ordering::Equal,
+    });
+    classes
+}
+
+/// Build the hierarchical closure of a coverage's factors.
+pub fn hierarchical_closure(cov: &Coverage) -> Result<Closure, ClosureError> {
+    let mut items: Vec<ClosureItem> = Vec::new();
+    for (i, f) in cov.factors.iter().enumerate() {
+        items.push(ClosureItem {
+            query: f.clone(),
+            factors: BTreeSet::from([i]),
+            inversion_free: is_query_inversion_free(f)?,
+        });
+    }
+    let mut joins_done = 0usize;
+    let mut frontier: Vec<usize> = (0..items.len()).collect();
+    while !frontier.is_empty() {
+        let mut next_frontier = Vec::new();
+        let current: Vec<usize> = (0..items.len()).collect();
+        for &i in &frontier {
+            for &j in &current {
+                joins_done += 1;
+                if joins_done > MAX_JOINS {
+                    return Err(ClosureError::BudgetExceeded);
+                }
+                let (qi, qj) = (items[i].query.clone(), items[j].query.clone());
+                for join in hierarchical_joins(&qi, &qj) {
+                    if items.iter().any(|it| equivalent(&it.query, &join)) {
+                        continue;
+                    }
+                    if items.len() >= MAX_ITEMS {
+                        return Err(ClosureError::BudgetExceeded);
+                    }
+                    let factors: BTreeSet<usize> = items[i]
+                        .factors
+                        .union(&items[j].factors)
+                        .copied()
+                        .collect();
+                    let inversion_free = is_query_inversion_free(&join)?;
+                    next_frontier.push(items.len());
+                    items.push(ClosureItem {
+                        query: join,
+                        factors,
+                        inversion_free,
+                    });
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+    Ok(Closure { items })
+}
+
+/// Is a single connected (or small) query inversion-free, per its own
+/// lazily refined strict coverage?
+pub fn is_query_inversion_free(q: &Query) -> Result<bool, ClosureError> {
+    match crate::inversion::query_has_inversion(q) {
+        Ok(has) => Ok(!has),
+        Err(e) => Err(ClosureError::Coverage(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::strict_coverage;
+    use cq::{parse_query, Vocabulary};
+
+    fn q(voc: &mut Vocabulary, s: &str) -> Query {
+        parse_query(voc, s).unwrap()
+    }
+
+    #[test]
+    fn example_2_17_join_keeps_only_root_pair() {
+        // f1 = R(r,x), S(r,x,y), U('a',r), U(r,z), V(r,z)
+        // f2 = S(r2,x2,y2), T(r2,y2), V('a',r2)
+        // The S-unification's hierarchical unifier is {(r,r2)} — including
+        // (x,x2) or (y,y2) would force the other and break hierarchy.
+        let mut voc = Vocabulary::new();
+        let f1 = q(&mut voc, "R(r,x), S(r,x,y), U('a',r), U(r,z), V(r,z)");
+        let f2 = q(&mut voc, "S(r2,x2,y2), T(r2,y2), V('a',r2)");
+        let joins = hierarchical_joins(&f1, &f2);
+        assert!(!joins.is_empty());
+        // The expected join: both S sub-goals and both V sub-goals survive
+        // with the shared root; 8 atoms total (R,S,U,U,V,S,T,V).
+        let expected = q(
+            &mut voc,
+            "R(r,x), S(r,x,y), U('a',r), U(r,z), V(r,z), S(r,x2,y2), T(r,y2), V('a',r)",
+        );
+        assert!(
+            joins.iter().any(|j| equivalent(j, &expected)),
+            "joins: {joins:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_levels_have_no_prefix_join_but_full_join_exists() {
+        // In f1 = R(x),S0(x,y) the S0 levels are [{x},{y}]; in
+        // f2 = S0(u,v),S1(u,v) they are [{u,v}] — sizes differ, so there is
+        // no hierarchical-*prefix* join; the *full*-unifier join
+        // R(x),S0(x,y),S1(x,y) exists and is hierarchical (this is the H_1
+        // chain step).
+        let mut voc = Vocabulary::new();
+        let f1 = q(&mut voc, "R(x), S0(x,y)");
+        let f2 = q(&mut voc, "S0(u,v), S1(u,v)");
+        let joins = hierarchical_joins(&f1, &f2);
+        let expected = q(&mut voc, "R(x), S0(x,y), S1(x,y)");
+        assert!(
+            joins.iter().any(|j| equivalent(j, &expected)),
+            "{joins:?}"
+        );
+    }
+
+    #[test]
+    fn self_join_of_factor_is_trivial() {
+        // Joining f = R(x), S(x,y) with its own copy via S merges the roots
+        // and yields a query equivalent to f itself.
+        let mut voc = Vocabulary::new();
+        let f = q(&mut voc, "R(x), S(x,y)");
+        let joins = hierarchical_joins(&f, &f);
+        assert!(joins.iter().any(|j| equivalent(j, &f)), "{joins:?}");
+    }
+
+    #[test]
+    fn closure_of_h0_contains_inverted_join() {
+        // H_0's two factors join via S into the non... into a query with an
+        // inversion; the closure records it as not inversion-free.
+        let mut voc = Vocabulary::new();
+        let query = q(&mut voc, "R(x), S(x,y), S(u,v), T(v)");
+        let cov = strict_coverage(&query).unwrap();
+        let cl = hierarchical_closure(&cov).unwrap();
+        assert!(cl.items.len() >= 2);
+        // Original factors are inversion-free on their own.
+        assert!(cl.items[0].inversion_free);
+        assert!(cl.items[1].inversion_free);
+    }
+
+    #[test]
+    fn closure_tracks_factor_provenance() {
+        let mut voc = Vocabulary::new();
+        let query = q(&mut voc, "P(x), R(x,y), R(x2,y2), S(x2)");
+        let cov = strict_coverage(&query).unwrap();
+        let cl = hierarchical_closure(&cov).unwrap();
+        // Example 2.14's f3 = P(x), R(x,y), S(x) arises as the join of f1
+        // and f2 and must carry both provenances.
+        let f3 = q(&mut voc, "P(x), R(x,y), S(x), R(x,y2)");
+        let found = cl
+            .items
+            .iter()
+            .find(|it| it.factors.len() == 2 && equivalent(&it.query, &f3));
+        assert!(found.is_some(), "items: {:#?}", cl.items);
+    }
+}

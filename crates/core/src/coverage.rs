@@ -1,0 +1,604 @@
+//! Coverages (§2.1): representing a query as an equivalent union of covers
+//! whose factors admit only *strict* unifications.
+//!
+//! The paper's canonical coverage `C<(q)` branches `<`/`=`/`>` over *every*
+//! pair of co-occurring terms — exponentially many covers. We build the
+//! refinement lazily instead: start from the trivial coverage `{minimize(q)}`
+//! and, whenever two factors admit a consistent but non-strict MGU (one that
+//! equates two variables of the same factor, or a variable with a constant),
+//! branch the offending covers on exactly that pair, then re-minimize and
+//! drop unsatisfiable/redundant covers. The loop terminates because every
+//! branch either substitutes a variable away or adds an order predicate over
+//! a finite set of term pairs. By Proposition 2.7 the fully refined
+//! canonical coverage is the most permissive witness of inversion-freeness;
+//! lazy refinement reaches the same strictness frontier because it refines
+//! precisely the pairs whose unifications are non-strict, and the
+//! minimization/redundancy passes reproduce the cover-level simplifications
+//! of Fig. 1.
+
+use cq::{
+    contains, minimize, mgu_atoms, Pred, Query, Subst, Term, Value, Var,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A strict coverage `(F, C)`: deduplicated factors plus covers as sets of
+/// factor indices.
+#[derive(Clone, Debug)]
+pub struct Coverage {
+    /// Connected factor queries, variables compacted, deduplicated by
+    /// [`Query::cache_key`].
+    pub factors: Vec<Query>,
+    /// Each cover is the set of indices of its factors.
+    pub covers: Vec<BTreeSet<usize>>,
+}
+
+/// Failures of coverage construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverageError {
+    /// The query is unsatisfiable — probability 0, nothing to analyze.
+    Unsatisfiable,
+    /// Refinement exceeded the iteration budget (never observed on the
+    /// paper's catalog; defensive bound).
+    RefinementBudgetExceeded,
+}
+
+impl fmt::Display for CoverageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverageError::Unsatisfiable => write!(f, "query is unsatisfiable"),
+            CoverageError::RefinementBudgetExceeded => {
+                write!(f, "coverage refinement budget exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverageError {}
+
+const MAX_REFINEMENTS: usize = 400;
+
+/// Ablation switches for the coverage pipeline (Fig. 1 of the paper shows
+/// why each pass is load-bearing: without per-cover minimization or
+/// redundant-cover removal, spurious inversions survive and PTIME queries
+/// would be misclassified as hard).
+#[derive(Clone, Copy, Debug)]
+pub struct CoverageOptions {
+    /// Minimize covers after each branch (Fig. 1 row 2).
+    pub minimize_covers: bool,
+    /// Remove covers contained in other covers (Fig. 1 row 3).
+    pub remove_redundant: bool,
+}
+
+impl Default for CoverageOptions {
+    fn default() -> Self {
+        CoverageOptions {
+            minimize_covers: true,
+            remove_redundant: true,
+        }
+    }
+}
+
+/// The kind of branching a non-strict unification demands.
+enum Offence {
+    /// Two distinct variables of one cover equated.
+    VarVar(Var, Var),
+    /// A variable equated with a constant.
+    VarConst(Var, Value),
+}
+
+/// Build a strict coverage for `q` by lazy refinement.
+pub fn strict_coverage(q: &Query) -> Result<Coverage, CoverageError> {
+    strict_coverage_with(q, CoverageOptions::default())
+}
+
+/// [`strict_coverage`] with ablation switches — used by the ablation
+/// experiment to show the Fig. 1 failure modes; classification always uses
+/// the defaults.
+pub fn strict_coverage_with(q: &Query, opts: CoverageOptions) -> Result<Coverage, CoverageError> {
+    let q0 = if opts.minimize_covers {
+        minimize(q).ok_or(CoverageError::Unsatisfiable)?
+    } else {
+        q.normalize().ok_or(CoverageError::Unsatisfiable)?
+    };
+    let mut covers: Vec<Query> = vec![q0];
+    let mut budget = MAX_REFINEMENTS;
+    loop {
+        if opts.remove_redundant {
+            dedup_and_remove_redundant(&mut covers);
+        } else {
+            dedup_exact(&mut covers);
+        }
+        if covers.is_empty() {
+            return Err(CoverageError::Unsatisfiable);
+        }
+        match find_offence(&covers) {
+            None => break,
+            Some((cover_idx, offence)) => {
+                if budget == 0 {
+                    return Err(CoverageError::RefinementBudgetExceeded);
+                }
+                budget -= 1;
+                let cover = covers.remove(cover_idx);
+                covers.extend(branch_with(&cover, &offence, opts));
+            }
+        }
+    }
+    Ok(assemble(&covers))
+}
+
+/// Keep only the first occurrence of each cover, by cache key.
+fn dedup_exact(covers: &mut Vec<Query>) {
+    let mut seen: Vec<String> = Vec::new();
+    covers.retain(|c| {
+        let k = c.cache_key();
+        if seen.contains(&k) {
+            false
+        } else {
+            seen.push(k);
+            true
+        }
+    });
+}
+
+/// Scan all factor pairs for a consistent but non-strict MGU; return the
+/// cover to branch and the offending pair.
+fn find_offence(covers: &[Query]) -> Option<(usize, Offence)> {
+    // Factors per cover, remembering the cover index. Variables keep the
+    // cover's coordinates so the offending pair can be branched in place.
+    let mut factors: Vec<(usize, Query)> = Vec::new();
+    for (ci, cover) in covers.iter().enumerate() {
+        for comp in cover.connected_components() {
+            factors.push((ci, comp));
+        }
+    }
+    for (ci, f) in &factors {
+        for (cj, g) in &factors {
+            let offset = f
+                .max_var()
+                .map_or(0, |v| v.0 + 1)
+                .max(g.max_var().map_or(0, |v| v.0 + 1));
+            let gr = g.rename_apart(offset);
+            for (i1, a1) in f.atoms.iter().enumerate() {
+                for (i2, a2) in gr.atoms.iter().enumerate() {
+                    // Polarity-blind: a positive and a negated sub-goal
+                    // over the same relation can still touch the same
+                    // tuple (Definition 3.9 treats them alike).
+                    let mut p1 = a1.clone();
+                    p1.negated = false;
+                    let mut p2 = a2.clone();
+                    p2.negated = false;
+                    let Some(mgu) = mgu_atoms(&p1, &p2) else {
+                        continue;
+                    };
+                    // Consistency: combined predicates plus the unifier's
+                    // equalities must be satisfiable.
+                    let mut preds: Vec<Pred> = f.preds.clone();
+                    preds.extend(gr.preds.iter().copied());
+                    preds.extend(mgu.equalities());
+                    if !cq::PredTheory::satisfiable(&preds) {
+                        continue;
+                    }
+                    let _ = (i1, i2);
+                    // Strictness within each side.
+                    if let Some(off) = offence_of(&mgu, &f.vars()) {
+                        return Some((*ci, off));
+                    }
+                    if let Some(off) = offence_of(&mgu, &gr.vars()) {
+                        // The offending pair lives in g (renamed); translate
+                        // back to g's coordinates by undoing the offset.
+                        let back = |v: Var| Var(v.0 - offset);
+                        let off = match off {
+                            Offence::VarVar(u, v) => Offence::VarVar(back(u), back(v)),
+                            Offence::VarConst(u, c) => Offence::VarConst(back(u), c),
+                        };
+                        return Some((*cj, off));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The pair of terms a non-strict MGU equates within `vars` (one query's
+/// variable set), if any.
+fn offence_of(mgu: &cq::Mgu, vars: &[Var]) -> Option<Offence> {
+    for (i, &u) in vars.iter().enumerate() {
+        let iu = mgu.subst.apply_term_deep(Term::Var(u));
+        if let Term::Const(c) = iu {
+            return Some(Offence::VarConst(u, c));
+        }
+        for &v in &vars[i + 1..] {
+            let iv = mgu.subst.apply_term_deep(Term::Var(v));
+            if iu == iv {
+                return Some(Offence::VarVar(u, v));
+            }
+        }
+    }
+    None
+}
+
+/// Branch a cover on the offending pair, substituting on `=`, then minimize
+/// each branch; unsatisfiable branches disappear. Variable pairs split into
+/// `<` / `=` / `>` (the order is needed for root selection, Theorem 3.4);
+/// variable–constant pairs split into `=` / `≠` only, which is enough to
+/// block the non-strict unification and keeps the cover count small.
+fn branch(cover: &Query, offence: &Offence) -> Vec<Query> {
+    branch_with(cover, offence, CoverageOptions::default())
+}
+
+fn branch_with(cover: &Query, offence: &Offence, opts: CoverageOptions) -> Vec<Query> {
+    let candidates: Vec<Query> = match *offence {
+        Offence::VarVar(u, v) => vec![
+            with_pred(cover, Pred::lt(u, v)),
+            cover.apply(&Subst::singleton(u, v)),
+            with_pred(cover, Pred::gt(u, v)),
+        ],
+        Offence::VarConst(u, c) => vec![
+            cover.apply(&Subst::singleton(u, c)),
+            with_pred(cover, Pred::ne(u, c)),
+        ],
+    };
+    let mut out = Vec::new();
+    for candidate in candidates {
+        let kept = if opts.minimize_covers {
+            minimize(&candidate)
+        } else {
+            candidate.normalize()
+        };
+        if let Some(m) = kept {
+            out.push(m);
+        }
+    }
+    out
+}
+
+fn with_pred(q: &Query, p: Pred) -> Query {
+    let mut preds = q.preds.clone();
+    if !preds.contains(&p) {
+        preds.push(p);
+    }
+    Query::new(q.atoms.clone(), preds)
+}
+
+/// Does some consistent MGU between a sub-goal of `f` and a sub-goal of a
+/// renamed copy of `f` identify `u` with the copy of `v` (or `v` with the
+/// copy of `u`)? When it does, an unordered root choice between `u` and `v`
+/// violates Theorem 3.4 and the pair must be branched (Example 3.5's
+/// `R(x,y), R(y,x)`).
+fn crossing_unifier_exists(f: &Query, u: Var, v: Var) -> bool {
+    let offset = f.max_var().map_or(0, |w| w.0 + 1);
+    let fr = f.rename_apart(offset);
+    let (ur, vr) = (Var(u.0 + offset), Var(v.0 + offset));
+    for a1 in &f.atoms {
+        for a2 in &fr.atoms {
+            let mut p1 = a1.clone();
+            p1.negated = false;
+            let mut p2 = a2.clone();
+            p2.negated = false;
+            let Some(mgu) = mgu_atoms(&p1, &p2) else { continue };
+            let mut preds: Vec<Pred> = f.preds.clone();
+            preds.extend(fr.preds.iter().copied());
+            preds.extend(mgu.equalities());
+            if !cq::PredTheory::satisfiable(&preds) {
+                continue;
+            }
+            let img = |w: Var| mgu.subst.apply_term_deep(Term::Var(w));
+            if img(u) == img(vr) || img(v) == img(ur) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Remove duplicate and redundant covers: `qc_i` is redundant when another
+/// cover `qc_j` satisfies `qc_i ⊨ qc_j` (§2.1: "remove qci if there exists
+/// another qcj s.t. qci ⊂ qcj").
+fn dedup_and_remove_redundant(covers: &mut Vec<Query>) {
+    let mut keep: Vec<Query> = Vec::new();
+    'outer: for (i, c) in covers.iter().enumerate() {
+        for (j, d) in covers.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if contains(c, d) {
+                // c ⊨ d: c is redundant — unless they are mutually
+                // contained (equivalent), in which case keep the first.
+                let mutual = contains(d, c);
+                if !mutual || j < i {
+                    continue 'outer;
+                }
+            }
+        }
+        keep.push(c.clone());
+    }
+    *covers = keep;
+}
+
+/// Split covers into connected factors, deduplicate factors across covers
+/// by cache key.
+fn assemble(covers: &[Query]) -> Coverage {
+    let mut factors: Vec<Query> = Vec::new();
+    let mut keys: Vec<String> = Vec::new();
+    let mut cover_sets: Vec<BTreeSet<usize>> = Vec::new();
+    for cover in covers {
+        let mut set = BTreeSet::new();
+        for comp in cover.connected_components() {
+            let comp = comp.compact_vars();
+            let key = comp.cache_key();
+            let idx = match keys.iter().position(|k| *k == key) {
+                Some(i) => i,
+                None => {
+                    keys.push(key);
+                    factors.push(comp);
+                    factors.len() - 1
+                }
+            };
+            set.insert(idx);
+        }
+        cover_sets.push(set);
+    }
+    Coverage {
+        factors,
+        covers: cover_sets,
+    }
+}
+
+/// A coverage refined so that every factor has a *unique* maximal variable
+/// under its order predicates — the precondition for choosing root
+/// variables per Theorem 3.4 ("considers for each factor all maximal
+/// variables under ⊒ and chooses as root variable the maximum variable
+/// under >"). Extends [`strict_coverage`] by branching `<`/`=`/`>` over
+/// pairs of maximal variables that the factor's predicates leave unordered.
+pub fn rooted_coverage(q: &Query) -> Result<Coverage, CoverageError> {
+    let mut covers: Vec<Query> = strict_coverage(q)?.cover_queries();
+    let mut budget = MAX_REFINEMENTS;
+    loop {
+        dedup_and_remove_redundant(&mut covers);
+        if covers.is_empty() {
+            return Err(CoverageError::Unsatisfiable);
+        }
+        let mut offence: Option<(usize, Offence)> = None;
+        'scan: for (ci, cover) in covers.iter().enumerate() {
+            for comp in cover.connected_components() {
+                let maxima = crate::hierarchy::maximal_vars(&comp);
+                let Some(theory) = comp.theory() else { continue };
+                for (i, &u) in maxima.iter().enumerate() {
+                    for &v in &maxima[i + 1..] {
+                        let ordered = theory.entails(&Pred::lt(u, v))
+                            || theory.entails(&Pred::gt(u, v))
+                            || theory.entails(&Pred::eq(u, v));
+                        // Order the pair only when some consistent
+                        // unification actually maps one onto (a copy of)
+                        // the other — otherwise any root choice already
+                        // satisfies Theorem 3.4 and branching would only
+                        // multiply covers (e.g. H_1's u ≡ v pairs).
+                        if !ordered && crossing_unifier_exists(&comp, u, v) {
+                            offence = Some((ci, Offence::VarVar(u, v)));
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+        }
+        match offence {
+            None => break,
+            Some((ci, off)) => {
+                if budget == 0 {
+                    return Err(CoverageError::RefinementBudgetExceeded);
+                }
+                budget -= 1;
+                let cover = covers.remove(ci);
+                covers.extend(branch(&cover, &off));
+                // Branching may reintroduce non-strict unifications; refine
+                // for strictness again within the same loop.
+                let mut restrict = covers.clone();
+                loop {
+                    dedup_and_remove_redundant(&mut restrict);
+                    match find_offence(&restrict) {
+                        None => break,
+                        Some((cj, off2)) => {
+                            if budget == 0 {
+                                return Err(CoverageError::RefinementBudgetExceeded);
+                            }
+                            budget -= 1;
+                            let c = restrict.remove(cj);
+                            restrict.extend(branch(&c, &off2));
+                        }
+                    }
+                }
+                covers = restrict;
+            }
+        }
+    }
+    Ok(assemble(&covers))
+}
+
+impl Coverage {
+    /// Reconstruct the cover queries (conjunctions of factors, renamed
+    /// apart so factor variables never clash).
+    pub fn cover_queries(&self) -> Vec<Query> {
+        self.covers
+            .iter()
+            .map(|set| {
+                let mut q = Query::truth();
+                let mut offset = 0u32;
+                for &fi in set {
+                    let f = self.factors[fi].rename_apart(offset);
+                    offset += self.factors[fi].vars().len() as u32;
+                    q = q.conjoin(&f);
+                }
+                q
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::{parse_query, Vocabulary};
+
+    fn cov(s: &str) -> Coverage {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, s).unwrap();
+        strict_coverage(&q).unwrap()
+    }
+
+    #[test]
+    fn trivial_query_single_cover() {
+        let c = cov("R(x), S(x,y)");
+        assert_eq!(c.covers.len(), 1);
+        assert_eq!(c.factors.len(), 1);
+    }
+
+    #[test]
+    fn h0_trivial_coverage_is_strict() {
+        // H_0 = R(x),S(x,y),S(u,v),T(v): all MGUs already strict.
+        let c = cov("R(x), S(x,y), S(u,v), T(v)");
+        assert_eq!(c.covers.len(), 1);
+        assert_eq!(c.factors.len(), 2);
+    }
+
+    #[test]
+    fn example_2_4_refines_to_strictness() {
+        // q = T(x), R(x,x,y), R(u,v,v): the R sub-goals unify non-strictly
+        // (equating x=y and u=v). The strict coverage separates the cases —
+        // the paper's Example 2.4 lists 3 covers and 4 factors; the `<`/`>`
+        // refinement used here is at least as fine, and every factor's MGU
+        // is strict.
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "T(x), R(x,x,y), R(u,v,v)").unwrap();
+        let c = strict_coverage(&q).unwrap();
+        assert!(c.covers.len() >= 3, "covers: {:?}", c.covers);
+        // After refinement no non-strict consistent MGU remains.
+        assert!(find_offence(&c.cover_queries()).is_none());
+    }
+
+    #[test]
+    fn marked_ring_trivial_coverage_strict() {
+        // R(x), S(x,y), S(y,x): the S sub-goals unify strictly (x↔y', y↔x').
+        let c = cov("R(x), S(x,y), S(y,x)");
+        assert_eq!(c.covers.len(), 1);
+    }
+
+    #[test]
+    fn symmetric_pair_query_strict_but_needs_root_refinement() {
+        // q2 of Example 3.5: R(x,y), R(y,x). All MGUs against renamed
+        // copies are strict, so the *strict* coverage is trivial; but no
+        // consistent root choice exists (the swap unifier maps x to the
+        // copy's y), so the *rooted* coverage branches x<y / x=y / x>y.
+        let c = cov("R(x,y), R(y,x)");
+        assert_eq!(c.covers.len(), 1);
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x,y), R(y,x)").unwrap();
+        let rc = rooted_coverage(&q).unwrap();
+        assert!(rc.covers.len() >= 2, "{:?}", rc.covers);
+        // One cover must be the diagonal R(x,x).
+        assert!(rc
+            .factors
+            .iter()
+            .any(|f| f.atoms.len() == 1 && f.atoms[0].args[0] == f.atoms[0].args[1]));
+    }
+
+    #[test]
+    fn unsatisfiable_query_rejected() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x,y), x < y, y < x").unwrap();
+        assert_eq!(
+            strict_coverage(&q).unwrap_err(),
+            CoverageError::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn coverage_covers_reference_valid_factors() {
+        let c = cov("T(x), R(x,x,y), R(u,v,v)");
+        for cover in &c.covers {
+            for &fi in cover {
+                assert!(fi < c.factors.len());
+            }
+        }
+        // Factors are connected.
+        for f in &c.factors {
+            assert_eq!(f.connected_components().len(), 1);
+        }
+    }
+
+    #[test]
+    fn ground_atoms_become_own_factors() {
+        let c = cov("R('a'), S(x,y)");
+        assert_eq!(c.factors.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::inversion::find_inversion;
+    use cq::{parse_query, Vocabulary};
+
+    fn inversion_with(s: &str, opts: CoverageOptions) -> bool {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, s).unwrap();
+        let cov = strict_coverage_with(&q, opts).unwrap();
+        find_inversion(&cov).is_some()
+    }
+
+    const FIG1_ROW2: &str = "R(x1,x2), S(x1,x2,y,y), S(x1,x1,x2,x2), S(x3,x3,y3,y3), T(y3)";
+    const FIG1_ROW3: &str = "R(x1,x2), S(x1,x2,y,y), S(x1,x2,x1,x2), S(x3,x3,y31,y32), T(y31,y32)";
+
+    /// Fig. 1 rows 2 and 3: the simplification passes are collectively
+    /// load-bearing. Interestingly each row is rescued by *either* pass
+    /// alone (minimizing a cover and dropping a cover contained in another
+    /// overlap as safeguards on these queries); with both disabled a
+    /// spurious inversion survives and the PTIME query would be
+    /// misclassified as #P-hard.
+    #[test]
+    fn simplification_passes_are_load_bearing() {
+        let full = CoverageOptions::default();
+        let no_min = CoverageOptions {
+            minimize_covers: false,
+            remove_redundant: true,
+        };
+        let no_red = CoverageOptions {
+            minimize_covers: true,
+            remove_redundant: false,
+        };
+        let neither = CoverageOptions {
+            minimize_covers: false,
+            remove_redundant: false,
+        };
+        for row in [FIG1_ROW2, FIG1_ROW3] {
+            assert!(!inversion_with(row, full), "{row}: full pipeline");
+            assert!(!inversion_with(row, no_min), "{row}: redundancy alone suffices");
+            assert!(!inversion_with(row, no_red), "{row}: minimization alone suffices");
+            assert!(
+                inversion_with(row, neither),
+                "{row}: expected a spurious inversion with both passes off"
+            );
+        }
+    }
+
+    /// Hard queries stay hard under every ablation (the passes only remove
+    /// spurious inversions, never real ones).
+    #[test]
+    fn hard_queries_keep_inversions_under_ablation() {
+        for opts in [
+            CoverageOptions::default(),
+            CoverageOptions {
+                minimize_covers: false,
+                remove_redundant: true,
+            },
+            CoverageOptions {
+                minimize_covers: true,
+                remove_redundant: false,
+            },
+        ] {
+            assert!(inversion_with("R(x), S(x,y), S(u,v), T(v)", opts)); // H_0
+            assert!(inversion_with("R(x,y), R(y,z)", opts)); // q_2path
+        }
+    }
+}

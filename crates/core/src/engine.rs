@@ -1,0 +1,356 @@
+//! A MystiQ-style evaluation engine (§1, "Background and motivation").
+//!
+//! MystiQ "tests if queries have a PTIME plan ...; if not, then we run a
+//! Monte Carlo simulation algorithm". The [`Engine`] reproduces that
+//! architecture over this workspace's substrates: classify the query with
+//! the dichotomy, then dispatch:
+//!
+//! | classification | plan |
+//! |---|---|
+//! | hierarchical, no self-joins | Eq. 3 recurrence ([`crate::recurrence`]) |
+//! | inversion-free | root-recursion safe plan ([`crate::safe_eval`]) |
+//! | erasable inversions | exact lineage compilation (documented §3.4 substitution) |
+//! | #P-hard | Karp–Luby FPRAS over the lineage (MystiQ's fallback) |
+//!
+//! Small instances may force exact lineage evaluation for ground truth via
+//! [`Strategy::ExactLineage`].
+
+use crate::classify::{classify, Classification, ClassifyError, Complexity, PTimeReason};
+use crate::recurrence::eval_recurrence;
+use crate::safe_eval::eval_inversion_free;
+use cq::Query;
+use lineage::{exact_probability, karp_luby};
+use pdb::{lineage_of, ProbDb};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::time::Instant;
+
+/// How a probability was computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Eq. 3 recurrence (Theorem 1.3(1)).
+    Recurrence,
+    /// Inversion-free safe plan (§3.2).
+    SafePlan,
+    /// Exact weighted model counting over the lineage.
+    ExactLineage,
+    /// Karp–Luby estimation over the lineage.
+    KarpLuby,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::Recurrence => write!(f, "recurrence"),
+            Method::SafePlan => write!(f, "safe-plan"),
+            Method::ExactLineage => write!(f, "exact-lineage"),
+            Method::KarpLuby => write!(f, "karp-luby"),
+        }
+    }
+}
+
+/// Evaluation strategy selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Classify, then pick the best plan (the MystiQ architecture).
+    Auto,
+    /// Force exact lineage compilation (exponential worst case).
+    ExactLineage,
+    /// Force Monte-Carlo estimation with the given sample count.
+    MonteCarlo { samples: u64 },
+}
+
+/// The result of an evaluation.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    pub probability: f64,
+    pub method: Method,
+    pub classification: Option<Classification>,
+    /// Standard error when `method == KarpLuby`, 0 otherwise.
+    pub std_error: f64,
+    pub wall_time: std::time::Duration,
+}
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum EngineError {
+    Classify(ClassifyError),
+    Eval(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Classify(e) => write!(f, "classification failed: {e}"),
+            EngineError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The evaluation engine. Holds tuning knobs; databases and queries are
+/// passed per call so one engine can serve many evaluations.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    /// Samples for the Monte-Carlo fallback.
+    pub mc_samples: u64,
+    /// RNG seed for reproducible estimates.
+    pub seed: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            mc_samples: 100_000,
+            seed: 0xD_A151,
+        }
+    }
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate `p(q)` on `db` with the chosen strategy.
+    pub fn evaluate(
+        &self,
+        db: &ProbDb,
+        q: &Query,
+        strategy: Strategy,
+    ) -> Result<Evaluation, EngineError> {
+        let start = Instant::now();
+        match strategy {
+            Strategy::ExactLineage => {
+                let p = self.exact_lineage(db, q);
+                Ok(Evaluation {
+                    probability: p,
+                    method: Method::ExactLineage,
+                    classification: None,
+                    std_error: 0.0,
+                    wall_time: start.elapsed(),
+                })
+            }
+            Strategy::MonteCarlo { samples } => {
+                let (p, se) = self.karp_luby(db, q, samples);
+                Ok(Evaluation {
+                    probability: p,
+                    method: Method::KarpLuby,
+                    classification: None,
+                    std_error: se,
+                    wall_time: start.elapsed(),
+                })
+            }
+            Strategy::Auto => {
+                let classification = classify(q).map_err(EngineError::Classify)?;
+                // Evaluate the minimized equivalent: classification is a
+                // property of the minimal query (e.g. `R(x), R(y)` minimizes
+                // to the self-join-free `R(x)`). With negated sub-goals the
+                // classifier minimized the *positive* version, which is not
+                // equivalent — keep the original there.
+                let eval_q = if q.has_negation() {
+                    q.clone()
+                } else {
+                    classification.minimized.clone()
+                };
+                let eval_q = &eval_q;
+                let (p, method, se) = match &classification.complexity {
+                    Complexity::PTime(PTimeReason::Trivial) => {
+                        // Satisfiable trivial queries (no atoms) are certain;
+                        // unsatisfiable ones have probability 0. `minimize`
+                        // returned an empty-atom query only in those cases.
+                        if classification.minimized.atoms.is_empty()
+                            && classification.minimized.normalize().is_some()
+                        {
+                            (1.0, Method::Recurrence, 0.0)
+                        } else {
+                            (0.0, Method::Recurrence, 0.0)
+                        }
+                    }
+                    Complexity::PTime(PTimeReason::HierarchicalNoSelfJoin) => {
+                        // A negated self-join can survive the positive-only
+                        // classification (e.g. `R(x), not R(y)`): fall
+                        // through to the safe plan, then exact lineage.
+                        match eval_recurrence(db, eval_q) {
+                            Ok(p) => (p, Method::Recurrence, 0.0),
+                            Err(crate::recurrence::RecurrenceError::SelfJoin) => {
+                                match eval_inversion_free(db, eval_q) {
+                                    Ok(p) => (p, Method::SafePlan, 0.0),
+                                    Err(_) => {
+                                        (self.exact_lineage(db, eval_q), Method::ExactLineage, 0.0)
+                                    }
+                                }
+                            }
+                            Err(e) => return Err(EngineError::Eval(e.to_string())),
+                        }
+                    }
+                    Complexity::PTime(PTimeReason::InversionFree) => {
+                        match eval_inversion_free(db, eval_q) {
+                            Ok(p) => (p, Method::SafePlan, 0.0),
+                            // The safe plan's inclusion-exclusion budget is
+                            // an engineering bound; exact lineage stays
+                            // correct (if not worst-case polynomial).
+                            Err(crate::safe_eval::SafeEvalError::TooComplex) => {
+                                (self.exact_lineage(db, eval_q), Method::ExactLineage, 0.0)
+                            }
+                            Err(e) => return Err(EngineError::Eval(e.to_string())),
+                        }
+                    }
+                    Complexity::PTime(PTimeReason::ErasableInversions) => {
+                        // Documented substitution (DESIGN.md §3.4): the
+                        // paper's general algorithm is replaced by exact
+                        // lineage compilation — exact, not worst-case
+                        // polynomial.
+                        (self.exact_lineage(db, eval_q), Method::ExactLineage, 0.0)
+                    }
+                    Complexity::SharpPHard(_) => {
+                        let (p, se) = self.karp_luby(db, eval_q, self.mc_samples);
+                        (p, Method::KarpLuby, se)
+                    }
+                };
+                Ok(Evaluation {
+                    probability: p,
+                    method,
+                    classification: Some(classification),
+                    std_error: se,
+                    wall_time: start.elapsed(),
+                })
+            }
+        }
+    }
+
+    /// Evaluate `p(q)` in exact rational arithmetic: the Eq. 3 recurrence
+    /// when the query is hierarchical and self-join-free, exact lineage
+    /// compilation otherwise. Always exact; the lineage path is worst-case
+    /// exponential (and must be, for #P-hard queries).
+    pub fn evaluate_exact(
+        &self,
+        db: &ProbDb,
+        probs: &pdb::RatProbs,
+        q: &Query,
+    ) -> (numeric::QRat, Method) {
+        match crate::exact_recurrence::eval_recurrence_exact(db, probs, q) {
+            Ok(p) => (p, Method::Recurrence),
+            Err(_) => (pdb::exact_query_probability(db, probs, q), Method::ExactLineage),
+        }
+    }
+
+    fn exact_lineage(&self, db: &ProbDb, q: &Query) -> f64 {
+        let dnf = lineage_of(db, q);
+        exact_probability(&dnf, &db.prob_vector())
+    }
+
+    fn karp_luby(&self, db: &ProbDb, q: &Query, samples: u64) -> (f64, f64) {
+        let dnf = lineage_of(db, q);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let est = karp_luby(&dnf, &db.prob_vector(), samples, &mut rng);
+        (est.estimate, est.std_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::{parse_query, Value, Vocabulary};
+    use pdb::brute_force_probability;
+    use pdb::generators::{random_db_for_query, RandomDbOptions};
+    use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    fn setup(s: &str, seed: u64) -> (ProbDb, Query) {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, s).unwrap();
+        let mut rng = TestRng::seed_from_u64(seed);
+        let db = random_db_for_query(&q, &voc, RandomDbOptions::default(), &mut rng);
+        (db, q)
+    }
+
+    #[test]
+    fn auto_picks_recurrence_for_no_self_join() {
+        let (db, q) = setup("R(x), S(x,y)", 1);
+        let ev = Engine::new().evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert_eq!(ev.method, Method::Recurrence);
+        let bf = brute_force_probability(&db, &q);
+        assert!((ev.probability - bf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auto_picks_safe_plan_for_inversion_free_self_join() {
+        let (db, q) = setup("R(x), S(x,y), S(x2,y2), T(x2)", 2);
+        let ev = Engine::new().evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert_eq!(ev.method, Method::SafePlan);
+        let bf = brute_force_probability(&db, &q);
+        assert!((ev.probability - bf).abs() < 1e-8);
+    }
+
+    #[test]
+    fn auto_falls_back_to_karp_luby_for_hard_query() {
+        let (db, q) = setup("R(x), S(x,y), S(x2,y2), T(y2)", 3);
+        let engine = Engine {
+            mc_samples: 50_000,
+            seed: 7,
+        };
+        let ev = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert_eq!(ev.method, Method::KarpLuby);
+        let bf = brute_force_probability(&db, &q);
+        assert!(
+            (ev.probability - bf).abs() < 0.02,
+            "estimate {} vs exact {bf}",
+            ev.probability
+        );
+    }
+
+    #[test]
+    fn exact_lineage_strategy_is_exact() {
+        let (db, q) = setup("R(x,y), R(y,z)", 4);
+        let ev = Engine::new()
+            .evaluate(&db, &q, Strategy::ExactLineage)
+            .unwrap();
+        let bf = brute_force_probability(&db, &q);
+        assert!((ev.probability - bf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_queries_answered_without_data() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), x < x").unwrap();
+        let db = ProbDb::new(voc);
+        let ev = Engine::new().evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert_eq!(ev.probability, 0.0);
+    }
+
+    #[test]
+    fn evaluate_exact_dispatches_and_agrees() {
+        use pdb::RatProbs;
+        // Safe query → recurrence; hard query → exact lineage; both agree
+        // with the f64 oracle.
+        for (text, seed) in [("R(x), S(x,y)", 10u64), ("R(x,y), R(y,z)", 11)] {
+            let (db, q) = setup(text, seed);
+            let probs = RatProbs::from_db(&db);
+            let (p, method) = Engine::new().evaluate_exact(&db, &probs, &q);
+            let bf = brute_force_probability(&db, &q);
+            assert!(
+                (p.to_f64() - bf).abs() < 1e-9,
+                "{text}: exact {p} vs brute force {bf}"
+            );
+            if text.starts_with("R(x),") {
+                assert_eq!(method, Method::Recurrence);
+            } else {
+                assert_eq!(method, Method::ExactLineage);
+            }
+        }
+    }
+
+    #[test]
+    fn certain_world_evaluates_to_one() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 1.0);
+        let ev = Engine::new().evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert!((ev.probability - 1.0).abs() < 1e-12);
+    }
+}

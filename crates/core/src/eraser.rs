@@ -1,0 +1,332 @@
+//! Inclusion–exclusion coefficients `N(C, σ)` (Definition 2.11 /
+//! Appendix E.2.1) and erasers (Definition 2.21 / Appendix E.6 / E.11).
+//!
+//! An *eraser* for a join `jq` of `H*` members `hi`, `hj` is a set `E` of
+//! other `H*` members such that
+//!
+//! 1. every `e ∈ E` maps homomorphically into `jq` with an image that stays
+//!    hierarchical when conjoined with either participant's image inside
+//!    `jq` (Lemma E.11 — the eraser must "avoid the inversion"), and
+//! 2. attaching `E` leaves every inclusion–exclusion coefficient unchanged:
+//!    `∀σ: N(σ ∪ {i,j}) = N(σ ∪ {i,j} ∪ E)`.
+//!
+//! Erasers cancel exactly the expansion terms that have no polynomial-size
+//! closed form; a join with an inversion but no eraser certifies
+//! #P-hardness (§4).
+//!
+//! Sign convention: the paper's Definition 2.11 and its worked examples
+//! disagree; we re-derived the coefficient from inclusion–exclusion
+//! (`N(σ) = (−1)^{|σ|} Σ_{∅≠s, sig(s)=σ} (−1)^{|s|+1}`), which reproduces
+//! Example 2.14's values and is irrelevant for erasers anyway (they compare
+//! coefficients for equality).
+
+use crate::closure::{Closure, Join};
+use crate::coverage::Coverage;
+use crate::hierarchy::is_hierarchical;
+use cq::{all_homomorphisms, Query};
+use std::collections::{BTreeSet, HashMap};
+
+/// `N(C, σ)` over the original covers, with σ a set of factor indices.
+pub fn n_coefficient(cov: &Coverage, sigma: &BTreeSet<usize>) -> i64 {
+    let m = cov.covers.len();
+    assert!(m < 24, "cover count too large for subset enumeration");
+    let mut sum: i64 = 0;
+    for mask in 1u32..(1 << m) {
+        let mut sig: BTreeSet<usize> = BTreeSet::new();
+        for (b, cover) in cov.covers.iter().enumerate() {
+            if mask >> b & 1 == 1 {
+                sig.extend(cover.iter().copied());
+            }
+        }
+        if sig == *sigma {
+            sum += if mask.count_ones() % 2 == 1 { 1 } else { -1 };
+        }
+    }
+    let sign = if sigma.len().is_multiple_of(2) { 1 } else { -1 };
+    sign * sum
+}
+
+/// The generalized coefficients over the closure (Appendix E.2.1): `ψ`
+/// contains every set `S` of `H*`-indices whose combined original factors
+/// cover some cover of `C`; `N(sg)` is computed from the minimal elements
+/// `Factors(ψ)`.
+pub struct ClosureCoefficients {
+    /// Minimal covering sets of `H*`-positions (`Factors(ψ)`).
+    minimal: Vec<BTreeSet<usize>>,
+    /// Raw alternating sums `Σ_{∅≠G ⊆ minimal, sig(G)=U} (−1)^{|G|+1}`,
+    /// keyed by the union `U`.
+    raw: HashMap<BTreeSet<usize>, i64>,
+}
+
+/// Coefficient-construction failure: the closure grew past the subset
+/// enumeration budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoefficientBudget;
+
+impl ClosureCoefficients {
+    /// Build from a coverage and its closure, over the `H*` member indices
+    /// `h_star` (positions into `closure.items`).
+    pub fn new(
+        cov: &Coverage,
+        closure: &Closure,
+        h_star: &[usize],
+    ) -> Result<Self, CoefficientBudget> {
+        // Factors(ψ): minimal sets of H*-positions whose factor union
+        // includes some cover — enumerated per cover by DFS set cover.
+        let factor_sets: Vec<&BTreeSet<usize>> = h_star
+            .iter()
+            .map(|&hi| &closure.items[hi].factors)
+            .collect();
+        let mut minimal: Vec<BTreeSet<usize>> = Vec::new();
+        let mut work_budget = 200_000usize;
+        for cover in &cov.covers {
+            let mut found: Vec<BTreeSet<usize>> = Vec::new();
+            let mut chosen: BTreeSet<usize> = BTreeSet::new();
+            dfs_covers(
+                cover,
+                &factor_sets,
+                &mut chosen,
+                &mut found,
+                &mut work_budget,
+            )?;
+            minimal.extend(found);
+        }
+        // Keep only globally minimal sets, deduplicated.
+        minimal.sort();
+        minimal.dedup();
+        let minimal: Vec<BTreeSet<usize>> = minimal
+            .iter()
+            .filter(|s| !minimal.iter().any(|t| *t != **s && t.is_subset(s)))
+            .cloned()
+            .collect();
+        if minimal.len() > 18 {
+            return Err(CoefficientBudget);
+        }
+        // Precompute the alternating sums over all unions of minimal sets.
+        let m = minimal.len();
+        let mut raw: HashMap<BTreeSet<usize>, i64> = HashMap::new();
+        for mask in 1u32..(1 << m) {
+            let mut union: BTreeSet<usize> = BTreeSet::new();
+            for (b, s) in minimal.iter().enumerate() {
+                if mask >> b & 1 == 1 {
+                    union.extend(s.iter().copied());
+                }
+            }
+            *raw.entry(union).or_insert(0) += if mask.count_ones() % 2 == 1 { 1 } else { -1 };
+        }
+        Ok(ClosureCoefficients { minimal, raw })
+    }
+
+    /// `N(sg)` over `H*`-positions. Zero unless `sg` is a union of minimal
+    /// covering sets.
+    pub fn n(&self, sg: &BTreeSet<usize>) -> i64 {
+        let raw = self.raw.get(sg).copied().unwrap_or(0);
+        let sign = if sg.len().is_multiple_of(2) { 1 } else { -1 };
+        sign * raw
+    }
+
+    /// The distinct unions of minimal covering sets — the only signatures
+    /// with nonzero coefficients.
+    pub fn unions(&self) -> impl Iterator<Item = &BTreeSet<usize>> {
+        self.raw.keys()
+    }
+
+    /// `Factors(ψ)`.
+    pub fn minimal_sets(&self) -> &[BTreeSet<usize>] {
+        &self.minimal
+    }
+}
+
+/// DFS enumeration of minimal covering sets of one cover.
+fn dfs_covers(
+    uncovered_src: &BTreeSet<usize>,
+    factor_sets: &[&BTreeSet<usize>],
+    chosen: &mut BTreeSet<usize>,
+    found: &mut Vec<BTreeSet<usize>>,
+    budget: &mut usize,
+) -> Result<(), CoefficientBudget> {
+    if *budget == 0 {
+        return Err(CoefficientBudget);
+    }
+    *budget -= 1;
+    // Uncovered elements of the cover under `chosen`.
+    let mut uncovered = uncovered_src.clone();
+    for &c in chosen.iter() {
+        for f in factor_sets[c] {
+            uncovered.remove(f);
+        }
+    }
+    if uncovered.is_empty() {
+        // Record if no recorded set is a subset of chosen.
+        if !found.iter().any(|s| s.is_subset(chosen)) {
+            found.retain(|s| !chosen.is_subset(s));
+            found.push(chosen.clone());
+        }
+        return Ok(());
+    }
+    let &e = uncovered.iter().next().expect("nonempty");
+    for (i, fs) in factor_sets.iter().enumerate() {
+        if chosen.contains(&i) || !fs.contains(&e) {
+            continue;
+        }
+        chosen.insert(i);
+        dfs_covers(uncovered_src, factor_sets, chosen, found, budget)?;
+        chosen.remove(&i);
+    }
+    Ok(())
+}
+
+/// Lemma E.11's side condition: some homomorphism of `e` into the join maps
+/// it so that its image conjoined with either participant's image stays
+/// hierarchical ("the eraser avoids the inversion").
+fn image_stays_hierarchical(e: &Query, join: &Join) -> bool {
+    for hom in all_homomorphisms(e, &join.query) {
+        let img = e.apply(&hom);
+        let with_left = img.conjoin(&join.left_image);
+        let with_right = img.conjoin(&join.right_image);
+        if is_hierarchical(&with_left) && is_hierarchical(&with_right) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Search for an eraser for the join `jq` of `H*` members at positions `i`
+/// and `j` (within `h_star`). Returns the eraser as `h_star` positions.
+pub fn find_eraser(
+    coeffs: &ClosureCoefficients,
+    closure: &Closure,
+    h_star: &[usize],
+    join: &Join,
+    i: usize,
+    j: usize,
+) -> Option<Vec<usize>> {
+    let k = h_star.len();
+    // Candidates: H* members other than the participants whose image can be
+    // attached without reintroducing the inversion (Lemma E.11), mapped
+    // homomorphically into the join.
+    let candidates: Vec<usize> = (0..k)
+        .filter(|&e| e != i && e != j)
+        .filter(|&e| image_stays_hierarchical(&closure.items[h_star[e]].query, join))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    // Try subsets in ascending size for a minimal witness; erasers beyond
+    // 3 members do not occur on the paper's catalog.
+    let max_bits = candidates.len().min(12);
+    let mut subsets: Vec<u32> = (1u32..(1 << max_bits)).collect();
+    subsets.sort_by_key(|m| m.count_ones());
+    for mask in subsets {
+        if mask.count_ones() > 3 {
+            break;
+        }
+        let e_set: BTreeSet<usize> = candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(b, &c)| (mask >> b & 1 == 1).then_some(c))
+            .collect();
+        if condition_holds(coeffs, i, j, &e_set) {
+            return Some(e_set.into_iter().collect());
+        }
+    }
+    None
+}
+
+/// `∀σ: N(σ ∪ {i,j}) = N(σ ∪ {i,j} ∪ E)`, checked over the finitely many
+/// signatures with nonzero coefficients (unions of minimal covering sets).
+fn condition_holds(
+    coeffs: &ClosureCoefficients,
+    i: usize,
+    j: usize,
+    e_set: &BTreeSet<usize>,
+) -> bool {
+    let p: BTreeSet<usize> = BTreeSet::from([i, j]);
+    for u in coeffs.unions() {
+        // Case A = σ ∪ {i,j} lands on union `u`.
+        if p.is_subset(u) {
+            let mut with_e = u.clone();
+            with_e.extend(e_set.iter().copied());
+            if coeffs.n(u) != coeffs.n(&with_e) {
+                return false;
+            }
+        }
+        // Case B = σ ∪ {i,j} ∪ E lands on union `u`: enumerate the A's
+        // (B minus any subset of E) and require N(A) = N(B).
+        if p.is_subset(u) && e_set.is_subset(u) {
+            let removable: Vec<usize> = e_set.difference(&p).copied().collect();
+            let r = removable.len();
+            for mask in 1u32..(1 << r) {
+                let mut a = u.clone();
+                for (b, &x) in removable.iter().enumerate() {
+                    if mask >> b & 1 == 1 {
+                        a.remove(&x);
+                    }
+                }
+                if coeffs.n(&a) != coeffs.n(u) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::hierarchical_closure;
+    use crate::coverage::strict_coverage;
+    use cq::{parse_query, Vocabulary};
+
+    #[test]
+    fn n_coefficient_convention() {
+        // C = {c1,c2,c3}, c1={f1,f2}, c2={f2,f3}, c3={f1,f3}:
+        // N({f1,f2,f3}) = +2 under the derived convention.
+        let cov = Coverage {
+            factors: vec![Query::truth(), Query::truth(), Query::truth()],
+            covers: vec![
+                BTreeSet::from([0, 1]),
+                BTreeSet::from([1, 2]),
+                BTreeSet::from([0, 2]),
+            ],
+        };
+        assert_eq!(n_coefficient(&cov, &BTreeSet::from([0, 1, 2])), 2);
+        assert_eq!(n_coefficient(&cov, &BTreeSet::from([0, 1])), 1);
+        assert_eq!(n_coefficient(&cov, &BTreeSet::from([0])), 0);
+        assert_eq!(n_coefficient(&cov, &BTreeSet::new()), 0);
+    }
+
+    #[test]
+    fn example_2_14_coefficients() {
+        // C = {{f1,f2},{f3}}: N({f1,f2}) = 1, N({f3}) = −1,
+        // N({f1,f2,f3}) = +1 (micro-case: p((E1∧E2)∨E3) =
+        // P(E1E2) + P(E3) − P(E1E2E3) and the triple-support term enters
+        // with (−1)^{|T̄|} = −1).
+        let cov = Coverage {
+            factors: vec![Query::truth(), Query::truth(), Query::truth()],
+            covers: vec![BTreeSet::from([0, 1]), BTreeSet::from([2])],
+        };
+        assert_eq!(n_coefficient(&cov, &BTreeSet::from([0, 1])), 1);
+        assert_eq!(n_coefficient(&cov, &BTreeSet::from([2])), -1);
+        assert_eq!(n_coefficient(&cov, &BTreeSet::from([0, 1, 2])), 1);
+        assert_eq!(n_coefficient(&cov, &BTreeSet::from([0])), 0);
+        assert_eq!(n_coefficient(&cov, &BTreeSet::from([0, 2])), 0);
+    }
+
+    #[test]
+    fn closure_coefficients_smoke() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "P(x), R(x,y), R(x2,y2), S(x2)").unwrap();
+        let cov = strict_coverage(&q).unwrap();
+        let closure = hierarchical_closure(&cov).unwrap();
+        let h_star = closure.h_star(cov.factors.len());
+        let coeffs = ClosureCoefficients::new(&cov, &closure, &h_star).unwrap();
+        // The two original factors together cover the single cover, so
+        // {0,1} is a union with coefficient ±1 and the f3-join alone is a
+        // covering set as well.
+        assert!(!coeffs.minimal_sets().is_empty());
+        let sig: BTreeSet<usize> = BTreeSet::from([0, 1]);
+        assert_eq!(coeffs.n(&sig).abs(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Human-readable explanations of classification outcomes — render the
+//! dichotomy's witnesses (non-hierarchical variable pairs, inversion paths,
+//! hard joins) the way the paper presents them.
+
+use crate::classify::{Classification, Complexity, HardReason, PTimeReason};
+use crate::hierarchy::VarRel;
+use cq::Vocabulary;
+use std::fmt::Write as _;
+
+/// Render a classification with its witnesses. Intended for CLI/debug
+/// output; stable enough to grep in tests but not a machine interface.
+pub fn explain(c: &Classification, voc: &Vocabulary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "query     : {}", c.minimized.display(voc));
+    let _ = writeln!(out, "complexity: {}", c.complexity);
+    match &c.complexity {
+        Complexity::PTime(reason) => match reason {
+            PTimeReason::Trivial => {
+                let _ = writeln!(out, "  the minimized query has no sub-goals (constant).");
+            }
+            PTimeReason::HierarchicalNoSelfJoin => {
+                let _ = writeln!(
+                    out,
+                    "  hierarchical without self-joins: evaluated by the Eq. 3 recurrence."
+                );
+            }
+            PTimeReason::InversionFree => {
+                let _ = writeln!(
+                    out,
+                    "  the strict coverage has no inversion: evaluated by the §3.2 safe plan."
+                );
+                if let Some(cov) = &c.coverage {
+                    let _ = writeln!(out, "  coverage: {} factor(s), {} cover(s)",
+                        cov.factors.len(), cov.covers.len());
+                    for (i, f) in cov.factors.iter().enumerate() {
+                        let _ = writeln!(out, "    f{}: {}", i, f.display(voc));
+                    }
+                }
+            }
+            PTimeReason::ErasableInversions => {
+                let _ = writeln!(
+                    out,
+                    "  every hierarchically joined inversion has an eraser (Thm 3.17)."
+                );
+            }
+        },
+        Complexity::SharpPHard(reason) => match reason {
+            HardReason::NonHierarchical(w) => {
+                let _ = writeln!(
+                    out,
+                    "  non-hierarchical (Thm 1.4): sg({}) and sg({}) cross.",
+                    w.x, w.y
+                );
+                let _ = writeln!(
+                    out,
+                    "  witness pattern: {} | {} | {}",
+                    c.minimized.atoms[w.only_x].display(voc),
+                    c.minimized.atoms[w.both].display(voc),
+                    c.minimized.atoms[w.only_y].display(voc),
+                );
+                let _ = writeln!(
+                    out,
+                    "  hardness via the Theorem B.5 reduction from bipartite-2DNF counting."
+                );
+            }
+            HardReason::EraserFreeInversion { join, chain_length } => {
+                let _ = writeln!(
+                    out,
+                    "  an inversion without an eraser (Thm 4.4): reduction from H_{chain_length}."
+                );
+                let _ = writeln!(out, "  offending join query: {}", join.display(voc));
+                if let Some(inv) = &c.inversion {
+                    let _ = writeln!(out, "  inversion path ({} node(s)):", inv.path.len());
+                    for node in &inv.path {
+                        let rel = match node.rel {
+                            VarRel::Above => "⊐",
+                            VarRel::Below => "⊏",
+                            VarRel::Equivalent => "≡",
+                            _ => "?",
+                        };
+                        let _ = writeln!(
+                            out,
+                            "    (f{}, {}, {})  {} {} {}",
+                            node.factor, node.x, node.y, node.x, rel, node.y
+                        );
+                    }
+                }
+            }
+        },
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use cq::parse_query;
+
+    fn explained(text: &str) -> String {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, text).unwrap();
+        let c = classify(&q).unwrap();
+        explain(&c, &voc)
+    }
+
+    #[test]
+    fn explains_recurrence_case() {
+        let s = explained("R(x), S(x,y)");
+        assert!(s.contains("Eq. 3 recurrence"), "{s}");
+    }
+
+    #[test]
+    fn explains_non_hierarchical_witness() {
+        let s = explained("R(x), S(x,y), T(y)");
+        assert!(s.contains("non-hierarchical"), "{s}");
+        assert!(s.contains("R(") && s.contains("S(") && s.contains("T("), "{s}");
+        assert!(s.contains("Theorem B.5"), "{s}");
+    }
+
+    #[test]
+    fn explains_inversion_path() {
+        let s = explained("R(x), S(x,y), S(u,v), T(v)");
+        assert!(s.contains("inversion without an eraser"), "{s}");
+        assert!(s.contains("inversion path"), "{s}");
+        assert!(s.contains("H_0"), "{s}");
+    }
+
+    #[test]
+    fn explains_inversion_free_coverage() {
+        let s = explained("P(x), R(x,y), R(x2,y2), S(x2)");
+        assert!(s.contains("no inversion"), "{s}");
+        assert!(s.contains("factor(s)"), "{s}");
+    }
+
+    #[test]
+    fn explains_erasable_inversions() {
+        let s = explained(
+            "R(r,x), S(r,x,y), U('a',r), U(r,z), V(r,z), \
+             S(r2,x2,y2), T(r2,y2), V('a',r2), \
+             R('a','b'), S('a','b','c'), U('a','a')",
+        );
+        assert!(s.contains("eraser"), "{s}");
+    }
+}

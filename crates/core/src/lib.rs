@@ -1,0 +1,57 @@
+//! # dichotomy — the Dalvi–Suciu dichotomy of conjunctive queries
+//!
+//! The paper's primary contribution (PODS 2007): every Boolean conjunctive
+//! query has either PTIME or #P-complete data complexity on
+//! tuple-independent probabilistic structures, decidably so.
+//!
+//! * [`hierarchy`] — hierarchical queries (Definition 1.2), the `⊑` variable
+//!   hierarchy, hierarchy trees.
+//! * [`coverage`] — strict coverages (§2.1) by lazy `<`/`=`/`>` refinement,
+//!   plus the rooted refinement behind Theorem 3.4.
+//! * [`inversion`] — the unification graph and inversion detection (§2.2).
+//! * [`closure`] — hierarchical unifiers/joins and the hierarchical closure
+//!   (§2.6, Appendix E.1).
+//! * [`eraser`] — the `N(C,σ)` inclusion–exclusion coefficients
+//!   (Definition 2.11) and eraser search (Definition 2.21).
+//! * [`classify`] — the dichotomy decision procedure (Theorem 1.8).
+//! * [`recurrence`] — the Eq. 3 PTIME algorithm for hierarchical queries
+//!   without self-joins (Theorem 1.3), with negation (Theorem 3.11).
+//! * [`safe_eval`] — the PTIME algorithm for inversion-free queries (§3.2)
+//!   in root-recursion form.
+//! * [`engine`] — a MystiQ-style facade: classify, then dispatch to a safe
+//!   plan, exact lineage compilation, or Karp–Luby estimation.
+//! * [`ranking`] — non-Boolean queries: answer tuples ranked by marginal
+//!   probability, one dichotomy-planned residual per candidate.
+//! * [`catalog`] — the paper's named queries with their claimed
+//!   complexities, as data.
+
+pub mod catalog;
+pub mod classify;
+pub mod closure;
+pub mod coverage;
+pub mod engine;
+pub mod eraser;
+pub mod exact_recurrence;
+pub mod explain;
+pub mod hierarchy;
+pub mod inversion;
+pub mod multisim;
+pub mod ranking;
+pub mod recurrence;
+pub mod safe_eval;
+
+pub use catalog::{CatalogEntry, Expected, CATALOG};
+pub use classify::{classify, Classification, Complexity, HardReason, PTimeReason};
+pub use coverage::{
+    rooted_coverage, strict_coverage, strict_coverage_with, Coverage, CoverageError,
+    CoverageOptions,
+};
+pub use engine::{Engine, Evaluation, Method};
+pub use exact_recurrence::{count_substructures_recurrence, eval_recurrence_exact};
+pub use explain::explain;
+pub use hierarchy::{check_hierarchical, is_hierarchical};
+pub use inversion::{find_inversion, InversionWitness};
+pub use multisim::{multisim_top_k, MultiSimAnswer, MultiSimConfig, MultiSimResult};
+pub use ranking::{ranked_answers, top_k, RankedAnswer};
+pub use recurrence::eval_recurrence;
+pub use safe_eval::eval_inversion_free;

@@ -1,0 +1,388 @@
+//! Multisimulation: top-k answer retrieval by interval Monte Carlo.
+//!
+//! The MystiQ line of work pairs the safe-plan classifier with a ranked
+//! retrieval strategy for the hard cases: run Monte-Carlo simulations on the
+//! *lineages of the candidate answers concurrently*, maintain a confidence
+//! interval per candidate, and spend further samples only on the candidates
+//! that are still *critical* — those whose interval overlaps the boundary
+//! between the tentative top-k set and the rest. Non-critical candidates
+//! stop early, which is where the savings over uniform sampling come from.
+//!
+//! Intervals are Hoeffding bounds with a union-bound confidence budget over
+//! all candidates, so when the procedure reports convergence the returned
+//! set is the true top-k with probability at least `1 − delta` (under the
+//! usual i.i.d.-sampling caveats).
+
+use cq::{Query, Subst, Value, Var};
+use lineage::Dnf;
+use pdb::{all_valuations, lineage_of, ProbDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Tuning knobs for [`multisim_top_k`].
+#[derive(Clone, Copy, Debug)]
+pub struct MultiSimConfig {
+    /// Samples added to each critical candidate per round.
+    pub batch: u64,
+    /// Overall error probability budget for the Hoeffding intervals.
+    pub delta: f64,
+    /// Per-candidate sampling ceiling; the run reports `converged = false`
+    /// when critical candidates hit it (e.g. exact ties).
+    pub max_samples_per_candidate: u64,
+    /// RNG seed (reproducible runs).
+    pub seed: u64,
+}
+
+impl Default for MultiSimConfig {
+    fn default() -> Self {
+        MultiSimConfig {
+            batch: 512,
+            delta: 0.05,
+            max_samples_per_candidate: 1 << 20,
+            seed: 0x7075,
+        }
+    }
+}
+
+/// One candidate answer with its current interval.
+#[derive(Clone, Debug)]
+pub struct MultiSimAnswer {
+    /// Head-variable binding.
+    pub tuple: Vec<Value>,
+    /// Monte-Carlo point estimate of the answer probability.
+    pub estimate: f64,
+    /// Lower/upper confidence bounds.
+    pub low: f64,
+    pub high: f64,
+    /// Samples spent on this candidate.
+    pub samples: u64,
+}
+
+/// The result of a multisimulation run.
+#[derive(Clone, Debug)]
+pub struct MultiSimResult {
+    /// The tentative top-k, ordered by estimate, descending.
+    pub top: Vec<MultiSimAnswer>,
+    /// Every candidate (top included), ordered by estimate, descending.
+    pub all: Vec<MultiSimAnswer>,
+    /// Total samples across candidates.
+    pub total_samples: u64,
+    /// Did the intervals separate the top-k from the rest?
+    pub converged: bool,
+}
+
+struct Candidate {
+    tuple: Vec<Value>,
+    dnf: Dnf,
+    hits: u64,
+    samples: u64,
+    /// Constant-probability shortcut for trivially true/false lineages.
+    fixed: Option<f64>,
+}
+
+impl Candidate {
+    fn estimate(&self) -> f64 {
+        if let Some(p) = self.fixed {
+            return p;
+        }
+        if self.samples == 0 {
+            return 0.5;
+        }
+        self.hits as f64 / self.samples as f64
+    }
+
+    fn halfwidth(&self, delta_each: f64) -> f64 {
+        if self.fixed.is_some() {
+            return 0.0;
+        }
+        if self.samples == 0 {
+            return 0.5;
+        }
+        ((2.0 / delta_each).ln() / (2.0 * self.samples as f64)).sqrt()
+    }
+
+    fn interval(&self, delta_each: f64) -> (f64, f64) {
+        let e = self.estimate();
+        let h = self.halfwidth(delta_each);
+        ((e - h).max(0.0), (e + h).min(1.0))
+    }
+}
+
+/// Retrieve the top-`k` answers of `q` with head variables `head` by
+/// multisimulation over the candidate lineages.
+///
+/// # Panics
+/// If some head variable does not occur in the query, or `k == 0`.
+pub fn multisim_top_k(
+    db: &ProbDb,
+    q: &Query,
+    head: &[Var],
+    k: usize,
+    config: MultiSimConfig,
+) -> MultiSimResult {
+    assert!(k > 0, "top-0 is empty by definition");
+    for h in head {
+        assert!(
+            q.vars().contains(h),
+            "head variable {h} does not occur in the query"
+        );
+    }
+    let probs = db.prob_vector();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Candidates and their lineages.
+    let mut tuples: BTreeSet<Vec<Value>> = BTreeSet::new();
+    for val in all_valuations(db, q) {
+        tuples.insert(head.iter().map(|h| val[h]).collect());
+    }
+    let mut cands: Vec<Candidate> = tuples
+        .into_iter()
+        .map(|tuple| {
+            let mut subst = Subst::new();
+            for (h, &v) in head.iter().zip(&tuple) {
+                subst.bind(*h, v);
+            }
+            let dnf = lineage_of(db, &q.apply(&subst));
+            let fixed = if dnf.is_false() {
+                Some(0.0)
+            } else if dnf.is_true() {
+                Some(1.0)
+            } else {
+                None
+            };
+            Candidate {
+                tuple,
+                dnf,
+                hits: 0,
+                samples: 0,
+                fixed,
+            }
+        })
+        .collect();
+
+    let m = cands.len();
+    // Union-bound budget: each candidate's interval must hold for its whole
+    // trajectory; the doubling trick costs a log factor we fold into delta.
+    let delta_each = if m == 0 { 1.0 } else { config.delta / m as f64 };
+    let mut converged = m <= k;
+
+    if m > k {
+        loop {
+            // Tentative top-k by estimate.
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by(|&a, &b| {
+                cands[b]
+                    .estimate()
+                    .partial_cmp(&cands[a].estimate())
+                    .expect("finite")
+                    .then_with(|| cands[a].tuple.cmp(&cands[b].tuple))
+            });
+            let (top, rest) = order.split_at(k);
+            let min_top_low = top
+                .iter()
+                .map(|&i| cands[i].interval(delta_each).0)
+                .fold(f64::INFINITY, f64::min);
+            let max_rest_high = rest
+                .iter()
+                .map(|&i| cands[i].interval(delta_each).1)
+                .fold(0.0, f64::max);
+            if min_top_low >= max_rest_high {
+                converged = true;
+                break;
+            }
+            // Critical candidates: intervals crossing the separation band.
+            let critical: Vec<usize> = top
+                .iter()
+                .filter(|&&i| cands[i].interval(delta_each).0 < max_rest_high)
+                .chain(
+                    rest.iter()
+                        .filter(|&&i| cands[i].interval(delta_each).1 > min_top_low),
+                )
+                .copied()
+                .filter(|&i| cands[i].fixed.is_none())
+                .collect();
+            let samplable: Vec<usize> = critical
+                .into_iter()
+                .filter(|&i| cands[i].samples < config.max_samples_per_candidate)
+                .collect();
+            if samplable.is_empty() {
+                // Ties or exhausted budget: report honestly.
+                converged = false;
+                break;
+            }
+            for i in samplable {
+                let c = &mut cands[i];
+                for _ in 0..config.batch {
+                    if sample_world_satisfies(&c.dnf, &probs, &mut rng) {
+                        c.hits += 1;
+                    }
+                    c.samples += 1;
+                }
+            }
+        }
+    }
+
+    let mut answers: Vec<MultiSimAnswer> = cands
+        .iter()
+        .map(|c| {
+            let (low, high) = c.interval(delta_each);
+            MultiSimAnswer {
+                tuple: c.tuple.clone(),
+                estimate: c.estimate(),
+                low,
+                high,
+                samples: c.samples,
+            }
+        })
+        .collect();
+    answers.sort_by(|a, b| {
+        b.estimate
+            .partial_cmp(&a.estimate)
+            .expect("finite")
+            .then_with(|| a.tuple.cmp(&b.tuple))
+    });
+    let total_samples = answers.iter().map(|a| a.samples).sum();
+    MultiSimResult {
+        top: answers.iter().take(k).cloned().collect(),
+        all: answers,
+        total_samples,
+        converged,
+    }
+}
+
+fn sample_world_satisfies(dnf: &Dnf, probs: &[f64], rng: &mut StdRng) -> bool {
+    // Sample only the variables the lineage mentions.
+    let mut world = vec![false; probs.len().max(dnf.num_vars())];
+    for v in dnf.vars() {
+        world[v as usize] = rng.gen_bool(probs[v as usize]);
+    }
+    dnf.satisfied_by(&world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, Strategy};
+    use crate::ranking::ranked_answers;
+    use cq::{parse_query, Vocabulary};
+
+    /// A database whose answers are well-separated, so multisimulation must
+    /// converge and agree with the exact ranking.
+    fn separated_db() -> (ProbDb, Query, Vec<Var>) {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "Director(d), Credit(d,m)").unwrap();
+        let d = q.vars()[0];
+        let director = voc.find_relation("Director").unwrap();
+        let credit = voc.find_relation("Credit").unwrap();
+        let mut db = ProbDb::new(voc);
+        let profile = [(1u64, 0.95), (2, 0.6), (3, 0.3), (4, 0.05)];
+        for &(i, p) in &profile {
+            db.insert(director, vec![Value(i)], p);
+            db.insert(credit, vec![Value(i), Value(100 + i)], 0.9);
+        }
+        (db, q, vec![d])
+    }
+
+    #[test]
+    fn converges_to_exact_top_k() {
+        let (db, q, head) = separated_db();
+        let exact = ranked_answers(&Engine::new(), &db, &q, &head, Strategy::Auto).unwrap();
+        for k in 1..=3 {
+            let ms = multisim_top_k(&db, &q, &head, k, MultiSimConfig::default());
+            assert!(ms.converged, "k={k} did not converge");
+            let got: Vec<_> = ms.top.iter().map(|a| a.tuple.clone()).collect();
+            let want: Vec<_> = exact.iter().take(k).map(|a| a.tuple.clone()).collect();
+            assert_eq!(got, want, "k={k}");
+            // Intervals cover the exact probabilities.
+            for a in &ms.all {
+                let ex = exact.iter().find(|e| e.tuple == a.tuple).unwrap();
+                assert!(
+                    a.low - 1e-9 <= ex.probability && ex.probability <= a.high + 1e-9,
+                    "interval [{}, {}] misses exact {} for {:?}",
+                    a.low,
+                    a.high,
+                    ex.probability,
+                    a.tuple
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_critical_candidates_stop_early() {
+        // A close pair at the top plus a distant loser: the pair needs many
+        // rounds to separate, the loser exits the critical region after the
+        // first round — adaptive allocation must show in the sample counts.
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "Director(d), Credit(d,m)").unwrap();
+        let d = q.vars()[0];
+        let director = voc.find_relation("Director").unwrap();
+        let credit = voc.find_relation("Credit").unwrap();
+        let mut db = ProbDb::new(voc);
+        for &(i, p) in &[(1u64, 0.85), (2, 0.78), (3, 0.08)] {
+            db.insert(director, vec![Value(i)], p);
+            db.insert(credit, vec![Value(i), Value(100 + i)], 0.9);
+        }
+        let ms = multisim_top_k(&db, &q, &[d], 1, MultiSimConfig::default());
+        assert!(ms.converged);
+        assert_eq!(ms.top[0].tuple, vec![Value(1)]);
+        let loser = ms.all.iter().find(|a| a.tuple == vec![Value(3)]).unwrap();
+        let max = ms.all.iter().map(|a| a.samples).max().unwrap();
+        assert!(
+            loser.samples < max,
+            "expected adaptive allocation; loser spent {} of max {max}",
+            loser.samples
+        );
+    }
+
+    #[test]
+    fn fewer_candidates_than_k_short_circuits() {
+        let (db, q, head) = separated_db();
+        let ms = multisim_top_k(&db, &q, &head, 10, MultiSimConfig::default());
+        assert!(ms.converged);
+        assert_eq!(ms.top.len(), 4);
+        assert_eq!(ms.total_samples, 0, "no sampling needed when all qualify");
+    }
+
+    #[test]
+    fn exhausted_budget_reports_non_convergence() {
+        // Two identical candidates: no sample budget separates them.
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "Director(d), Credit(d,m)").unwrap();
+        let d = q.vars()[0];
+        let director = voc.find_relation("Director").unwrap();
+        let credit = voc.find_relation("Credit").unwrap();
+        let mut db = ProbDb::new(voc);
+        for i in 1..=2u64 {
+            db.insert(director, vec![Value(i)], 0.5);
+            db.insert(credit, vec![Value(i), Value(100)], 0.5);
+        }
+        let config = MultiSimConfig {
+            batch: 64,
+            max_samples_per_candidate: 256,
+            ..Default::default()
+        };
+        let ms = multisim_top_k(&db, &q, &head_of(d), 1, config);
+        assert!(!ms.converged);
+        assert!(ms.total_samples > 0);
+    }
+
+    fn head_of(v: Var) -> Vec<Var> {
+        vec![v]
+    }
+
+    #[test]
+    #[should_panic(expected = "top-0")]
+    fn k_zero_rejected() {
+        let (db, q, head) = separated_db();
+        let _ = multisim_top_k(&db, &q, &head, 0, MultiSimConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not occur")]
+    fn foreign_head_rejected() {
+        let (db, q, _) = separated_db();
+        let _ = multisim_top_k(&db, &q, &[Var(99)], 1, MultiSimConfig::default());
+    }
+}

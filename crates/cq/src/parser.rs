@@ -1,0 +1,368 @@
+//! A tiny datalog-style text syntax for conjunctive queries.
+//!
+//! Grammar (comma-separated conjuncts):
+//!
+//! ```text
+//! query    := conjunct (',' conjunct)*
+//! conjunct := ['not'] IDENT '(' term (',' term)* ')'      -- sub-goal
+//!           | term ('<' | '>' | '=' | '!=') term           -- predicate
+//! term     := IDENT          -- variable (x, y, r1, ...)
+//!           | INTEGER        -- numeric constant
+//!           | '\'' IDENT '\''  -- named constant ('a', 'b', ...)
+//! ```
+//!
+//! Variables are scoped to one `parse_query` call; the same identifier in
+//! two calls denotes *different* variables (queries are renamed apart by
+//! the analysis anyway). Relation symbols and named constants are interned
+//! in the shared [`Vocabulary`].
+
+use crate::atom::Atom;
+use crate::predicate::Pred;
+use crate::query::Query;
+use crate::term::{Term, Value, Var};
+use crate::vocab::Vocabulary;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse failure with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    Quoted(String),
+    LParen,
+    RParen,
+    Comma,
+    Lt,
+    Gt,
+    Eq,
+    Ne,
+    Not,
+}
+
+fn tokenize(s: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '<' => {
+                toks.push(Tok::Lt);
+                i += 1;
+            }
+            '>' => {
+                toks.push(Tok::Gt);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    return Err(ParseError(format!("unexpected '!' at {i}")));
+                }
+            }
+            '\'' => {
+                let mut j = i + 1;
+                let mut name = String::new();
+                while j < chars.len() && chars[j] != '\'' {
+                    name.push(chars[j]);
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(ParseError("unterminated quoted constant".into()));
+                }
+                if name.is_empty() {
+                    return Err(ParseError("empty quoted constant".into()));
+                }
+                toks.push(Tok::Quoted(name));
+                i = j + 1;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut n: u64 = 0;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(chars[j] as u64 - '0' as u64))
+                        .ok_or_else(|| ParseError("integer overflow".into()))?;
+                    j += 1;
+                }
+                if n >= Value::NAMED_BASE {
+                    return Err(ParseError(format!(
+                        "numeric constant {n} collides with the named-constant range"
+                    )));
+                }
+                toks.push(Tok::Int(n));
+                i = j;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                let mut name = String::new();
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    name.push(chars[j]);
+                    j += 1;
+                }
+                if name == "not" {
+                    toks.push(Tok::Not);
+                } else {
+                    toks.push(Tok::Ident(name));
+                }
+                i = j;
+            }
+            _ => return Err(ParseError(format!("unexpected character {c:?} at {i}"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    voc: &'a mut Vocabulary,
+    vars: HashMap<String, Var>,
+    next_var: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            got => Err(ParseError(format!("expected {t:?}, got {got:?}"))),
+        }
+    }
+
+    fn var(&mut self, name: String) -> Var {
+        *self.vars.entry(name).or_insert_with(|| {
+            let v = Var(self.next_var);
+            self.next_var += 1;
+            v
+        })
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => Ok(Term::Var(self.var(name))),
+            Some(Tok::Int(n)) => Ok(Term::Const(Value(n))),
+            Some(Tok::Quoted(name)) => Ok(Term::Const(self.voc.named_const(&name))),
+            got => Err(ParseError(format!("expected term, got {got:?}"))),
+        }
+    }
+
+    fn conjunct(&mut self, atoms: &mut Vec<Atom>, preds: &mut Vec<Pred>) -> Result<(), ParseError> {
+        let negated = if self.peek() == Some(&Tok::Not) {
+            self.next();
+            true
+        } else {
+            false
+        };
+        // A sub-goal starts with IDENT '('; anything else must be a predicate.
+        let is_subgoal = matches!(
+            (self.peek(), self.toks.get(self.pos + 1)),
+            (Some(Tok::Ident(_)), Some(Tok::LParen))
+        );
+        if is_subgoal {
+            let Some(Tok::Ident(rel_name)) = self.next() else {
+                unreachable!()
+            };
+            self.expect(Tok::LParen)?;
+            let mut args = vec![self.term()?];
+            while self.peek() == Some(&Tok::Comma) {
+                self.next();
+                args.push(self.term()?);
+            }
+            self.expect(Tok::RParen)?;
+            let rel = self
+                .voc
+                .relation(&rel_name, args.len())
+                .map_err(|e| ParseError(e.to_string()))?;
+            atoms.push(Atom {
+                rel,
+                args,
+                negated,
+            });
+            Ok(())
+        } else {
+            if negated {
+                return Err(ParseError("'not' applies only to sub-goals".into()));
+            }
+            let lhs = self.term()?;
+            let pred = match self.next() {
+                Some(Tok::Lt) => {
+                    let rhs = self.term()?;
+                    Pred::lt(lhs, rhs)
+                }
+                Some(Tok::Gt) => {
+                    let rhs = self.term()?;
+                    Pred::gt(lhs, rhs)
+                }
+                Some(Tok::Eq) => {
+                    let rhs = self.term()?;
+                    Pred::eq(lhs, rhs)
+                }
+                Some(Tok::Ne) => {
+                    let rhs = self.term()?;
+                    Pred::ne(lhs, rhs)
+                }
+                got => return Err(ParseError(format!("expected comparison, got {got:?}"))),
+            };
+            preds.push(pred);
+            Ok(())
+        }
+    }
+}
+
+/// Parse a conjunctive query, interning relations and named constants in
+/// `voc`.
+pub fn parse_query(voc: &mut Vocabulary, text: &str) -> Result<Query, ParseError> {
+    let toks = tokenize(text)?;
+    if toks.is_empty() {
+        return Ok(Query::truth());
+    }
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        voc,
+        vars: HashMap::new(),
+        next_var: 0,
+    };
+    let mut atoms = Vec::new();
+    let mut preds = Vec::new();
+    p.conjunct(&mut atoms, &mut preds)?;
+    while p.peek() == Some(&Tok::Comma) {
+        p.next();
+        p.conjunct(&mut atoms, &mut preds)?;
+    }
+    if p.pos != p.toks.len() {
+        return Err(ParseError(format!(
+            "trailing input at token {}: {:?}",
+            p.pos,
+            p.peek()
+        )));
+    }
+    Ok(Query::new(atoms, preds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CompOp;
+
+    #[test]
+    fn parses_paper_query_hier() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.vars().len(), 2);
+        assert_eq!(voc.arity(q.atoms[0].rel), 1);
+        assert_eq!(voc.arity(q.atoms[1].rel), 2);
+    }
+
+    #[test]
+    fn shared_variable_names_resolve_to_same_var() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x,y), S(y,z)").unwrap();
+        assert_eq!(q.atoms[0].args[1], q.atoms[1].args[0]);
+    }
+
+    #[test]
+    fn parses_predicates_and_normalizes_gt() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x,y), x > y, x != y, x = y, x < 3").unwrap();
+        assert_eq!(q.preds.len(), 4);
+        assert_eq!(q.preds[0].op, CompOp::Lt); // x > y stored as y < x
+        assert_eq!(q.preds[3], Pred::lt(q.vars()[0], Value(3)));
+    }
+
+    #[test]
+    fn parses_constants() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R('a'), S('a','b'), T(5)").unwrap();
+        assert!(q.atoms.iter().all(|a| a.is_ground()));
+        let a = voc.named_const("a");
+        assert_eq!(q.atoms[0].args[0], Term::Const(a));
+        assert_eq!(q.atoms[2].args[0], Term::Const(Value(5)));
+    }
+
+    #[test]
+    fn parses_negated_subgoals() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), not S(x,y)").unwrap();
+        assert!(!q.atoms[0].negated);
+        assert!(q.atoms[1].negated);
+        assert!(q.has_negation());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut voc = Vocabulary::new();
+        assert!(parse_query(&mut voc, "R(x), R(x,y)").is_err());
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut voc = Vocabulary::new();
+        assert!(parse_query(&mut voc, "R(x").is_err());
+        assert!(parse_query(&mut voc, "R(x) S(y)").is_err());
+        assert!(parse_query(&mut voc, "not x < y").is_err());
+        assert!(parse_query(&mut voc, "x !! y").is_err());
+        assert!(parse_query(&mut voc, "R('a)").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_truth() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "  ").unwrap();
+        assert!(q.atoms.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_display_reparses() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x,y), S(y,'a'), x < y").unwrap();
+        let shown = q.display(&voc);
+        let q2 = parse_query(&mut voc, &shown).unwrap();
+        assert_eq!(q.cache_key(), q2.cache_key());
+    }
+}

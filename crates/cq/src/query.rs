@@ -1,0 +1,447 @@
+//! Boolean conjunctive queries.
+
+use crate::atom::Atom;
+use crate::predicate::{Pred, PredTheory};
+use crate::subst::Subst;
+use crate::term::{Term, Value, Var};
+use crate::vocab::Vocabulary;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A Boolean conjunctive query `∃x̄. (φ1 ∧ … ∧ φm)` where each `φi` is a
+/// (possibly negated) relational sub-goal or a restricted arithmetic
+/// predicate. Existential quantifiers are implicit, as in the paper.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Query {
+    pub atoms: Vec<Atom>,
+    pub preds: Vec<Pred>,
+}
+
+impl Query {
+    pub fn new(atoms: Vec<Atom>, preds: Vec<Pred>) -> Self {
+        Query { atoms, preds }
+    }
+
+    /// The always-true query (empty conjunction).
+    pub fn truth() -> Self {
+        Query {
+            atoms: Vec::new(),
+            preds: Vec::new(),
+        }
+    }
+
+    /// `Vars(q)`: distinct variables in first-occurrence order (atoms first,
+    /// then predicates).
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for v in a.vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        for p in &self.preds {
+            for t in p.terms() {
+                if let Term::Var(v) = t {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct constants appearing anywhere in the query.
+    pub fn constants(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for c in a.constants() {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+        for p in &self.preds {
+            for t in p.terms() {
+                if let Term::Const(c) = t {
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `sg(x)`: indices of sub-goals containing `x` (Definition 1.2).
+    pub fn sg(&self, x: Var) -> BTreeSet<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.contains_var(x).then_some(i))
+            .collect()
+    }
+
+    /// Largest variable id occurring in the query, if any.
+    pub fn max_var(&self) -> Option<Var> {
+        self.vars().into_iter().max()
+    }
+
+    pub fn is_ground(&self) -> bool {
+        self.vars().is_empty()
+    }
+
+    /// `V(q)`: the maximum number of distinct variables in any single
+    /// sub-goal (drives the `O(N^{V(q)})` bound of Corollary 3.7).
+    pub fn max_vars_per_subgoal(&self) -> usize {
+        self.atoms.iter().map(|a| a.vars().len()).max().unwrap_or(0)
+    }
+
+    /// Does the query use some relation symbol in two different sub-goals?
+    /// ("q has no self-joins" is the precondition of Theorem 1.3.)
+    pub fn has_self_join(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.atoms.iter().any(|a| !seen.insert(a.rel))
+    }
+
+    /// Apply a substitution to all atoms and predicates.
+    pub fn apply(&self, s: &Subst) -> Query {
+        Query {
+            atoms: self.atoms.iter().map(|a| s.apply_atom(a)).collect(),
+            preds: self.preds.iter().map(|p| s.apply_pred(p)).collect(),
+        }
+    }
+
+    /// Substitute a single variable by a constant (the `f[a/x]` of Eq. 3).
+    pub fn substitute(&self, v: Var, a: Value) -> Query {
+        self.apply(&Subst::singleton(v, a))
+    }
+
+    /// Rename every variable by adding `offset`; used to rename two queries
+    /// apart before unification (§2.1).
+    pub fn rename_apart(&self, offset: u32) -> Query {
+        let s: Subst = self
+            .vars()
+            .into_iter()
+            .map(|v| (v, Term::Var(Var(v.0 + offset))))
+            .collect();
+        self.apply(&s)
+    }
+
+    /// Rename variables to the compact range `0..n` in first-occurrence
+    /// order. Returns the renamed query.
+    pub fn compact_vars(&self) -> Query {
+        let s: Subst = self
+            .vars()
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, Term::Var(Var(i as u32))))
+            .collect();
+        self.apply(&s)
+    }
+
+    /// Drop duplicate atoms and predicates (conjunction is idempotent),
+    /// and drop ground predicates that evaluate to true. Returns `None` if a
+    /// ground predicate is false or the predicate set is unsatisfiable —
+    /// i.e. the query is unsatisfiable.
+    pub fn normalize(&self) -> Option<Query> {
+        let mut atoms: Vec<Atom> = Vec::new();
+        for a in &self.atoms {
+            if !atoms.contains(a) {
+                atoms.push(a.clone());
+            }
+        }
+        let mut preds: Vec<Pred> = Vec::new();
+        for p in &self.preds {
+            match p.eval_ground() {
+                Some(true) => continue,
+                Some(false) => return None,
+                None => {
+                    if !preds.contains(p) {
+                        preds.push(*p);
+                    }
+                }
+            }
+        }
+        if !PredTheory::satisfiable(&preds) {
+            return None;
+        }
+        Some(Query { atoms, preds })
+    }
+
+    /// The theory of this query's predicates. `None` iff unsatisfiable.
+    pub fn theory(&self) -> Option<PredTheory> {
+        let universe = self
+            .atoms
+            .iter()
+            .flat_map(|a| a.args.iter().copied())
+            .collect::<Vec<_>>();
+        PredTheory::new(universe, &self.preds)
+    }
+
+    /// Split into connected components. Two sub-goals are connected when
+    /// they share a variable; each *ground* sub-goal is its own component
+    /// (Example 3.13, footnote 3: "strictly speaking each constant sub-goal
+    /// should be a distinct factor"). Variable-free predicates are attached
+    /// to no component and re-checked by [`Query::normalize`]; predicates
+    /// with variables follow their variables (restricted predicates only
+    /// relate co-occurring variables, so a predicate never spans two
+    /// components).
+    pub fn connected_components(&self) -> Vec<Query> {
+        let n = self.atoms.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        // Union atoms sharing a variable.
+        for v in self.vars() {
+            let members: Vec<usize> = (0..n)
+                .filter(|&i| self.atoms[i].contains_var(v))
+                .collect();
+            for w in members.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                parent[a] = b;
+            }
+        }
+        // Predicates between two variables also connect their atoms (a
+        // restricted predicate's variables co-occur, so this is usually a
+        // no-op, but it keeps the invariant for hand-built queries).
+        for p in &self.preds {
+            if let (Term::Var(u), Term::Var(v)) = (p.lhs, p.rhs) {
+                let au: Vec<usize> = (0..n).filter(|&i| self.atoms[i].contains_var(u)).collect();
+                let av: Vec<usize> = (0..n).filter(|&i| self.atoms[i].contains_var(v)).collect();
+                if let (Some(&a), Some(&b)) = (au.first(), av.first()) {
+                    let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                    parent[ra] = rb;
+                }
+            }
+        }
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+        let mut out = Vec::new();
+        for (_, idxs) in groups {
+            let atoms: Vec<Atom> = idxs.iter().map(|&i| self.atoms[i].clone()).collect();
+            let vars: BTreeSet<Var> = atoms.iter().flat_map(|a| a.vars()).collect();
+            let preds: Vec<Pred> = self
+                .preds
+                .iter()
+                .filter(|p| {
+                    p.terms()
+                        .iter()
+                        .any(|t| matches!(t, Term::Var(v) if vars.contains(v)))
+                })
+                .copied()
+                .collect();
+            out.push(Query { atoms, preds });
+        }
+        out
+    }
+
+    /// Conjoin two queries (variables are assumed already disjoint or
+    /// intentionally shared).
+    pub fn conjoin(&self, other: &Query) -> Query {
+        let mut atoms = self.atoms.clone();
+        for a in &other.atoms {
+            if !atoms.contains(a) {
+                atoms.push(a.clone());
+            }
+        }
+        let mut preds = self.preds.clone();
+        for p in &other.preds {
+            if !preds.contains(p) {
+                preds.push(*p);
+            }
+        }
+        Query { atoms, preds }
+    }
+
+    /// Positive (non-negated) atoms.
+    pub fn positive_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.atoms.iter().filter(|a| !a.negated)
+    }
+
+    /// Does the query contain any negated sub-goal (Definition 3.9)?
+    pub fn has_negation(&self) -> bool {
+        self.atoms.iter().any(|a| a.negated)
+    }
+
+    /// A deterministic cache key: variables renamed in first-occurrence
+    /// order after sorting atoms by a variable-blind invariant. Queries that
+    /// differ only by variable names and atom order usually map to the same
+    /// key; a collision in the *other* direction is impossible because the
+    /// key embeds the full renamed query. Used to memoize safe-plan
+    /// sub-evaluations.
+    pub fn cache_key(&self) -> String {
+        // Sort atoms by (rel, negation, constant pattern, var-equality
+        // pattern) — a renaming-invariant signature.
+        let mut order: Vec<usize> = (0..self.atoms.len()).collect();
+        let sig = |a: &Atom| {
+            let mut first_pos: BTreeMap<Var, usize> = BTreeMap::new();
+            let mut pat = String::new();
+            for (i, t) in a.args.iter().enumerate() {
+                match t {
+                    Term::Const(c) => pat.push_str(&format!("c{};", c.0)),
+                    Term::Var(v) => {
+                        let p = *first_pos.entry(*v).or_insert(i);
+                        pat.push_str(&format!("v{p};"));
+                    }
+                }
+            }
+            (a.rel, a.negated, pat)
+        };
+        order.sort_by(|&i, &j| sig(&self.atoms[i]).cmp(&sig(&self.atoms[j])));
+        let sorted = Query {
+            atoms: order.iter().map(|&i| self.atoms[i].clone()).collect(),
+            preds: self.preds.clone(),
+        };
+        let mut compact = sorted.compact_vars();
+        compact.preds.sort();
+        format!("{compact:?}")
+    }
+
+    /// Render with names resolved through `voc`.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        let mut parts: Vec<String> = self.atoms.iter().map(|a| a.display(voc)).collect();
+        for p in &self.preds {
+            parts.push(format!("{p:?}"));
+        }
+        if parts.is_empty() {
+            "true".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() && self.preds.is_empty() {
+            return write!(f, "true");
+        }
+        let mut first = true;
+        for a in &self.atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a:?}")?;
+            first = false;
+        }
+        for p in &self.preds {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p:?}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn q(voc: &mut Vocabulary, s: &str) -> Query {
+        parse_query(voc, s).unwrap()
+    }
+
+    #[test]
+    fn vars_and_sg() {
+        let mut voc = Vocabulary::new();
+        let query = q(&mut voc, "R(x), S(x,y)");
+        let vars = query.vars();
+        assert_eq!(vars.len(), 2);
+        let x = vars[0];
+        let y = vars[1];
+        assert_eq!(query.sg(x), BTreeSet::from([0, 1]));
+        assert_eq!(query.sg(y), BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn self_join_detection() {
+        let mut voc = Vocabulary::new();
+        assert!(!q(&mut voc, "R(x), S(x,y)").has_self_join());
+        let mut voc2 = Vocabulary::new();
+        assert!(q(&mut voc2, "R(x,y), R(y,z)").has_self_join());
+    }
+
+    #[test]
+    fn components_split_and_keep_preds() {
+        let mut voc = Vocabulary::new();
+        let query = q(&mut voc, "R(x), S(x,y), T(z), U(z,w), x != y");
+        let comps = query.connected_components();
+        assert_eq!(comps.len(), 2);
+        let with_pred = comps.iter().find(|c| !c.preds.is_empty()).unwrap();
+        assert_eq!(with_pred.atoms.len(), 2);
+    }
+
+    #[test]
+    fn ground_atoms_are_singleton_components() {
+        let mut voc = Vocabulary::new();
+        let query = q(&mut voc, "R('a'), S('a','b'), T(x)");
+        let comps = query.connected_components();
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn normalize_drops_duplicates_and_detects_unsat() {
+        let mut voc = Vocabulary::new();
+        let query = q(&mut voc, "R(x), R(x), x < 3, 1 < 2");
+        let n = query.normalize().unwrap();
+        assert_eq!(n.atoms.len(), 1);
+        assert_eq!(n.preds.len(), 1);
+        let bad = q(&mut voc, "R(x), x < x");
+        assert!(bad.normalize().is_none());
+        let bad2 = q(&mut voc, "R(x), 2 < 1");
+        assert!(bad2.normalize().is_none());
+    }
+
+    #[test]
+    fn substitution_grounds_subgoal() {
+        let mut voc = Vocabulary::new();
+        let query = q(&mut voc, "R(x), S(x,y)");
+        let x = query.vars()[0];
+        let g = query.substitute(x, Value(9));
+        assert!(g.atoms[0].is_ground());
+        assert!(!g.is_ground());
+        assert_eq!(g.max_vars_per_subgoal(), 1);
+    }
+
+    #[test]
+    fn rename_apart_produces_disjoint_vars() {
+        let mut voc = Vocabulary::new();
+        let query = q(&mut voc, "R(x), S(x,y)");
+        let offset = query.max_var().unwrap().0 + 1;
+        let other = query.rename_apart(offset);
+        let v1: BTreeSet<Var> = query.vars().into_iter().collect();
+        let v2: BTreeSet<Var> = other.vars().into_iter().collect();
+        assert!(v1.is_disjoint(&v2));
+    }
+
+    #[test]
+    fn cache_key_invariant_under_renaming_and_reorder() {
+        let mut voc = Vocabulary::new();
+        let q1 = q(&mut voc, "R(x), S(x,y)");
+        let q2 = q(&mut voc, "S(u,w), R(u)");
+        assert_eq!(q1.cache_key(), q2.cache_key());
+        let q3 = q(&mut voc, "S(u,u), R(u)");
+        assert_ne!(q1.cache_key(), q3.cache_key());
+    }
+
+    #[test]
+    fn max_vars_per_subgoal_counts_distinct() {
+        let mut voc = Vocabulary::new();
+        let query = q(&mut voc, "R(x,x,y), S(z)");
+        assert_eq!(query.max_vars_per_subgoal(), 2);
+    }
+}

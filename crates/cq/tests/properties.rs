@@ -1,0 +1,92 @@
+//! Property-based tests for the query algebra: random queries over a small
+//! vocabulary must keep parser, minimization, homomorphism, and predicate
+//! theory invariants.
+
+use cq::{
+    contains, equivalent, find_homomorphism, minimize, parse_query, Atom, CompOp, Pred,
+    PredTheory, Query, RelId, Term, Value, Var, Vocabulary,
+};
+use proptest::prelude::*;
+
+/// A random positive query over R/1, S/2 with variables x0..x3 and
+/// constants 0..2.
+fn arb_query() -> impl Strategy<Value = Query> {
+    let term = prop_oneof![
+        (0u32..4).prop_map(|v| Term::Var(Var(v))),
+        (0u64..3).prop_map(|c| Term::Const(Value(c))),
+    ];
+    let atom_r = term.clone().prop_map(|t| Atom::new(RelId(0), vec![t]));
+    let atom_s = (term.clone(), term).prop_map(|(a, b)| Atom::new(RelId(1), vec![a, b]));
+    let atom = prop_oneof![atom_r, atom_s];
+    proptest::collection::vec(atom, 1..5).prop_map(|atoms| Query::new(atoms, vec![]))
+}
+
+fn voc_rs() -> Vocabulary {
+    let mut voc = Vocabulary::new();
+    voc.relation("R", 1).unwrap();
+    voc.relation("S", 2).unwrap();
+    voc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// display → parse round-trips up to cache key.
+    #[test]
+    fn display_parse_roundtrip(q in arb_query()) {
+        let mut voc = voc_rs();
+        let text = q.display(&voc);
+        let q2 = parse_query(&mut voc, &text).unwrap();
+        prop_assert_eq!(q.cache_key(), q2.cache_key());
+    }
+
+    /// Minimization preserves equivalence and is idempotent.
+    #[test]
+    fn minimize_preserves_equivalence(q in arb_query()) {
+        let m = minimize(&q).unwrap();
+        prop_assert!(equivalent(&q, &m));
+        let m2 = minimize(&m).unwrap();
+        prop_assert_eq!(m.atoms.len(), m2.atoms.len());
+    }
+
+    /// Identity homomorphism always exists; containment is reflexive and
+    /// transitive on random triples.
+    #[test]
+    fn containment_is_preorder(a in arb_query(), b in arb_query(), c in arb_query()) {
+        prop_assert!(find_homomorphism(&a, &a).is_some());
+        if contains(&a, &b) && contains(&b, &c) {
+            prop_assert!(contains(&a, &c));
+        }
+    }
+
+    /// Renaming apart never changes the cache key.
+    #[test]
+    fn rename_apart_is_invariant(q in arb_query(), off in 1u32..50) {
+        prop_assert_eq!(q.cache_key(), q.rename_apart(off).cache_key());
+    }
+
+    /// Connected components partition the atoms.
+    #[test]
+    fn components_partition_atoms(q in arb_query()) {
+        let comps = q.connected_components();
+        let total: usize = comps.iter().map(|c| c.atoms.len()).sum();
+        prop_assert_eq!(total, q.atoms.len());
+    }
+
+    /// Predicate-theory entailment is sound: if `lt(u,v)` is entailed, then
+    /// adding `lt(v,u)` is inconsistent.
+    #[test]
+    fn entailment_soundness(u in 0u32..3, v in 0u32..3, w in 0u32..3) {
+        prop_assume!(u != v && v != w && u != w);
+        let preds = vec![
+            Pred::lt(Var(u), Var(v)),
+            Pred::lt(Var(v), Var(w)),
+        ];
+        let theory = PredTheory::new([], &preds).unwrap();
+        let entailed = Pred { op: CompOp::Lt, lhs: Term::Var(Var(u)), rhs: Term::Var(Var(w)) };
+        prop_assert!(theory.entails(&entailed));
+        let mut bad = preds.clone();
+        bad.push(Pred::lt(Var(w), Var(u)));
+        prop_assert!(!PredTheory::satisfiable(&bad));
+    }
+}

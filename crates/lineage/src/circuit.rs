@@ -1,0 +1,306 @@
+//! Knowledge compilation to an explicit decision-DNNF circuit.
+//!
+//! [`crate::exact`] computes probabilities directly; this module makes the
+//! compilation *artifact* explicit: a circuit with decomposable AND nodes
+//! (children share no event variables) and deterministic decision-OR nodes
+//! (Shannon expansion on one variable). Once compiled, the circuit supports
+//! linear-time weighted model counting under *any* weight assignment —
+//! evaluate once per probability vector instead of recompiling — plus size
+//! accounting for the E7 blow-up experiment.
+
+use crate::dnf::{Clause, Dnf};
+use std::collections::HashMap;
+
+/// A node of the compiled circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    True,
+    False,
+    /// A literal: event `var` with the given polarity.
+    Lit { var: u32, positive: bool },
+    /// Decomposable conjunction — children over disjoint variable sets.
+    And(Vec<NodeId>),
+    /// Shannon decision on `var`: `(var ∧ hi) ∨ (¬var ∧ lo)`.
+    Decision { var: u32, hi: NodeId, lo: NodeId },
+    /// Deterministic disjunction of independent components:
+    /// `¬(¬c1 ∧ ¬c2 ∧ …)` — stored as an OR over variable-disjoint children.
+    Or(Vec<NodeId>),
+}
+
+/// Index into [`Circuit::nodes`].
+pub type NodeId = usize;
+
+/// A compiled decision-DNNF.
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    pub nodes: Vec<Node>,
+    pub root: NodeId,
+}
+
+impl Circuit {
+    /// Number of nodes (the compilation size measure).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of decision nodes.
+    pub fn decisions(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Decision { .. }))
+            .count()
+    }
+
+    /// Weighted model count: probability of the compiled formula under
+    /// per-event marginals. Linear in circuit size.
+    pub fn probability(&self, probs: &[f64]) -> f64 {
+        let mut memo = vec![f64::NAN; self.nodes.len()];
+        for id in 0..self.nodes.len() {
+            memo[id] = match &self.nodes[id] {
+                Node::True => 1.0,
+                Node::False => 0.0,
+                Node::Lit { var, positive } => {
+                    let p = probs[*var as usize];
+                    if *positive {
+                        p
+                    } else {
+                        1.0 - p
+                    }
+                }
+                Node::And(children) => children.iter().map(|&c| memo[c]).product(),
+                Node::Decision { var, hi, lo } => {
+                    let p = probs[*var as usize];
+                    p * memo[*hi] + (1.0 - p) * memo[*lo]
+                }
+                Node::Or(children) => {
+                    1.0 - children.iter().map(|&c| 1.0 - memo[c]).product::<f64>()
+                }
+            };
+        }
+        memo[self.root]
+    }
+}
+
+/// Compile a DNF into a decision-DNNF (same strategy as the direct
+/// evaluator: absorption, independent-component split, Shannon expansion on
+/// the most frequent variable; sub-circuits memoized on the clause set).
+pub fn compile(dnf: &Dnf) -> Circuit {
+    let mut c = Compiler {
+        circuit: Circuit::default(),
+        memo: HashMap::new(),
+    };
+    let mut d = dnf.clone();
+    d.absorb();
+    let root = c.go(&d);
+    c.circuit.root = root;
+    c.circuit
+}
+
+struct Compiler {
+    circuit: Circuit,
+    memo: HashMap<Vec<Clause>, NodeId>,
+}
+
+impl Compiler {
+    fn push(&mut self, n: Node) -> NodeId {
+        self.circuit.nodes.push(n);
+        self.circuit.nodes.len() - 1
+    }
+
+    fn go(&mut self, dnf: &Dnf) -> NodeId {
+        if dnf.is_false() {
+            return self.push(Node::False);
+        }
+        if dnf.is_true() {
+            return self.push(Node::True);
+        }
+        let mut key: Vec<Clause> = dnf.clauses.clone();
+        key.sort();
+        if let Some(&id) = self.memo.get(&key) {
+            return id;
+        }
+        let id = self.build(dnf);
+        self.memo.insert(key, id);
+        id
+    }
+
+    fn build(&mut self, dnf: &Dnf) -> NodeId {
+        // Single clause: decomposable AND of literals.
+        if dnf.clauses.len() == 1 {
+            let lits: Vec<NodeId> = dnf.clauses[0]
+                .lits()
+                .iter()
+                .map(|l| {
+                    self.push(Node::Lit {
+                        var: l.var,
+                        positive: l.positive,
+                    })
+                })
+                .collect();
+            return if lits.len() == 1 {
+                lits[0]
+            } else {
+                self.push(Node::And(lits))
+            };
+        }
+        // Independent components → deterministic OR.
+        let comps = components(dnf);
+        if comps.len() > 1 {
+            let children: Vec<NodeId> = comps.iter().map(|c| self.go(c)).collect();
+            return self.push(Node::Or(children));
+        }
+        // Shannon decision.
+        let v = most_frequent_var(dnf);
+        let mut hi = dnf.condition(v, true);
+        hi.absorb();
+        let mut lo = dnf.condition(v, false);
+        lo.absorb();
+        let hi_id = self.go(&hi);
+        let lo_id = self.go(&lo);
+        self.push(Node::Decision {
+            var: v,
+            hi: hi_id,
+            lo: lo_id,
+        })
+    }
+}
+
+fn most_frequent_var(dnf: &Dnf) -> u32 {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for c in &dnf.clauses {
+        for l in c.lits() {
+            *counts.entry(l.var).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(v, n)| (n, std::cmp::Reverse(v)))
+        .map(|(v, _)| v)
+        .expect("non-constant DNF")
+}
+
+fn components(dnf: &Dnf) -> Vec<Dnf> {
+    let n = dnf.clauses.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut owner: HashMap<u32, usize> = HashMap::new();
+    for (i, c) in dnf.clauses.iter().enumerate() {
+        for l in c.lits() {
+            match owner.get(&l.var) {
+                Some(&j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[a] = b;
+                }
+                None => {
+                    owner.insert(l.var, i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Dnf> = HashMap::new();
+    for (i, c) in dnf.clauses.iter().enumerate() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().clauses.push(c.clone());
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::Lit;
+    use crate::exact::exact_probability;
+
+    fn sample_dnf() -> Dnf {
+        let mut d = Dnf::new();
+        d.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        d.add_clause(vec![Lit::pos(0), Lit::pos(2)]);
+        d.add_clause(vec![Lit::pos(3)]);
+        d
+    }
+
+    #[test]
+    fn compiled_probability_matches_direct_evaluation() {
+        let d = sample_dnf();
+        let circuit = compile(&d);
+        for probs in [
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![0.1, 0.9, 0.3, 0.7],
+            vec![0.99, 0.01, 0.5, 0.25],
+        ] {
+            let direct = exact_probability(&d, &probs);
+            let via_circuit = circuit.probability(&probs);
+            assert!(
+                (direct - via_circuit).abs() < 1e-12,
+                "{direct} vs {via_circuit}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_once_compile_many() {
+        // The point of the artifact: one compilation, many weightings.
+        let d = sample_dnf();
+        let circuit = compile(&d);
+        let p1 = circuit.probability(&[0.2, 0.2, 0.2, 0.2]);
+        let p2 = circuit.probability(&[0.8, 0.8, 0.8, 0.8]);
+        assert!(p2 > p1);
+    }
+
+    #[test]
+    fn constants_compile_to_leaves() {
+        assert_eq!(compile(&Dnf::new()).nodes, vec![Node::False]);
+        let t = compile(&Dnf::truth());
+        assert_eq!(t.nodes[t.root], Node::True);
+    }
+
+    #[test]
+    fn circuit_counts_decisions() {
+        let d = sample_dnf();
+        let circuit = compile(&d);
+        // e0 is shared by two clauses → at least one decision on it; the
+        // e3 clause is an independent component.
+        assert!(circuit.decisions() >= 1);
+        assert!(circuit.size() >= 5);
+    }
+
+    #[test]
+    fn random_formulas_match_direct_evaluator() {
+        let mut seed = 0xabcdef9876543210u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..25 {
+            let n = 7usize;
+            let mut d = Dnf::new();
+            for _ in 0..(1 + next() % 5) {
+                let len = 1 + (next() % 3) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = (next() % n as u64) as u32;
+                        if next() % 2 == 0 {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
+                    .collect();
+                d.add_clause(lits);
+            }
+            let probs: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) / (n as f64 + 1.0)).collect();
+            let direct = exact_probability(&d, &probs);
+            let circuit = compile(&d);
+            let via = circuit.probability(&probs);
+            assert!((direct - via).abs() < 1e-10, "dnf={d}");
+        }
+    }
+}

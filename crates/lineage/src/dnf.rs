@@ -1,0 +1,323 @@
+//! DNF formulas over independent Boolean events.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A literal: event `var` asserted positively or negatively.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Lit {
+    pub var: u32,
+    pub positive: bool,
+}
+
+impl Lit {
+    pub fn pos(var: u32) -> Self {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    pub fn neg(var: u32) -> Self {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    pub fn negated(self) -> Self {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+}
+
+/// A conjunction of literals. Kept sorted and duplicate-free; a clause
+/// containing complementary literals is *contradictory* and is dropped by
+/// [`Dnf::add_clause`].
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Build a clause; returns `None` when contradictory (`x ∧ ¬x`).
+    pub fn new(mut lits: Vec<Lit>) -> Option<Self> {
+        lits.sort();
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var == w[1].var {
+                return None; // complementary pair (dedup removed equals)
+            }
+        }
+        Some(Clause { lits })
+    }
+
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// `self` subsumes `other` when every literal of `self` is in `other`
+    /// (then `other ⇒ self` and `other` is redundant in a DNF containing
+    /// `self`).
+    pub fn subsumes(&self, other: &Clause) -> bool {
+        // Both sorted: linear merge check.
+        let mut it = other.lits.iter();
+        'outer: for l in &self.lits {
+            for m in it.by_ref() {
+                if m == l {
+                    continue 'outer;
+                }
+                if m > l {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Condition on `var := value`. Returns:
+    /// * `None` — clause became false,
+    /// * `Some(clause)` — remaining clause (possibly empty = true).
+    pub fn condition(&self, var: u32, value: bool) -> Option<Clause> {
+        let mut lits = Vec::with_capacity(self.lits.len());
+        for &l in &self.lits {
+            if l.var == var {
+                if l.positive != value {
+                    return None;
+                }
+            } else {
+                lits.push(l);
+            }
+        }
+        Some(Clause { lits })
+    }
+
+    /// Is the clause satisfied by a world given as a presence bitmap?
+    pub fn satisfied_by(&self, world: &[bool]) -> bool {
+        self.lits
+            .iter()
+            .all(|l| world[l.var as usize] == l.positive)
+    }
+
+    /// Probability of the clause under independent events.
+    pub fn prob(&self, probs: &[f64]) -> f64 {
+        self.lits
+            .iter()
+            .map(|l| {
+                let p = probs[l.var as usize];
+                if l.positive {
+                    p
+                } else {
+                    1.0 - p
+                }
+            })
+            .product()
+    }
+}
+
+/// A DNF: disjunction of clauses. `Dnf::default()` is the constant *false*;
+/// a DNF containing the empty clause is the constant *true*.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Dnf {
+    pub clauses: Vec<Clause>,
+}
+
+impl Dnf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The constant-true DNF.
+    pub fn truth() -> Self {
+        Dnf {
+            clauses: vec![Clause { lits: vec![] }],
+        }
+    }
+
+    /// Add a clause from raw literals; contradictory or duplicate clauses
+    /// are silently dropped.
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        if let Some(c) = Clause::new(lits) {
+            if !self.clauses.contains(&c) {
+                self.clauses.push(c);
+            }
+        }
+    }
+
+    pub fn is_false(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    pub fn is_true(&self) -> bool {
+        self.clauses.iter().any(|c| c.is_empty())
+    }
+
+    /// All event variables mentioned.
+    pub fn vars(&self) -> BTreeSet<u32> {
+        self.clauses
+            .iter()
+            .flat_map(|c| c.lits.iter().map(|l| l.var))
+            .collect()
+    }
+
+    /// Largest variable id + 1 (the size a `probs` slice must have).
+    pub fn num_vars(&self) -> usize {
+        self.vars().iter().max().map_or(0, |&v| v as usize + 1)
+    }
+
+    /// Remove subsumed clauses (absorption).
+    pub fn absorb(&mut self) {
+        let mut keep: Vec<Clause> = Vec::new();
+        // Shorter clauses subsume longer ones; process by length.
+        let mut sorted = self.clauses.clone();
+        sorted.sort_by_key(|c| c.len());
+        'outer: for c in sorted {
+            for k in &keep {
+                if k.subsumes(&c) {
+                    continue 'outer;
+                }
+            }
+            keep.push(c);
+        }
+        self.clauses = keep;
+    }
+
+    /// Truth under a world bitmap.
+    pub fn satisfied_by(&self, world: &[bool]) -> bool {
+        self.clauses.iter().any(|c| c.satisfied_by(world))
+    }
+
+    /// Condition every clause on `var := value`.
+    pub fn condition(&self, var: u32, value: bool) -> Dnf {
+        Dnf {
+            clauses: self
+                .clauses
+                .iter()
+                .filter_map(|c| c.condition(var, value))
+                .collect(),
+        }
+    }
+
+    /// Disjunction.
+    pub fn or(&self, other: &Dnf) -> Dnf {
+        let mut out = self.clone();
+        for c in &other.clauses {
+            if !out.clauses.contains(c) {
+                out.clauses.push(c.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_false() {
+            return write!(f, "false");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            if c.is_empty() {
+                write!(f, "true")?;
+            }
+            for (j, l) in c.lits.iter().enumerate() {
+                if j > 0 {
+                    write!(f, "&")?;
+                }
+                if !l.positive {
+                    write!(f, "!")?;
+                }
+                write!(f, "e{}", l.var)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contradictory_clause_dropped() {
+        let mut d = Dnf::new();
+        d.add_clause(vec![Lit::pos(0), Lit::neg(0)]);
+        assert!(d.is_false());
+    }
+
+    #[test]
+    fn duplicate_literals_dedupe() {
+        let c = Clause::new(vec![Lit::pos(1), Lit::pos(1), Lit::pos(0)]).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn truth_and_falsity() {
+        assert!(Dnf::new().is_false());
+        assert!(Dnf::truth().is_true());
+        let mut d = Dnf::new();
+        d.add_clause(vec![Lit::pos(3)]);
+        assert!(!d.is_false() && !d.is_true());
+    }
+
+    #[test]
+    fn subsumption() {
+        let small = Clause::new(vec![Lit::pos(0)]).unwrap();
+        let big = Clause::new(vec![Lit::pos(0), Lit::pos(1)]).unwrap();
+        assert!(small.subsumes(&big));
+        assert!(!big.subsumes(&small));
+        let other = Clause::new(vec![Lit::neg(0), Lit::pos(1)]).unwrap();
+        assert!(!small.subsumes(&other));
+    }
+
+    #[test]
+    fn absorb_removes_supersets() {
+        let mut d = Dnf::new();
+        d.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        d.add_clause(vec![Lit::pos(0)]);
+        d.add_clause(vec![Lit::pos(2), Lit::pos(1)]);
+        d.absorb();
+        assert_eq!(d.clauses.len(), 2);
+    }
+
+    #[test]
+    fn conditioning() {
+        let mut d = Dnf::new();
+        d.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        d.add_clause(vec![Lit::neg(0)]);
+        let t = d.condition(0, true);
+        assert_eq!(t.clauses.len(), 1); // {1}
+        assert_eq!(t.clauses[0].lits(), &[Lit::pos(1)]);
+        let f = d.condition(0, false);
+        assert!(f.is_true()); // ¬e0 clause became empty
+    }
+
+    #[test]
+    fn world_satisfaction() {
+        let mut d = Dnf::new();
+        d.add_clause(vec![Lit::pos(0), Lit::neg(1)]);
+        assert!(d.satisfied_by(&[true, false]));
+        assert!(!d.satisfied_by(&[true, true]));
+        assert!(!d.satisfied_by(&[false, false]));
+    }
+
+    #[test]
+    fn clause_probability() {
+        let c = Clause::new(vec![Lit::pos(0), Lit::neg(1)]).unwrap();
+        let p = c.prob(&[0.5, 0.25]);
+        assert!((p - 0.5 * 0.75).abs() < 1e-12);
+    }
+}

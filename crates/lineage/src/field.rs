@@ -1,0 +1,108 @@
+//! The number-type abstraction for probability computation.
+//!
+//! Every algorithm in this crate is an arithmetic circuit over `(+, ·, 1−x)`
+//! applied to tuple probabilities. [`ProbValue`] captures exactly the
+//! operations those circuits need, so the same evaluator runs on fast `f64`
+//! and on exact [`numeric::QRat`] rationals — the number type the paper's
+//! problem statement is actually about (complexity is measured in the
+//! bit-size of the rational probabilities `p(t)`).
+
+use numeric::QRat;
+use std::fmt::Debug;
+
+/// A probability value: the operations used by the paper's recurrences and
+/// by weighted model counting. Implementations must satisfy the usual
+/// semifield laws with `complement(x) = 1 − x`.
+pub trait ProbValue: Clone + PartialEq + Debug {
+    fn zero() -> Self;
+    fn one() -> Self;
+    fn add(&self, other: &Self) -> Self;
+    fn mul(&self, other: &Self) -> Self;
+    /// `1 − self`.
+    fn complement(&self) -> Self;
+    fn is_zero(&self) -> bool;
+    fn is_one(&self) -> bool;
+    /// Best-effort float view, for diagnostics and cross-checks.
+    fn to_f64(&self) -> f64;
+}
+
+impl ProbValue for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn complement(&self) -> Self {
+        1.0 - self
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    fn is_one(&self) -> bool {
+        *self == 1.0
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl ProbValue for QRat {
+    fn zero() -> Self {
+        QRat::zero()
+    }
+    fn one() -> Self {
+        QRat::one()
+    }
+    fn add(&self, other: &Self) -> Self {
+        self.add_ref(other)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self.mul_ref(other)
+    }
+    fn complement(&self) -> Self {
+        QRat::complement(self)
+    }
+    fn is_zero(&self) -> bool {
+        QRat::is_zero(self)
+    }
+    fn is_one(&self) -> bool {
+        QRat::is_one(self)
+    }
+    fn to_f64(&self) -> f64 {
+        QRat::to_f64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laws<P: ProbValue>(half: P, third: P) {
+        assert!(P::zero().is_zero());
+        assert!(P::one().is_one());
+        assert_eq!(half.add(&P::zero()), half);
+        assert_eq!(half.mul(&P::one()), half);
+        assert_eq!(half.complement().complement(), half);
+        let s = half.add(&third);
+        assert!((s.to_f64() - (0.5 + 1.0 / 3.0)).abs() < 1e-9);
+        let m = half.mul(&third);
+        assert!((m.to_f64() - 0.5 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f64_laws() {
+        laws(0.5f64, 1.0 / 3.0);
+    }
+
+    #[test]
+    fn qrat_laws() {
+        laws(QRat::ratio(1, 2), QRat::ratio(1, 3));
+    }
+}

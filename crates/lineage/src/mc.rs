@@ -1,0 +1,222 @@
+//! Monte-Carlo estimation of DNF probability.
+//!
+//! Two estimators:
+//!
+//! * [`naive_mc`] — sample worlds from the product distribution and count
+//!   how often the DNF is true. Unbiased but needs `Ω(1/P)` samples when the
+//!   answer is small.
+//! * [`karp_luby`] — the Karp–Luby importance sampler, an FPRAS for DNF
+//!   probability: sample a clause proportionally to its weight, complete it
+//!   to a world, and count the sample iff the chosen clause is the *first*
+//!   satisfied clause. Relative error is controlled independently of how
+//!   small the answer is.
+//!
+//! This pair is the paper's practical foil: MystiQ (§1) falls back to
+//! "a Monte Carlo simulation algorithm" for unsafe queries, and the observed
+//! 1–2 orders of magnitude gap versus safe plans is experiment E4.
+
+use crate::dnf::Dnf;
+use rand::Rng;
+
+/// A Monte-Carlo estimate with its standard error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct McEstimate {
+    pub estimate: f64,
+    /// Standard error of the mean (σ/√n).
+    pub std_error: f64,
+    pub samples: u64,
+}
+
+impl McEstimate {
+    /// Half-width of the 95% normal confidence interval.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.std_error
+    }
+}
+
+/// Naive Monte Carlo: sample independent worlds, average DNF truth.
+pub fn naive_mc<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> McEstimate {
+    if dnf.is_false() {
+        return McEstimate {
+            estimate: 0.0,
+            std_error: 0.0,
+            samples,
+        };
+    }
+    let n = probs.len().max(dnf.num_vars());
+    let mut world = vec![false; n];
+    let mut hits = 0u64;
+    for _ in 0..samples {
+        for (i, w) in world.iter_mut().enumerate() {
+            let p = probs.get(i).copied().unwrap_or(0.0);
+            *w = rng.gen::<f64>() < p;
+        }
+        if dnf.satisfied_by(&world) {
+            hits += 1;
+        }
+    }
+    let est = hits as f64 / samples as f64;
+    McEstimate {
+        estimate: est,
+        std_error: (est * (1.0 - est) / samples as f64).sqrt(),
+        samples,
+    }
+}
+
+/// Karp–Luby importance sampling for `P(dnf)`.
+///
+/// Let `w_i = P(clause_i)` and `W = Σ w_i`. Draw clause `i ∝ w_i`, draw the
+/// remaining events independently, and score `W · 1[i = min{ j : world ⊨
+/// clause_j }]`. The score is an unbiased estimator of `P(⋁ clauses)` with
+/// variance at most `W²/4 ≤ (m·P)²/4`, giving an FPRAS.
+pub fn karp_luby<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> McEstimate {
+    if dnf.is_false() {
+        return McEstimate {
+            estimate: 0.0,
+            std_error: 0.0,
+            samples,
+        };
+    }
+    if dnf.is_true() {
+        return McEstimate {
+            estimate: 1.0,
+            std_error: 0.0,
+            samples,
+        };
+    }
+    let n = probs.len().max(dnf.num_vars());
+    let weights: Vec<f64> = dnf.clauses.iter().map(|c| c.prob(probs)).collect();
+    let total_w: f64 = weights.iter().sum();
+    if total_w == 0.0 {
+        return McEstimate {
+            estimate: 0.0,
+            std_error: 0.0,
+            samples,
+        };
+    }
+    // Cumulative distribution for clause sampling.
+    let mut cum = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total_w;
+        cum.push(acc);
+    }
+
+    let mut world = vec![false; n];
+    let mut hits = 0u64;
+    for _ in 0..samples {
+        // Pick a clause proportionally to its weight.
+        let u: f64 = rng.gen();
+        let idx = match cum.iter().position(|&c| u <= c) {
+            Some(i) => i,
+            None => cum.len() - 1,
+        };
+        // Sample a world conditioned on clause idx being true.
+        for (i, w) in world.iter_mut().enumerate() {
+            let p = probs.get(i).copied().unwrap_or(0.0);
+            *w = rng.gen::<f64>() < p;
+        }
+        for l in dnf.clauses[idx].lits() {
+            world[l.var as usize] = l.positive;
+        }
+        // Count iff idx is the first satisfied clause.
+        let first = dnf
+            .clauses
+            .iter()
+            .position(|c| c.satisfied_by(&world))
+            .expect("sampled clause is satisfied");
+        if first == idx {
+            hits += 1;
+        }
+    }
+    let frac = hits as f64 / samples as f64;
+    let est = total_w * frac;
+    let se = total_w * (frac * (1.0 - frac) / samples as f64).sqrt();
+    McEstimate {
+        estimate: est.min(1.0),
+        std_error: se,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::Lit;
+    use crate::exact::exact_probability;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_dnf(k: usize) -> (Dnf, Vec<f64>) {
+        // (e0 ∧ e1) ∨ (e1 ∧ e2) ∨ … — overlapping clauses.
+        let mut d = Dnf::new();
+        for i in 0..k {
+            d.add_clause(vec![Lit::pos(i as u32), Lit::pos(i as u32 + 1)]);
+        }
+        let probs = (0..=k).map(|i| 0.2 + 0.05 * (i % 7) as f64).collect();
+        (d, probs)
+    }
+
+    #[test]
+    fn naive_mc_converges() {
+        let (d, probs) = chain_dnf(6);
+        let exact = exact_probability(&d, &probs);
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = naive_mc(&d, &probs, 200_000, &mut rng);
+        assert!(
+            (est.estimate - exact).abs() < 5.0 * est.std_error.max(1e-3),
+            "exact={exact} est={est:?}"
+        );
+    }
+
+    #[test]
+    fn karp_luby_converges() {
+        let (d, probs) = chain_dnf(6);
+        let exact = exact_probability(&d, &probs);
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = karp_luby(&d, &probs, 100_000, &mut rng);
+        assert!(
+            (est.estimate - exact).abs() < 5.0 * est.std_error.max(1e-3),
+            "exact={exact} est={est:?}"
+        );
+    }
+
+    #[test]
+    fn karp_luby_handles_tiny_probabilities() {
+        // P ≈ 1e-6: naive MC with few samples sees nothing, Karp–Luby still
+        // achieves small relative error.
+        let mut d = Dnf::new();
+        d.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        let probs = [1e-3, 1e-3];
+        let exact = 1e-6;
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = karp_luby(&d, &probs, 10_000, &mut rng);
+        assert!(
+            (est.estimate - exact).abs() / exact < 0.05,
+            "est={est:?} exact={exact}"
+        );
+    }
+
+    #[test]
+    fn constants_short_circuit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            karp_luby(&Dnf::new(), &[], 10, &mut rng).estimate,
+            0.0
+        );
+        assert_eq!(
+            karp_luby(&Dnf::truth(), &[], 10, &mut rng).estimate,
+            1.0
+        );
+        assert_eq!(naive_mc(&Dnf::new(), &[], 10, &mut rng).estimate, 0.0);
+    }
+
+    #[test]
+    fn estimates_report_sample_count_and_ci() {
+        let (d, probs) = chain_dnf(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = naive_mc(&d, &probs, 1000, &mut rng);
+        assert_eq!(est.samples, 1000);
+        assert!(est.ci95() >= est.std_error);
+    }
+}

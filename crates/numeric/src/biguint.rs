@@ -1,0 +1,658 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Little-endian `u32` limbs with no leading zero limb (canonical form:
+//! `0` is the empty limb vector). Sizes in this workspace stay modest (a few
+//! thousand bits at most — products of tuple probabilities over explicit
+//! world enumerations), so the implementation favours clarity: schoolbook
+//! multiplication, word-by-word long division with a binary-search quotient
+//! limb, and binary GCD.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Shl, Shr, Sub};
+
+const BASE_BITS: u32 = 32;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs, canonical (no trailing zero limb).
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    pub fn from_u64(v: u64) -> Self {
+        let lo = (v & 0xffff_ffff) as u32;
+        let hi = (v >> 32) as u32;
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
+        n.trim();
+        n
+    }
+
+    /// The value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Test bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / BASE_BITS as u64) as usize;
+        let off = (i % BASE_BITS as u64) as u32;
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
+    }
+
+    /// `self + other`.
+    pub fn add_ref(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in long.iter().enumerate() {
+            let s = l as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        let mut n = BigUint { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    /// If `other > self` (unsigned subtraction must not underflow).
+    pub fn sub_ref(&self, other: &BigUint) -> BigUint {
+        assert!(
+            *self >= *other,
+            "BigUint subtraction underflow: {self} - {other}"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// Schoolbook `self * other`.
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// Multiply by a single `u32` limb.
+    pub fn mul_u32(&self, m: u32) -> BigUint {
+        if m == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            let cur = l as u64 * m as u64 + carry;
+            out.push(cur as u32);
+            carry = cur >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// Divide by a single `u32` limb, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// If `d == 0`.
+    pub fn divrem_u32(&self, d: u32) -> (BigUint, u32) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | self.limbs[i] as u64;
+            out[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        let mut q = BigUint { limbs: out };
+        q.trim();
+        (q, rem as u32)
+    }
+
+    /// Long division: `(self / other, self % other)`.
+    ///
+    /// ```
+    /// use numeric::BigUint;
+    /// let a = BigUint::from_decimal("123456789012345678901234567890").unwrap();
+    /// let b = BigUint::from_u64(97);
+    /// let (q, r) = a.divrem(&b);
+    /// assert_eq!(&q.mul_ref(&b) + &r, a);
+    /// assert!(r < b);
+    /// ```
+    ///
+    /// # Panics
+    /// If `other` is zero.
+    pub fn divrem(&self, other: &BigUint) -> (BigUint, BigUint) {
+        assert!(!other.is_zero(), "division by zero");
+        match self.cmp(other) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if other.limbs.len() == 1 {
+            let (q, r) = self.divrem_u32(other.limbs[0]);
+            return (q, BigUint::from_u64(r as u64));
+        }
+        // Word-at-a-time long division. Build the quotient limb by limb from
+        // the most significant end; each quotient limb is found by binary
+        // search over `0..=u32::MAX` (a correct, simple stand-in for Knuth's
+        // two-limb estimate — at most 32 comparisons of short products).
+        let n = self.limbs.len();
+        let mut quotient = vec![0u32; n];
+        let mut rem = BigUint::zero();
+        for i in (0..n).rev() {
+            // rem = rem * 2^32 + limb_i
+            rem.limbs.insert(0, self.limbs[i]);
+            rem.trim();
+            if rem.cmp(other) == Ordering::Less {
+                continue;
+            }
+            let (mut lo, mut hi) = (1u64, u32::MAX as u64);
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if other.mul_u32(mid as u32) <= rem {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            quotient[i] = lo as u32;
+            rem = rem.sub_ref(&other.mul_u32(lo as u32));
+        }
+        let mut q = BigUint { limbs: quotient };
+        q.trim();
+        (q, rem)
+    }
+
+    /// Greatest common divisor (binary GCD: shifts and subtractions only).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let shift = a.trailing_zeros().min(b.trailing_zeros());
+        a = a.shr_bits(a.trailing_zeros());
+        loop {
+            b = b.shr_bits(b.trailing_zeros());
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub_ref(&a);
+            if b.is_zero() {
+                return a.shl_bits(shift);
+            }
+        }
+    }
+
+    /// Count of trailing zero bits (`0` for zero).
+    pub fn trailing_zeros(&self) -> u64 {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i as u64 * BASE_BITS as u64 + l.trailing_zeros() as u64;
+            }
+        }
+        0
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: u64) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / BASE_BITS as u64) as usize;
+        let bit_shift = (bits % BASE_BITS as u64) as u32;
+        let mut out = vec![0u32; limb_shift];
+        let mut carry = 0u32;
+        for &l in &self.limbs {
+            if bit_shift == 0 {
+                out.push(l);
+            } else {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr_bits(&self, bits: u64) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / BASE_BITS as u64) as usize;
+        let bit_shift = (bits % BASE_BITS as u64) as u32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut l = self.limbs[i] >> bit_shift;
+            if bit_shift != 0 {
+                if let Some(&next) = self.limbs.get(i + 1) {
+                    l |= next << (32 - bit_shift);
+                }
+            }
+            out.push(l);
+        }
+        let mut n = BigUint { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// `self^exp` by square-and-multiply.
+    pub fn pow(&self, mut exp: u64) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        acc
+    }
+
+    /// Best-effort conversion to `f64` (may round or overflow to `inf`).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            v = v * 4294967296.0 + l as f64;
+        }
+        v
+    }
+
+    /// Parse a decimal string.
+    pub fn from_decimal(s: &str) -> Option<BigUint> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut n = BigUint::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10)?;
+            n = n.mul_u32(10).add_ref(&BigUint::from_u64(d as u64));
+        }
+        Some(n)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut n = self.clone();
+        while !n.is_zero() {
+            let (q, r) = n.divrem_u32(10);
+            digits.push(char::from_digit(r, 10).expect("digit"));
+            n = q;
+        }
+        let s: String = digits.into_iter().rev().collect();
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        self.add_ref(rhs)
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.sub_ref(rhs)
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u64) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u64) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn construction_and_canonical_form() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(big(0), BigUint::zero());
+        assert_eq!(big(1).to_u64(), Some(1));
+        assert_eq!(big(u64::MAX).to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn add_sub_roundtrip_small() {
+        let a = big(123456789);
+        let b = big(987654321);
+        assert_eq!((&a + &b).to_u64(), Some(1111111110));
+        assert_eq!((&(&a + &b) - &b), a);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = big(u64::MAX);
+        let s = &a + &BigUint::one();
+        assert_eq!(s.bits(), 65);
+        assert_eq!(&s - &BigUint::one(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &big(1) - &big(2);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0xdead_beef_cafe_u64;
+        let b = 0x1234_5678_9abc_u64;
+        let p = big(a).mul_ref(&big(b));
+        let expected = a as u128 * b as u128;
+        assert_eq!(p.to_string(), expected.to_string());
+    }
+
+    #[test]
+    fn divrem_invariant_small() {
+        let a = big(1_000_000_007);
+        let b = big(97);
+        let (q, r) = a.divrem(&b);
+        assert_eq!(&q.mul_ref(&b) + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn divrem_multi_limb() {
+        // (2^200 + 12345) / (2^100 + 7)
+        let a = &BigUint::one().shl_bits(200) + &big(12345);
+        let b = &BigUint::one().shl_bits(100) + &big(7);
+        let (q, r) = a.divrem(&b);
+        assert_eq!(&q.mul_ref(&b) + &r, a);
+        assert!(r < b);
+        assert!(q.bits() >= 100);
+    }
+
+    #[test]
+    fn divide_by_larger_is_zero() {
+        let (q, r) = big(5).divrem(&big(100));
+        assert!(q.is_zero());
+        assert_eq!(r, big(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(5).divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+        assert_eq!(big(48).gcd(&big(36)), big(12));
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = big(0x1234_5678_9abc_def0);
+        assert_eq!(a.shl_bits(67).shr_bits(67), a);
+        assert_eq!(a.shl_bits(1), big(0x1234_5678_9abc_def0).mul_u32(2));
+        assert_eq!(big(1).shl_bits(32).to_u64(), Some(1 << 32));
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(big(2).pow(10), big(1024));
+        assert_eq!(big(3).pow(0), BigUint::one());
+        assert_eq!(big(10).pow(20).to_string(), "100000000000000000000");
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        let s = "123456789012345678901234567890";
+        let n = BigUint::from_decimal(s).unwrap();
+        assert_eq!(n.to_string(), s);
+        assert!(BigUint::from_decimal("12a").is_none());
+        assert!(BigUint::from_decimal("").is_none());
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        assert_eq!(big(1 << 52).to_f64(), (1u64 << 52) as f64);
+        let huge = BigUint::one().shl_bits(64);
+        assert!((huge.to_f64() - 2f64.powi(64)).abs() < 1e4);
+    }
+
+    #[test]
+    fn bit_access() {
+        let a = big(0b1010);
+        assert!(!a.bit(0));
+        assert!(a.bit(1));
+        assert!(!a.bit(2));
+        assert!(a.bit(3));
+        assert!(!a.bit(100));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(&big(a) + &big(b), &big(b) + &big(a));
+        }
+
+        #[test]
+        fn prop_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let s = &big(a) + &big(b);
+            prop_assert_eq!(s.to_string(), (a as u128 + b as u128).to_string());
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let p = big(a).mul_ref(&big(b));
+            prop_assert_eq!(p.to_string(), (a as u128 * b as u128).to_string());
+        }
+
+        #[test]
+        fn prop_divrem_invariant(a in any::<u64>(), b in 1..=u64::MAX) {
+            let (q, r) = big(a).divrem(&big(b));
+            prop_assert_eq!(&q.mul_ref(&big(b)) + &r, big(a));
+            prop_assert!(r < big(b));
+        }
+
+        #[test]
+        fn prop_divrem_invariant_wide(
+            a1 in any::<u64>(), a2 in any::<u64>(), b in 1..=u64::MAX
+        ) {
+            // a = a1 * 2^64 + a2: exercises multi-limb division.
+            let a = &big(a1).shl_bits(64) + &big(a2);
+            let (q, r) = a.divrem(&big(b));
+            prop_assert_eq!(&q.mul_ref(&big(b)) + &r, a);
+            prop_assert!(r < big(b));
+        }
+
+        #[test]
+        fn prop_gcd_divides_both(a in 1..=u64::MAX, b in 1..=u64::MAX) {
+            let g = big(a).gcd(&big(b));
+            prop_assert!(!g.is_zero());
+            prop_assert!(big(a).divrem(&g).1.is_zero());
+            prop_assert!(big(b).divrem(&g).1.is_zero());
+        }
+
+        #[test]
+        fn prop_gcd_matches_euclid(a in any::<u64>(), b in any::<u64>()) {
+            fn euclid(mut a: u64, mut b: u64) -> u64 {
+                while b != 0 { let t = a % b; a = b; b = t; }
+                a
+            }
+            prop_assert_eq!(big(a).gcd(&big(b)), big(euclid(a, b)));
+        }
+
+        #[test]
+        fn prop_decimal_roundtrip(a in any::<u64>()) {
+            let n = big(a);
+            prop_assert_eq!(BigUint::from_decimal(&n.to_string()).unwrap(), n);
+        }
+
+        #[test]
+        fn prop_shift_is_pow2_mul(a in any::<u64>(), s in 0u64..100) {
+            prop_assert_eq!(big(a).shl_bits(s), big(a).mul_ref(&big(2).pow(s)));
+        }
+
+        #[test]
+        fn prop_cmp_matches_u64(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Exact arbitrary-precision arithmetic for probabilistic-database
+//! computations.
+//!
+//! The paper's problem statement (§1) defines a tuple-independent
+//! probabilistic structure as a pair `(A, p)` where `p` assigns each tuple a
+//! *rational* number in `[0,1]`, and measures data complexity "in the size
+//! of `A` *and in the size of the representations of the rational numbers
+//! `p(t)`*". Floating point cannot honour that contract: the PTIME claims
+//! are about exact rational arithmetic whose bit-size grows polynomially.
+//! This crate supplies the substrate — unsigned/signed big integers and
+//! normalized rationals — with no dependencies, so the rest of the workspace
+//! can evaluate probabilities *exactly* and count substructures (the
+//! `p = 1/2` specialization from the paper's conclusions) without overflow.
+//!
+//! # Quick example
+//!
+//! ```
+//! use numeric::QRat;
+//!
+//! let half = QRat::ratio(1, 2);
+//! let third = QRat::ratio(1, 3);
+//! let p = &half + &(&third * &half); // 1/2 + 1/6 = 2/3
+//! assert_eq!(p, QRat::ratio(2, 3));
+//! assert!((p.to_f64() - 2.0 / 3.0).abs() < 1e-15);
+//! ```
+
+mod biguint;
+mod int;
+mod rational;
+
+pub use biguint::BigUint;
+pub use int::BigInt;
+pub use rational::QRat;
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sign {
+    Negative,
+    Zero,
+    Positive,
+}
+
+impl Sign {
+    /// Product-of-signs, treating `Zero` as absorbing.
+    #[allow(clippy::should_implement_trait)] // deliberate: `Sign` is not a number
+    pub fn mul(self, other: Sign) -> Sign {
+        use Sign::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (Positive, Positive) | (Negative, Negative) => Positive,
+            _ => Negative,
+        }
+    }
+
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_algebra() {
+        assert_eq!(Sign::Positive.mul(Sign::Negative), Sign::Negative);
+        assert_eq!(Sign::Negative.mul(Sign::Negative), Sign::Positive);
+        assert_eq!(Sign::Zero.mul(Sign::Negative), Sign::Zero);
+        assert_eq!(Sign::Positive.negate(), Sign::Negative);
+        assert_eq!(Sign::Zero.negate(), Sign::Zero);
+    }
+}

@@ -1,0 +1,432 @@
+//! Exact rational numbers.
+//!
+//! [`QRat`] is a normalized fraction `sign · num/den` with `gcd(num, den) = 1`
+//! and `den > 0`. This is the number type the paper's problem statement
+//! actually speaks about: tuple probabilities `p(t) ∈ [0,1]` are rationals,
+//! and the PTIME algorithms stay polynomial *in the bit-size of these
+//! rationals* because every recurrence is a fixed arithmetic circuit over
+//! them.
+
+use crate::{BigInt, BigUint, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A normalized arbitrary-precision rational.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct QRat {
+    /// Signed numerator (carries the sign of the whole fraction).
+    num: BigInt,
+    /// Positive denominator, coprime with `|num|`; `1` when `num` is zero.
+    den: BigUint,
+}
+
+impl QRat {
+    pub fn zero() -> Self {
+        QRat {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    pub fn one() -> Self {
+        QRat {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// `n / d` as an exact rational.
+    ///
+    /// # Panics
+    /// If `d == 0`.
+    pub fn ratio(n: i64, d: i64) -> Self {
+        assert!(d != 0, "zero denominator");
+        let sign_flip = d < 0;
+        let num = BigInt::from_i64(if sign_flip { -n } else { n });
+        let den = BigUint::from_u64(d.unsigned_abs());
+        QRat::from_parts(num, den)
+    }
+
+    pub fn from_int(n: i64) -> Self {
+        QRat {
+            num: BigInt::from_i64(n),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Build and normalize from a signed numerator and positive denominator.
+    ///
+    /// # Panics
+    /// If `den == 0`.
+    pub fn from_parts(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "zero denominator");
+        if num.is_zero() {
+            return QRat::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        let mag = num.magnitude().divrem(&g).0;
+        let den = den.divrem(&g).0;
+        QRat {
+            num: BigInt::from_biguint(num.sign(), mag),
+            den,
+        }
+    }
+
+    /// Interpret an `f64` that is an exact dyadic rational (every finite
+    /// `f64` is) as a `QRat`. This is lossless: `q.to_f64() == f` up to the
+    /// usual float rounding when the mantissa fits, and the rational equals
+    /// the *exact* value of the float bit pattern.
+    ///
+    /// # Panics
+    /// If `f` is not finite.
+    pub fn from_f64_exact(f: f64) -> Self {
+        assert!(f.is_finite(), "non-finite float {f}");
+        if f == 0.0 {
+            return QRat::zero();
+        }
+        let bits = f.to_bits();
+        let sign = if bits >> 63 == 1 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        let exp_raw = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & 0xf_ffff_ffff_ffff;
+        // value = mantissa * 2^exp
+        let (mantissa, exp) = if exp_raw == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | (1 << 52), exp_raw - 1075)
+        };
+        let m = BigUint::from_u64(mantissa);
+        if exp >= 0 {
+            QRat::from_parts(
+                BigInt::from_biguint(sign, m.shl_bits(exp as u64)),
+                BigUint::one(),
+            )
+        } else {
+            QRat::from_parts(
+                BigInt::from_biguint(sign, m),
+                BigUint::one().shl_bits((-exp) as u64),
+            )
+        }
+    }
+
+    pub fn numerator(&self) -> &BigInt {
+        &self.num
+    }
+
+    pub fn denominator(&self) -> &BigUint {
+        &self.den
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    pub fn is_one(&self) -> bool {
+        self.num == BigInt::one() && self.den.is_one()
+    }
+
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Best-effort conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale so both operands fit comfortably in f64 before dividing.
+        let nbits = self.num.magnitude().bits();
+        let dbits = self.den.bits();
+        let shift = nbits.max(dbits).saturating_sub(500);
+        let n = self.num.magnitude().shr_bits(shift).to_f64();
+        let d = self.den.shr_bits(shift).to_f64();
+        let v = if d == 0.0 { f64::INFINITY } else { n / d };
+        match self.num.sign() {
+            Sign::Negative => -v,
+            _ => v,
+        }
+    }
+
+    pub fn add_ref(&self, other: &QRat) -> QRat {
+        // a/b + c/d = (a·d + c·b) / (b·d)
+        let ad = self.num.mul_ref(&BigInt::from_biguint(
+            Sign::Positive,
+            other.den.clone(),
+        ));
+        let cb = other
+            .num
+            .mul_ref(&BigInt::from_biguint(Sign::Positive, self.den.clone()));
+        QRat::from_parts(ad.add_ref(&cb), self.den.mul_ref(&other.den))
+    }
+
+    pub fn sub_ref(&self, other: &QRat) -> QRat {
+        self.add_ref(&other.clone().neg())
+    }
+
+    pub fn mul_ref(&self, other: &QRat) -> QRat {
+        QRat::from_parts(self.num.mul_ref(&other.num), self.den.mul_ref(&other.den))
+    }
+
+    /// Exact division.
+    ///
+    /// # Panics
+    /// If `other` is zero.
+    pub fn div_ref(&self, other: &QRat) -> QRat {
+        assert!(!other.is_zero(), "division by zero rational");
+        let num = self.num.mul_ref(&BigInt::from_biguint(
+            Sign::Positive,
+            other.den.clone(),
+        ));
+        let den = self.den.mul_ref(other.num.magnitude());
+        let sign = self.num.sign().mul(other.num.sign());
+        QRat::from_parts(
+            BigInt::from_biguint(
+                if num.is_zero() { Sign::Zero } else { sign },
+                num.magnitude().clone(),
+            ),
+            den,
+        )
+    }
+
+    /// `1 − self`: the complement, ubiquitous in the paper's recurrences.
+    ///
+    /// ```
+    /// use numeric::QRat;
+    /// assert_eq!(QRat::ratio(1, 3).complement(), QRat::ratio(2, 3));
+    /// ```
+    pub fn complement(&self) -> QRat {
+        QRat::one().sub_ref(self)
+    }
+
+    /// `self^exp`.
+    pub fn pow(&self, exp: u64) -> QRat {
+        let mut acc = QRat::one();
+        for _ in 0..exp {
+            acc = acc.mul_ref(self);
+        }
+        acc
+    }
+
+    /// Is this a probability, i.e. in `[0, 1]`?
+    pub fn is_probability(&self) -> bool {
+        self.sign() != Sign::Negative && *self <= QRat::one()
+    }
+}
+
+impl Neg for QRat {
+    type Output = QRat;
+    fn neg(self) -> QRat {
+        QRat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Add for &QRat {
+    type Output = QRat;
+    fn add(self, rhs: &QRat) -> QRat {
+        self.add_ref(rhs)
+    }
+}
+
+impl Sub for &QRat {
+    type Output = QRat;
+    fn sub(self, rhs: &QRat) -> QRat {
+        self.sub_ref(rhs)
+    }
+}
+
+impl Mul for &QRat {
+    type Output = QRat;
+    fn mul(self, rhs: &QRat) -> QRat {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Div for &QRat {
+    type Output = QRat;
+    fn div(self, rhs: &QRat) -> QRat {
+        self.div_ref(rhs)
+    }
+}
+
+impl Ord for QRat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  ⇔  a·d vs c·b (b, d > 0).
+        let lhs = self.num.mul_ref(&BigInt::from_biguint(
+            Sign::Positive,
+            other.den.clone(),
+        ));
+        let rhs = other
+            .num
+            .mul_ref(&BigInt::from_biguint(Sign::Positive, self.den.clone()));
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for QRat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for QRat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for QRat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn q(n: i64, d: i64) -> QRat {
+        QRat::ratio(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(q(2, 4), q(1, 2));
+        assert_eq!(q(-2, 4), q(1, -2));
+        assert_eq!(q(0, 7), QRat::zero());
+        assert_eq!(q(6, 3).to_string(), "2");
+        assert_eq!(q(-1, 3).to_string(), "-1/3");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(&q(1, 2) + &q(1, 3), q(5, 6));
+        assert_eq!(&q(1, 2) - &q(1, 3), q(1, 6));
+        assert_eq!(&q(2, 3) * &q(3, 4), q(1, 2));
+        assert_eq!(&q(1, 2) / &q(1, 4), q(2, 1));
+        assert_eq!(&q(-1, 2) / &q(1, 4), q(-2, 1));
+    }
+
+    #[test]
+    fn complement_and_pow() {
+        assert_eq!(q(1, 3).complement(), q(2, 3));
+        assert_eq!(QRat::one().complement(), QRat::zero());
+        assert_eq!(q(1, 2).pow(3), q(1, 8));
+        assert_eq!(q(2, 3).pow(0), QRat::one());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(q(1, 3) < q(1, 2));
+        assert!(q(-1, 2) < q(0, 1));
+        assert!(q(7, 7) == QRat::one());
+        assert!(q(1, 2).is_probability());
+        assert!(!q(3, 2).is_probability());
+        assert!(!q(-1, 2).is_probability());
+    }
+
+    #[test]
+    fn from_f64_exact_dyadics() {
+        assert_eq!(QRat::from_f64_exact(0.5), q(1, 2));
+        assert_eq!(QRat::from_f64_exact(0.25), q(1, 4));
+        assert_eq!(QRat::from_f64_exact(-1.5), q(-3, 2));
+        assert_eq!(QRat::from_f64_exact(0.0), QRat::zero());
+        assert_eq!(QRat::from_f64_exact(3.0), QRat::from_int(3));
+    }
+
+    #[test]
+    fn from_f64_exact_roundtrips_via_to_f64() {
+        for f in [0.1, 0.7, 1e-10, 123.456, 1e15] {
+            let r = QRat::from_f64_exact(f);
+            assert_eq!(r.to_f64(), f, "roundtrip for {f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn from_f64_rejects_nan() {
+        let _ = QRat::from_f64_exact(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = &q(1, 2) / &QRat::zero();
+    }
+
+    #[test]
+    fn to_f64_large_values() {
+        // 10^30 / (10^30 + 1) ≈ 1.
+        let n = BigUint::from_decimal("1000000000000000000000000000000").unwrap();
+        let d = n.add_ref(&BigUint::one());
+        let r = QRat::from_parts(BigInt::from_biguint(Sign::Positive, n), d);
+        assert!((r.to_f64() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(
+            a in -1000i64..1000, b in 1i64..1000,
+            c in -1000i64..1000, d in 1i64..1000,
+            e in -1000i64..1000, f in 1i64..1000,
+        ) {
+            let (x, y, z) = (q(a, b), q(c, d), q(e, f));
+            prop_assert_eq!(&x + &y, &y + &x);
+            prop_assert_eq!(&x * &y, &y * &x);
+            prop_assert_eq!(&(&x + &y) + &z, &x + &(&y + &z));
+            prop_assert_eq!(&(&x * &y) * &z, &x * &(&y * &z));
+            prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+            prop_assert_eq!(&x + &QRat::zero(), x.clone());
+            prop_assert_eq!(&x * &QRat::one(), x.clone());
+        }
+
+        #[test]
+        fn prop_sub_div_inverses(
+            a in -1000i64..1000, b in 1i64..1000,
+            c in -1000i64..1000, d in 1i64..1000,
+        ) {
+            let (x, y) = (q(a, b), q(c, d));
+            prop_assert_eq!(&(&x - &y) + &y, x.clone());
+            if !y.is_zero() {
+                prop_assert_eq!(&(&x / &y) * &y, x);
+            }
+        }
+
+        #[test]
+        fn prop_cmp_matches_f64(
+            a in -1000i64..1000, b in 1i64..1000,
+            c in -1000i64..1000, d in 1i64..1000,
+        ) {
+            let exact = q(a, b).cmp(&q(c, d));
+            let float = (a as f64 / b as f64)
+                .partial_cmp(&(c as f64 / d as f64))
+                .unwrap();
+            // f64 has plenty of precision for 10-bit numerators.
+            prop_assert_eq!(exact, float);
+        }
+
+        #[test]
+        fn prop_to_f64_close(a in -10_000i64..10_000, b in 1i64..10_000) {
+            let r = q(a, b);
+            let f = a as f64 / b as f64;
+            prop_assert!((r.to_f64() - f).abs() <= f.abs() * 1e-12 + 1e-300);
+        }
+
+        #[test]
+        fn prop_from_f64_exact_value(bits in any::<u32>()) {
+            // Restrict to simple dyadics p/2^k in [0,1].
+            let k = (bits % 20) as i64;
+            let p = (bits >> 8) as i64 % (1i64 << k.min(31));
+            let f = p as f64 / (1i64 << k) as f64;
+            prop_assert_eq!(QRat::from_f64_exact(f), q(p, 1i64 << k));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The tuple-independent probabilistic structure `(A, p)`.
+
+use cq::{Query, RelId, Value, Vocabulary};
+use std::collections::{BTreeSet, HashMap};
+
+/// Index of a tuple within a [`ProbDb`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TupleId(pub u32);
+
+/// A possible tuple with its marginal probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbTuple {
+    pub rel: RelId,
+    pub args: Vec<Value>,
+    pub prob: f64,
+}
+
+/// A tuple-independent probabilistic structure (§1): a finite first-order
+/// structure together with a probability `p(t) ∈ [0,1]` for every tuple.
+/// Tuples not present have probability 0. The induced distribution over
+/// sub-structures is the product distribution of Eq. 1.
+#[derive(Clone, Debug, Default)]
+pub struct ProbDb {
+    pub voc: Vocabulary,
+    tuples: Vec<ProbTuple>,
+    index: HashMap<(RelId, Vec<Value>), TupleId>,
+    by_rel: HashMap<RelId, Vec<TupleId>>,
+}
+
+impl ProbDb {
+    pub fn new(voc: Vocabulary) -> Self {
+        ProbDb {
+            voc,
+            tuples: Vec::new(),
+            index: HashMap::new(),
+            by_rel: HashMap::new(),
+        }
+    }
+
+    /// Insert (or overwrite) a tuple with probability `prob`.
+    ///
+    /// # Panics
+    /// If the arity disagrees with the vocabulary or `prob ∉ [0,1]`.
+    pub fn insert(&mut self, rel: RelId, args: Vec<Value>, prob: f64) -> TupleId {
+        assert_eq!(
+            args.len(),
+            self.voc.arity(rel),
+            "arity mismatch inserting into {}",
+            self.voc.rel_name(rel)
+        );
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "tuple probability {prob} outside [0,1]"
+        );
+        if let Some(&id) = self.index.get(&(rel, args.clone())) {
+            self.tuples[id.0 as usize].prob = prob;
+            return id;
+        }
+        let id = TupleId(self.tuples.len() as u32);
+        self.index.insert((rel, args.clone()), id);
+        self.by_rel.entry(rel).or_default().push(id);
+        self.tuples.push(ProbTuple { rel, args, prob });
+        id
+    }
+
+    /// Convenience: insert resolving the relation by name.
+    pub fn insert_named(&mut self, rel: &str, args: Vec<Value>, prob: f64) -> TupleId {
+        let id = self
+            .voc
+            .relation(rel, args.len())
+            .expect("relation arity clash");
+        self.insert(id, args, prob)
+    }
+
+    pub fn num_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn tuples(&self) -> &[ProbTuple] {
+        &self.tuples
+    }
+
+    pub fn tuple(&self, id: TupleId) -> &ProbTuple {
+        &self.tuples[id.0 as usize]
+    }
+
+    /// Ids of the possible tuples of relation `rel`.
+    pub fn tuples_of(&self, rel: RelId) -> &[TupleId] {
+        self.by_rel.get(&rel).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Look up a tuple id by content.
+    pub fn find(&self, rel: RelId, args: &[Value]) -> Option<TupleId> {
+        self.index.get(&(rel, args.to_vec())).copied()
+    }
+
+    /// Marginal probability of a (possibly absent) tuple.
+    pub fn prob_of(&self, rel: RelId, args: &[Value]) -> f64 {
+        match self.find(rel, args) {
+            Some(id) => self.tuples[id.0 as usize].prob,
+            None => 0.0,
+        }
+    }
+
+    /// The active domain: every value occurring in some possible tuple.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.tuples
+            .iter()
+            .flat_map(|t| t.args.iter().copied())
+            .collect()
+    }
+
+    /// Active domain extended with the constants of a query — the range the
+    /// paper's recurrences iterate over (`Π_{a∈A}` in Eq. 3).
+    pub fn eval_domain(&self, q: &Query) -> BTreeSet<Value> {
+        let mut dom = self.active_domain();
+        dom.extend(q.constants());
+        dom
+    }
+
+    /// The probability vector indexed by [`TupleId`], for the lineage
+    /// model counters.
+    pub fn prob_vector(&self) -> Vec<f64> {
+        self.tuples.iter().map(|t| t.prob).collect()
+    }
+
+    /// A copy of the database with one tuple's probability replaced —
+    /// conditioning on presence (`1.0`) or absence (`0.0`) — used by the
+    /// safe evaluator to handle ground sub-goals.
+    pub fn conditioned(&self, rel: RelId, args: &[Value], prob: f64) -> ProbDb {
+        let mut out = self.clone();
+        out.insert(rel, args.to_vec(), prob);
+        out
+    }
+
+    /// Render one tuple for diagnostics.
+    pub fn display_tuple(&self, id: TupleId) -> String {
+        let t = self.tuple(id);
+        let args: Vec<String> = t.args.iter().map(|&v| self.voc.value_name(v)).collect();
+        format!(
+            "{}({}) @ {:.3}",
+            self.voc.rel_name(t.rel),
+            args.join(","),
+            t.prob
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ProbDb, RelId) {
+        let mut voc = Vocabulary::new();
+        let r = voc.relation("R", 2).unwrap();
+        (ProbDb::new(voc), r)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (mut db, r) = setup();
+        let id = db.insert(r, vec![Value(1), Value(2)], 0.5);
+        assert_eq!(db.find(r, &[Value(1), Value(2)]), Some(id));
+        assert_eq!(db.prob_of(r, &[Value(1), Value(2)]), 0.5);
+        assert_eq!(db.prob_of(r, &[Value(2), Value(1)]), 0.0);
+        assert_eq!(db.num_tuples(), 1);
+    }
+
+    #[test]
+    fn reinsert_overwrites_probability() {
+        let (mut db, r) = setup();
+        let id1 = db.insert(r, vec![Value(1), Value(2)], 0.5);
+        let id2 = db.insert(r, vec![Value(1), Value(2)], 0.9);
+        assert_eq!(id1, id2);
+        assert_eq!(db.num_tuples(), 1);
+        assert_eq!(db.prob_of(r, &[Value(1), Value(2)]), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let (mut db, r) = setup();
+        db.insert(r, vec![Value(1)], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn probability_range_checked() {
+        let (mut db, r) = setup();
+        db.insert(r, vec![Value(1), Value(2)], 1.5);
+    }
+
+    #[test]
+    fn active_domain_collects_values() {
+        let (mut db, r) = setup();
+        db.insert(r, vec![Value(1), Value(2)], 0.5);
+        db.insert(r, vec![Value(2), Value(7)], 0.5);
+        let dom = db.active_domain();
+        assert_eq!(dom, BTreeSet::from([Value(1), Value(2), Value(7)]));
+    }
+
+    #[test]
+    fn conditioning_copies() {
+        let (mut db, r) = setup();
+        db.insert(r, vec![Value(1), Value(2)], 0.5);
+        let cond = db.conditioned(r, &[Value(1), Value(2)], 1.0);
+        assert_eq!(cond.prob_of(r, &[Value(1), Value(2)]), 1.0);
+        assert_eq!(db.prob_of(r, &[Value(1), Value(2)]), 0.5);
+    }
+
+    #[test]
+    fn by_rel_index() {
+        let (mut db, r) = setup();
+        let mut voc2 = db.voc.clone();
+        let s = voc2.relation("S", 1).unwrap();
+        db.voc = voc2;
+        db.insert(r, vec![Value(1), Value(2)], 0.5);
+        db.insert(s, vec![Value(3)], 0.5);
+        db.insert(r, vec![Value(4), Value(5)], 0.5);
+        assert_eq!(db.tuples_of(r).len(), 2);
+        assert_eq!(db.tuples_of(s).len(), 1);
+    }
+}

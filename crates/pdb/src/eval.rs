@@ -1,0 +1,330 @@
+//! Satisfaction of conjunctive queries on deterministic worlds, and
+//! enumeration of valuations — a small relational engine.
+//!
+//! A *world* is a sub-structure of the possible tuples, represented as a
+//! presence bitmap aligned with the database's [`TupleId`]s. A query is
+//! satisfied when some valuation of its variables into the domain maps
+//! every positive sub-goal onto a present tuple, maps no negated sub-goal
+//! onto a present tuple, and satisfies the arithmetic predicates.
+
+use crate::database::{ProbDb, TupleId};
+use cq::{Atom, Query, Term, Value, Var};
+use std::collections::BTreeMap;
+
+/// An assignment of query variables to domain values.
+pub type Valuation = BTreeMap<Var, Value>;
+
+/// Does `world` satisfy `q`? `world[i]` is the presence of tuple
+/// `TupleId(i)`.
+pub fn satisfies(db: &ProbDb, q: &Query, world: &[bool]) -> bool {
+    let positives: Vec<&Atom> = q.positive_atoms().collect();
+    let mut val = Valuation::new();
+    sat_rec(db, q, &positives, 0, world, &mut val)
+}
+
+fn tuple_matches(db: &ProbDb, id: TupleId, atom: &Atom, val: &Valuation) -> Option<Vec<(Var, Value)>> {
+    let tup = db.tuple(id);
+    let mut added = Vec::new();
+    let mut local: BTreeMap<Var, Value> = BTreeMap::new();
+    for (term, &actual) in atom.args.iter().zip(&tup.args) {
+        match *term {
+            Term::Const(c) => {
+                if c != actual {
+                    return None;
+                }
+            }
+            Term::Var(v) => {
+                let bound = val.get(&v).copied().or_else(|| local.get(&v).copied());
+                match bound {
+                    Some(b) => {
+                        if b != actual {
+                            return None;
+                        }
+                    }
+                    None => {
+                        local.insert(v, actual);
+                        added.push((v, actual));
+                    }
+                }
+            }
+        }
+    }
+    Some(added)
+}
+
+fn ground_pred_holds(q: &Query, val: &Valuation) -> bool {
+    q.preds.iter().all(|p| {
+        let resolve = |t: Term| match t {
+            Term::Const(c) => Some(c),
+            Term::Var(v) => val.get(&v).copied(),
+        };
+        match (resolve(p.lhs), resolve(p.rhs)) {
+            (Some(l), Some(r)) => match p.op {
+                cq::CompOp::Lt => l < r,
+                cq::CompOp::Eq => l == r,
+                cq::CompOp::Ne => l != r,
+            },
+            // Unbound predicates cannot be judged yet; callers only invoke
+            // this with complete valuations.
+            _ => true,
+        }
+    })
+}
+
+fn negated_ok(db: &ProbDb, q: &Query, world: &[bool], val: &Valuation) -> bool {
+    for atom in q.atoms.iter().filter(|a| a.negated) {
+        let mut args = Vec::with_capacity(atom.args.len());
+        for t in &atom.args {
+            match *t {
+                Term::Const(c) => args.push(c),
+                Term::Var(v) => match val.get(&v) {
+                    Some(&b) => args.push(b),
+                    None => return true, // unbound: handled by caller's domain loop
+                },
+            }
+        }
+        if let Some(id) = db.find(atom.rel, &args) {
+            if world[id.0 as usize] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn sat_rec(
+    db: &ProbDb,
+    q: &Query,
+    positives: &[&Atom],
+    i: usize,
+    world: &[bool],
+    val: &mut Valuation,
+) -> bool {
+    if i == positives.len() {
+        // Bind any leftover variables (occurring only in negated sub-goals
+        // or predicates) over the evaluation domain.
+        let unbound: Vec<Var> = q
+            .vars()
+            .into_iter()
+            .filter(|v| !val.contains_key(v))
+            .collect();
+        return bind_rest(db, q, &unbound, 0, world, val);
+    }
+    let atom = positives[i];
+    for &id in db.tuples_of(atom.rel) {
+        if !world[id.0 as usize] {
+            continue;
+        }
+        if let Some(added) = tuple_matches(db, id, atom, val) {
+            for &(v, a) in &added {
+                val.insert(v, a);
+            }
+            if sat_rec(db, q, positives, i + 1, world, val) {
+                return true;
+            }
+            for &(v, _) in &added {
+                val.remove(&v);
+            }
+        }
+    }
+    false
+}
+
+fn bind_rest(
+    db: &ProbDb,
+    q: &Query,
+    unbound: &[Var],
+    i: usize,
+    world: &[bool],
+    val: &mut Valuation,
+) -> bool {
+    if i == unbound.len() {
+        return ground_pred_holds(q, val) && negated_ok(db, q, world, val);
+    }
+    for a in db.eval_domain(q) {
+        val.insert(unbound[i], a);
+        if bind_rest(db, q, unbound, i + 1, world, val) {
+            return true;
+        }
+        val.remove(&unbound[i]);
+    }
+    false
+}
+
+/// Enumerate every valuation of `q`'s variables such that all *positive*
+/// sub-goals land on possible tuples of `db` and all arithmetic predicates
+/// hold. Negated sub-goals are *not* filtered — the lineage extractor turns
+/// them into negative literals. Variables occurring only in negated
+/// sub-goals or predicates range over the evaluation domain.
+pub fn all_valuations(db: &ProbDb, q: &Query) -> Vec<Valuation> {
+    let positives: Vec<&Atom> = q.positive_atoms().collect();
+    let mut out = Vec::new();
+    let mut val = Valuation::new();
+    enum_rec(db, q, &positives, 0, &mut val, &mut out);
+    out
+}
+
+fn enum_rec(
+    db: &ProbDb,
+    q: &Query,
+    positives: &[&Atom],
+    i: usize,
+    val: &mut Valuation,
+    out: &mut Vec<Valuation>,
+) {
+    if i == positives.len() {
+        let unbound: Vec<Var> = q
+            .vars()
+            .into_iter()
+            .filter(|v| !val.contains_key(v))
+            .collect();
+        enum_rest(db, q, &unbound, 0, val, out);
+        return;
+    }
+    let atom = positives[i];
+    for &id in db.tuples_of(atom.rel) {
+        if let Some(added) = tuple_matches(db, id, atom, val) {
+            for &(v, a) in &added {
+                val.insert(v, a);
+            }
+            enum_rec(db, q, positives, i + 1, val, out);
+            for &(v, _) in &added {
+                val.remove(&v);
+            }
+        }
+    }
+}
+
+fn enum_rest(
+    db: &ProbDb,
+    q: &Query,
+    unbound: &[Var],
+    i: usize,
+    val: &mut Valuation,
+    out: &mut Vec<Valuation>,
+) {
+    if i == unbound.len() {
+        if ground_pred_holds(q, val) {
+            out.push(val.clone());
+        }
+        return;
+    }
+    for a in db.eval_domain(q) {
+        val.insert(unbound[i], a);
+        enum_rest(db, q, unbound, i + 1, val, out);
+        val.remove(&unbound[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::{parse_query, Vocabulary};
+
+    fn db_rs() -> (ProbDb, Query) {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5); // t0
+        db.insert(s, vec![Value(1), Value(2)], 0.5); // t1
+        db.insert(s, vec![Value(3), Value(4)], 0.5); // t2
+        (db, q)
+    }
+
+    #[test]
+    fn satisfaction_requires_join() {
+        let (db, q) = db_rs();
+        assert!(satisfies(&db, &q, &[true, true, false]));
+        assert!(!satisfies(&db, &q, &[true, false, true])); // S(3,4) doesn't join R(1)
+        assert!(!satisfies(&db, &q, &[false, true, false]));
+    }
+
+    #[test]
+    fn valuations_enumerate_joins() {
+        let (db, q) = db_rs();
+        let vals = all_valuations(&db, &q);
+        assert_eq!(vals.len(), 1);
+        let v = &vals[0];
+        let vars = q.vars();
+        assert_eq!(v[&vars[0]], Value(1));
+        assert_eq!(v[&vars[1]], Value(2));
+    }
+
+    #[test]
+    fn predicates_filter_valuations() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "S(x,y), x < y").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(s, vec![Value(1), Value(2)], 0.5);
+        db.insert(s, vec![Value(2), Value(1)], 0.5);
+        let vals = all_valuations(&db, &q);
+        assert_eq!(vals.len(), 1);
+        assert!(satisfies(&db, &q, &[true, false]));
+        assert!(!satisfies(&db, &q, &[false, true]));
+    }
+
+    #[test]
+    fn constants_in_atoms_pin_tuples() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "S(1,y)").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(s, vec![Value(1), Value(2)], 0.5);
+        db.insert(s, vec![Value(3), Value(4)], 0.5);
+        assert!(satisfies(&db, &q, &[true, true]));
+        assert!(!satisfies(&db, &q, &[false, true]));
+        assert_eq!(all_valuations(&db, &q).len(), 1);
+    }
+
+    #[test]
+    fn negated_subgoal_blocks_on_present_tuple() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), not T(x)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let t = voc.find_relation("T").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5); // t0
+        db.insert(t, vec![Value(1)], 0.5); // t1
+        assert!(satisfies(&db, &q, &[true, false]));
+        assert!(!satisfies(&db, &q, &[true, true]));
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "S(x,x)").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(s, vec![Value(1), Value(2)], 0.5);
+        db.insert(s, vec![Value(2), Value(2)], 0.5);
+        assert!(!satisfies(&db, &q, &[true, false]));
+        assert!(satisfies(&db, &q, &[false, true]));
+    }
+
+    #[test]
+    fn self_join_uses_same_relation_twice() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "E(x,y), E(y,z)").unwrap();
+        let e = voc.find_relation("E").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(e, vec![Value(1), Value(2)], 0.5);
+        db.insert(e, vec![Value(2), Value(3)], 0.5);
+        assert!(satisfies(&db, &q, &[true, true]));
+        assert!(!satisfies(&db, &q, &[true, false]));
+        // Self-loop satisfies a 2-path alone.
+        let mut db2 = db.clone();
+        db2.insert(e, vec![Value(5), Value(5)], 0.5);
+        assert!(satisfies(&db2, &q, &[false, false, true]));
+    }
+
+    #[test]
+    fn empty_query_is_always_true() {
+        let (db, _) = db_rs();
+        let q = Query::truth();
+        assert!(satisfies(&db, &q, &[false, false, false]));
+        assert_eq!(all_valuations(&db, &q).len(), 1);
+    }
+}

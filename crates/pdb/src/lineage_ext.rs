@@ -1,0 +1,159 @@
+//! Lineage extraction: from a query and a probabilistic structure to a DNF
+//! over tuple events.
+//!
+//! Each valuation of the query into the possible tuples contributes one
+//! clause: a positive literal per positive sub-goal's tuple and a negative
+//! literal per negated sub-goal whose tuple is *possible* (a negated
+//! sub-goal over an impossible tuple is vacuously true and contributes no
+//! literal). `P(q) = P(lineage)` by construction, which the cross-engine
+//! tests verify against brute-force world enumeration.
+
+use crate::database::ProbDb;
+use crate::eval::all_valuations;
+use cq::{Query, Term, Value};
+use lineage::{Dnf, Lit};
+
+/// Compute the lineage DNF of `q` over `db`. Event variable `i` is
+/// `TupleId(i)`; pair the result with [`ProbDb::prob_vector`] for the model
+/// counters.
+pub fn lineage_of(db: &ProbDb, q: &Query) -> Dnf {
+    let mut dnf = Dnf::new();
+    'val: for val in all_valuations(db, q) {
+        let mut lits = Vec::with_capacity(q.atoms.len());
+        for atom in &q.atoms {
+            let args: Vec<Value> = atom
+                .args
+                .iter()
+                .map(|t| match *t {
+                    Term::Const(c) => c,
+                    Term::Var(v) => val[&v],
+                })
+                .collect();
+            match db.find(atom.rel, &args) {
+                Some(id) => lits.push(if atom.negated {
+                    Lit::neg(id.0)
+                } else {
+                    Lit::pos(id.0)
+                }),
+                None => {
+                    if atom.negated {
+                        // Impossible tuple: never present, negation certain.
+                        continue;
+                    }
+                    // Positive sub-goal over an impossible tuple: this
+                    // valuation never fires.
+                    continue 'val;
+                }
+            }
+        }
+        dnf.add_clause(lits);
+    }
+    dnf.absorb();
+    dnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::brute_force_probability;
+    use cq::{parse_query, Vocabulary};
+    use lineage::exact_probability;
+
+    fn check_agrees(db: &ProbDb, q: &Query) {
+        let dnf = lineage_of(db, q);
+        let p_lin = exact_probability(&dnf, &db.prob_vector());
+        let p_bf = brute_force_probability(db, q);
+        assert!(
+            (p_lin - p_bf).abs() < 1e-10,
+            "lineage {p_lin} vs brute force {p_bf} for {q:?}, dnf={dnf}"
+        );
+    }
+
+    #[test]
+    fn simple_join_lineage() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5);
+        db.insert(r, vec![Value(2)], 0.25);
+        db.insert(s, vec![Value(1), Value(7)], 0.4);
+        db.insert(s, vec![Value(2), Value(7)], 0.6);
+        let dnf = lineage_of(&db, &q);
+        assert_eq!(dnf.clauses.len(), 2);
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn self_join_lineage_shares_events() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "E(x,y), E(y,z)").unwrap();
+        let e = voc.find_relation("E").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(e, vec![Value(1), Value(2)], 0.5);
+        db.insert(e, vec![Value(2), Value(3)], 0.5);
+        db.insert(e, vec![Value(3), Value(1)], 0.5);
+        let dnf = lineage_of(&db, &q);
+        // Three 2-paths around the triangle.
+        assert_eq!(dnf.clauses.len(), 3);
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn negated_subgoal_lineage() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), not T(x)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let t = voc.find_relation("T").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5);
+        db.insert(r, vec![Value(2)], 0.5);
+        db.insert(t, vec![Value(1)], 0.7);
+        check_agrees(&db, &q);
+        let dnf = lineage_of(&db, &q);
+        // R(1)∧¬T(1)  ∨  R(2)  (T(2) impossible ⇒ no literal)
+        assert_eq!(dnf.clauses.len(), 2);
+    }
+
+    #[test]
+    fn predicate_filters_clauses() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "E(x,y), x < y").unwrap();
+        let e = voc.find_relation("E").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(e, vec![Value(1), Value(2)], 0.5);
+        db.insert(e, vec![Value(2), Value(1)], 0.5);
+        let dnf = lineage_of(&db, &q);
+        assert_eq!(dnf.clauses.len(), 1);
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn unsatisfied_query_has_false_lineage() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,x)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5);
+        db.insert(s, vec![Value(2), Value(3)], 0.5);
+        assert!(lineage_of(&db, &q).is_false());
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn duplicate_valuations_collapse() {
+        // R(x), R(y) has n² valuations but only n distinct clauses after
+        // normalization/absorption.
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), R(y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5);
+        db.insert(r, vec![Value(2)], 0.5);
+        let dnf = lineage_of(&db, &q);
+        assert_eq!(dnf.clauses.len(), 2);
+        check_agrees(&db, &q);
+    }
+}

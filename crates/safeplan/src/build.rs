@@ -1,0 +1,308 @@
+//! Compiling hierarchical self-join-free queries to safe plans.
+//!
+//! The compiler is the set-at-a-time reading of the Eq. 3 recurrence. For a
+//! connected component `f` with root class `[x]` (the variables occurring in
+//! every sub-goal):
+//!
+//! 1. sub-goals whose variables are exactly `⌈x⌉` become scans,
+//! 2. the remaining sub-goals split into groups connected through variables
+//!    below `[x]`; each group is compiled recursively and independent-
+//!    projected back down to the columns of this level,
+//! 3. everything is independent-joined (disjoint relation symbols — no
+//!    self-joins), arithmetic predicates are applied as selections at the
+//!    first level where all their variables are in scope,
+//!
+//! and the component's plan is independent-projected to the enclosing
+//! scope. A Boolean query is the independent join of its components' scalar
+//! plans.
+
+use crate::node::PlanNode;
+use cq::{Pred, Query, Term, Var};
+use dichotomy::is_hierarchical;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a query admits no extensional safe plan (here: compiler scope — the
+/// Theorem 1.3 tractable fragment).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// Non-hierarchical queries are #P-hard (Theorem 1.4) — no safe plan
+    /// exists unless P = #P.
+    NotHierarchical,
+    /// Self-joins break the independence discipline of the extensional
+    /// operators; use the coverage-based evaluator.
+    SelfJoin,
+    /// A component has no root variable (defensive; cannot happen for
+    /// hierarchical queries).
+    NoRoot,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NotHierarchical => write!(f, "query is not hierarchical"),
+            PlanError::SelfJoin => write!(f, "query has self-joins"),
+            PlanError::NoRoot => write!(f, "component has no root variable"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Compile a hierarchical self-join-free Boolean conjunctive query —
+/// negated sub-goals allowed (Theorem 3.11) — to an extensional safe plan.
+pub fn build_plan(q: &Query) -> Result<PlanNode, PlanError> {
+    let Some(qn) = q.normalize() else {
+        return Ok(PlanNode::Never);
+    };
+    if !is_hierarchical(&qn) {
+        return Err(PlanError::NotHierarchical);
+    }
+    if qn.has_self_join() {
+        return Err(PlanError::SelfJoin);
+    }
+    let mut inputs = Vec::new();
+    for f in qn.connected_components() {
+        if f.is_ground() {
+            // A ground atom scans to a zero-column scalar directly.
+            for atom in &f.atoms {
+                inputs.push(scan_of(atom));
+            }
+        } else {
+            let node = plan_scoped(&f, &BTreeSet::new())?;
+            inputs.push(PlanNode::IndependentProject {
+                keep: Vec::new(),
+                input: Box::new(node),
+            });
+        }
+    }
+    Ok(join_of(inputs))
+}
+
+fn scan_of(atom: &cq::Atom) -> PlanNode {
+    if atom.negated {
+        // A positive copy drives the complement scan; the executor iterates
+        // the evaluation domain and emits 1 − p(tuple).
+        let mut positive = atom.clone();
+        positive.negated = false;
+        PlanNode::ComplementScan { atom: positive }
+    } else {
+        PlanNode::Scan { atom: atom.clone() }
+    }
+}
+
+fn join_of(mut inputs: Vec<PlanNode>) -> PlanNode {
+    match inputs.len() {
+        0 => PlanNode::Certain,
+        1 => inputs.pop().expect("one input"),
+        _ => PlanNode::IndependentJoin { inputs },
+    }
+}
+
+/// Plan a connected sub-query `g` all of whose atoms contain every variable
+/// of `scope`. Output columns: the variables occurring in every atom of `g`.
+fn plan_scoped(g: &Query, scope: &BTreeSet<Var>) -> Result<PlanNode, PlanError> {
+    // `here`: the root class at this level — variables in every atom.
+    let here: BTreeSet<Var> = g
+        .vars()
+        .into_iter()
+        .filter(|&v| g.sg(v).len() == g.atoms.len())
+        .collect();
+    if !here.iter().any(|v| !scope.contains(v)) {
+        // No new root variable: `g` would not be hierarchical.
+        return Err(PlanError::NoRoot);
+    }
+
+    // Local atoms: exactly the `here` variables (every atom has ⊇ here).
+    let mut inputs: Vec<PlanNode> = Vec::new();
+    let mut deeper: Vec<usize> = Vec::new();
+    for (i, atom) in g.atoms.iter().enumerate() {
+        let avars: BTreeSet<Var> = atom.vars().into_iter().collect();
+        if avars == here {
+            inputs.push(scan_of(atom));
+        } else {
+            deeper.push(i);
+        }
+    }
+
+    // Group the deeper atoms by connectivity through variables below
+    // `here`, then recurse per group.
+    for group in group_by_deep_vars(g, &deeper, &here) {
+        let child = plan_scoped(&group, &here)?;
+        inputs.push(PlanNode::IndependentProject {
+            keep: here.iter().copied().collect(),
+            input: Box::new(child),
+        });
+    }
+
+    let mut node = join_of(inputs);
+
+    // Selections: predicates that become evaluable at this level.
+    for p in &g.preds {
+        if pred_attaches_here(p, &here, scope) {
+            node = PlanNode::Select {
+                pred: *p,
+                input: Box::new(node),
+            };
+        }
+    }
+    Ok(node)
+}
+
+/// Does predicate `p` first become fully bound at the level whose columns
+/// are `here` (and was not already bound in the enclosing `scope`)?
+fn pred_attaches_here(p: &Pred, here: &BTreeSet<Var>, scope: &BTreeSet<Var>) -> bool {
+    let vars: Vec<Var> = p
+        .terms()
+        .iter()
+        .filter_map(|t| match t {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        })
+        .collect();
+    !vars.is_empty()
+        && vars.iter().all(|v| here.contains(v))
+        && !vars.iter().all(|v| scope.contains(v))
+}
+
+/// Split the atoms at `indices` into connected groups, where connectivity
+/// ignores the `here` variables (they occur everywhere). Each group keeps
+/// the predicates mentioning its variables.
+fn group_by_deep_vars(g: &Query, indices: &[usize], here: &BTreeSet<Var>) -> Vec<Query> {
+    let n = indices.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let deep_vars: BTreeSet<Var> = indices
+        .iter()
+        .flat_map(|&i| g.atoms[i].vars())
+        .filter(|v| !here.contains(v))
+        .collect();
+    for &v in &deep_vars {
+        let members: Vec<usize> = (0..n)
+            .filter(|&k| g.atoms[indices[k]].contains_var(v))
+            .collect();
+        for w in members.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            parent[a] = b;
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for k in 0..n {
+        let r = find(&mut parent, k);
+        groups.entry(r).or_default().push(k);
+    }
+    groups
+        .into_values()
+        .map(|ks| {
+            let atoms: Vec<_> = ks.iter().map(|&k| g.atoms[indices[k]].clone()).collect();
+            let vars: BTreeSet<Var> = atoms.iter().flat_map(|a| a.vars()).collect();
+            let preds: Vec<Pred> = g
+                .preds
+                .iter()
+                .filter(|p| {
+                    p.terms().iter().any(
+                        |t| matches!(t, Term::Var(v) if vars.contains(v) && !here.contains(v)),
+                    )
+                })
+                .copied()
+                .collect();
+            Query::new(atoms, preds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::{parse_query, Vocabulary};
+
+    fn plan(s: &str) -> Result<PlanNode, PlanError> {
+        let mut voc = Vocabulary::new();
+        build_plan(&parse_query(&mut voc, s).unwrap())
+    }
+
+    #[test]
+    fn q_hier_plan_shape() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let p = build_plan(&q).unwrap();
+        let rendered = p.display(&voc);
+        assert_eq!(
+            rendered,
+            "independent-project []\n  independent-join\n    scan R(x0)\n    independent-project [x0]\n      scan S(x0,x1)\n"
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            plan("R(x), S(x,y), T(y)").unwrap_err(),
+            PlanError::NotHierarchical
+        );
+        assert_eq!(plan("R(x,y), R(y,z)").unwrap_err(), PlanError::SelfJoin);
+    }
+
+    #[test]
+    fn unsatisfiable_query_is_never() {
+        assert_eq!(plan("R(x), x < x").unwrap(), PlanNode::Never);
+    }
+
+    #[test]
+    fn truth_is_certain() {
+        assert_eq!(build_plan(&Query::truth()).unwrap(), PlanNode::Certain);
+    }
+
+    #[test]
+    fn ground_atoms_become_scans() {
+        let p = plan("R('a')").unwrap();
+        assert!(matches!(p, PlanNode::Scan { .. }));
+    }
+
+    #[test]
+    fn predicates_become_selects() {
+        let p = plan("S(x,y), x < y").unwrap();
+        // select must appear somewhere in the tree
+        fn has_select(n: &PlanNode) -> bool {
+            match n {
+                PlanNode::Select { .. } => true,
+                PlanNode::IndependentJoin { inputs } => inputs.iter().any(has_select),
+                PlanNode::IndependentProject { input, .. } => has_select(input),
+                _ => false,
+            }
+        }
+        assert!(has_select(&p));
+    }
+
+    #[test]
+    fn multi_component_plan_is_join_of_scalars() {
+        let p = plan("R(x), T(z,w)").unwrap();
+        match p {
+            PlanNode::IndependentJoin { inputs } => {
+                assert_eq!(inputs.len(), 2);
+                for i in inputs {
+                    assert!(matches!(i, PlanNode::IndependentProject { ref keep, .. } if keep.is_empty()));
+                }
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_class_with_two_variables() {
+        // u ≡ v: both in every atom.
+        let p = plan("S(u,v), T(u,v)").unwrap();
+        match &p {
+            PlanNode::IndependentProject { keep, input } => {
+                assert!(keep.is_empty());
+                assert!(matches!(**input, PlanNode::IndependentJoin { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

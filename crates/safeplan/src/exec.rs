@@ -1,0 +1,351 @@
+//! Executing safe plans over a probabilistic database.
+
+use crate::node::PlanNode;
+use crate::relation::ProbRelation;
+use cq::{Atom, CompOp, Pred, Term, Value};
+use lineage::ProbValue;
+use numeric::QRat;
+use pdb::{ProbDb, RatProbs};
+
+/// Execute `plan` over `db`, with tuple probabilities supplied in
+/// [`pdb::TupleId`] order (so the same plan runs on `f64` and on exact
+/// rationals).
+pub fn execute<P: ProbValue>(db: &ProbDb, probs: &[P], plan: &PlanNode) -> ProbRelation<P> {
+    assert_eq!(probs.len(), db.num_tuples(), "probability vector length");
+    match plan {
+        PlanNode::Certain => ProbRelation::certain(),
+        PlanNode::Never => ProbRelation::never(),
+        PlanNode::Scan { atom } => scan(db, probs, atom),
+        PlanNode::ComplementScan { atom } => complement_scan(db, probs, atom),
+        PlanNode::Select { pred, input } => {
+            let rel = execute(db, probs, input);
+            let pred = *pred;
+            let cols = rel.cols.clone();
+            rel.select(|row| eval_pred(&pred, &cols, row))
+        }
+        PlanNode::IndependentJoin { inputs } => {
+            let mut acc = ProbRelation::certain();
+            for i in inputs {
+                acc = acc.independent_join(&execute(db, probs, i));
+            }
+            acc
+        }
+        PlanNode::IndependentProject { keep, input } => {
+            execute(db, probs, input).independent_project(keep)
+        }
+    }
+}
+
+/// `p(q)` of a Boolean plan in `f64` arithmetic.
+pub fn query_probability(db: &ProbDb, plan: &PlanNode) -> f64 {
+    execute(db, &db.prob_vector(), plan).scalar()
+}
+
+/// `p(q)` of a Boolean plan in exact rational arithmetic.
+pub fn query_probability_exact(db: &ProbDb, probs: &RatProbs, plan: &PlanNode) -> QRat {
+    execute(db, probs.as_slice(), plan).scalar()
+}
+
+fn scan<P: ProbValue>(db: &ProbDb, probs: &[P], atom: &Atom) -> ProbRelation<P> {
+    assert!(!atom.negated, "plans scan positive atoms only");
+    let cols = atom.vars();
+    let mut out = ProbRelation::new(cols.clone());
+    'tuples: for &tid in db.tuples_of(atom.rel) {
+        let tuple = db.tuple(tid);
+        // Match constants and repeated variables positionally.
+        let mut bound: Vec<Option<Value>> = vec![None; cols.len()];
+        for (pos, term) in atom.args.iter().enumerate() {
+            match term {
+                Term::Const(c) => {
+                    if tuple.args[pos] != *c {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => {
+                    let ci = cols.iter().position(|c| c == v).expect("own var");
+                    match bound[ci] {
+                        None => bound[ci] = Some(tuple.args[pos]),
+                        Some(prev) => {
+                            if prev != tuple.args[pos] {
+                                continue 'tuples;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let row: Vec<Value> = bound.into_iter().map(|b| b.expect("all bound")).collect();
+        out.rows.push((row, probs[tid.0 as usize].clone()));
+    }
+    out
+}
+
+/// One row per binding of the atom's distinct variables over the evaluation
+/// domain (active domain plus the atom's constants), with probability
+/// `1 − p(tuple)` — absent tuples contribute certainty. This is the Theorem
+/// 3.11 treatment of negated sub-goals, set-at-a-time; the `O(|domain|^k)`
+/// row count matches the bound the tuple-at-a-time recurrence pays.
+fn complement_scan<P: ProbValue>(db: &ProbDb, probs: &[P], atom: &Atom) -> ProbRelation<P> {
+    let cols = atom.vars();
+    let mut domain: Vec<Value> = db.active_domain().into_iter().collect();
+    for c in atom.constants() {
+        if !domain.contains(&c) {
+            domain.push(c);
+        }
+    }
+    let mut out = ProbRelation::new(cols.clone());
+    let k = cols.len();
+    if k > 0 && domain.is_empty() {
+        return out;
+    }
+    // Odometer over domain^k bindings.
+    let mut idx = vec![0usize; k];
+    loop {
+        let binding: Vec<Value> = idx.iter().map(|&i| domain[i]).collect();
+        let args: Vec<Value> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => binding[cols.iter().position(|c| c == v).expect("own var")],
+            })
+            .collect();
+        let p = match db.find(atom.rel, &args) {
+            Some(id) => probs[id.0 as usize].complement(),
+            None => P::one(),
+        };
+        out.rows.push((binding, p));
+        // Advance the odometer; k == 0 yields the single ground row.
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < domain.len() {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+fn eval_pred(pred: &Pred, cols: &[cq::Var], row: &[Value]) -> bool {
+    let resolve = |t: &Term| -> Value {
+        match t {
+            Term::Const(c) => *c,
+            Term::Var(v) => {
+                let i = cols.iter().position(|c| c == v).expect("select var bound");
+                row[i]
+            }
+        }
+    };
+    let (l, r) = (resolve(&pred.lhs), resolve(&pred.rhs));
+    match pred.op {
+        CompOp::Lt => l < r,
+        CompOp::Eq => l == r,
+        CompOp::Ne => l != r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_plan;
+    use cq::{parse_query, Query, Vocabulary};
+    use dichotomy::eval_recurrence;
+    use pdb::brute_force_probability;
+    use pdb::generators::{random_db_for_query, RandomDbOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Safe queries exercising scans with constants, repeated variables,
+    /// deep hierarchies, multiple components, and predicates.
+    const SAFE_QUERIES: &[&str] = &[
+        "R(x)",
+        "R(x), S(x,y)",
+        "R(x), S(x,y), U(x,y,z)",
+        "R(x), T(z,w)",
+        "R(1), S(1,y)",
+        "S(x,y), x < y",
+        "S(x,y), x != y",
+        "R(x), S(x,y), x < y",
+        "R(x), S(x,y), y != 1",
+        "S(x,x)",
+        "R(x), S(x,y), T2(x,z)",
+        "S(u,v), T(u,v)",
+        "R(x), S(x,y), U(x,y,z), V(x,w)",
+    ];
+
+    fn check(query_text: &str, seed: u64) {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, query_text).unwrap();
+        let plan = build_plan(&q).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opts = RandomDbOptions {
+            domain: 3,
+            tuples_per_relation: 4,
+            prob_range: (0.1, 0.9),
+        };
+        for round in 0..4 {
+            let db = random_db_for_query(&q, &voc, opts, &mut rng);
+            let by_plan = query_probability(&db, &plan);
+            let by_rec = eval_recurrence(&db, &q).unwrap();
+            assert!(
+                (by_plan - by_rec).abs() < 1e-9,
+                "round {round}: plan {by_plan} vs recurrence {by_rec} for {query_text}\nplan:\n{}",
+                plan.display(&voc)
+            );
+            if db.num_tuples() <= 16 {
+                let bf = brute_force_probability(&db, &q);
+                assert!(
+                    (by_plan - bf).abs() < 1e-9,
+                    "round {round}: plan {by_plan} vs brute force {bf} for {query_text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plans_match_recurrence_and_brute_force() {
+        for (i, q) in SAFE_QUERIES.iter().enumerate() {
+            check(q, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn exact_execution_agrees_with_f64() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let plan = build_plan(&q).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let opts = RandomDbOptions {
+            domain: 3,
+            tuples_per_relation: 3,
+            prob_range: (0.1, 0.9),
+        };
+        let db = random_db_for_query(&q, &voc, opts, &mut rng);
+        let probs = RatProbs::from_db(&db);
+        let exact = query_probability_exact(&db, &probs, &plan);
+        let float = query_probability(&db, &plan);
+        assert!((exact.to_f64() - float).abs() < 1e-12);
+    }
+
+    /// Negated-sub-goal queries (Theorem 3.11) compile to complement scans
+    /// and must agree with the recurrence evaluator.
+    #[test]
+    fn negation_matches_recurrence() {
+        for (i, text) in [
+            "R(x), not T(x)",
+            "R(x), not S(x,y)",
+            "R(x), S(x,y), not U(x,y,z)",
+            "R(x), not T(1)",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut voc = Vocabulary::new();
+            let q = parse_query(&mut voc, text).unwrap();
+            let plan = build_plan(&q).unwrap();
+            let mut rng = StdRng::seed_from_u64(500 + i as u64);
+            let opts = RandomDbOptions {
+                domain: 3,
+                tuples_per_relation: 3,
+                prob_range: (0.1, 0.9),
+            };
+            for round in 0..4 {
+                let db = random_db_for_query(&q, &voc, opts, &mut rng);
+                let by_plan = query_probability(&db, &plan);
+                let by_rec = eval_recurrence(&db, &q).unwrap();
+                assert!(
+                    (by_plan - by_rec).abs() < 1e-9,
+                    "round {round}: plan {by_plan} vs recurrence {by_rec} for {text}\n{}",
+                    plan.display(&voc)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negation_exact_rational_agrees_with_f64() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), not T(x)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let t = voc.find_relation("T").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5);
+        db.insert(r, vec![Value(2)], 0.25);
+        db.insert(t, vec![Value(1)], 0.75);
+        let plan = build_plan(&q).unwrap();
+        let probs = RatProbs::from_db(&db);
+        let exact = query_probability_exact(&db, &probs, &plan);
+        let float = query_probability(&db, &plan);
+        assert!((exact.to_f64() - float).abs() < 1e-15);
+        // p = 1 − (1 − 1/2·1/4)(1 − 1/4·1) = 1 − (7/8)(3/4) = 11/32.
+        assert_eq!(exact, numeric::QRat::ratio(11, 32));
+    }
+
+    #[test]
+    fn negated_ground_atom() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "not R(1)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.25);
+        let plan = build_plan(&q).unwrap();
+        assert!((query_probability(&db, &plan) - 0.75).abs() < 1e-12);
+        // Absent tuple: certainty.
+        let mut voc2 = Vocabulary::new();
+        let q2 = parse_query(&mut voc2, "not R(7)").unwrap();
+        let r2 = voc2.find_relation("R").unwrap();
+        let mut db2 = ProbDb::new(voc2);
+        db2.insert(r2, vec![Value(1)], 0.25);
+        let plan2 = build_plan(&q2).unwrap();
+        assert!((query_probability(&db2, &plan2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_scan_filters() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(1)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.25);
+        db.insert(r, vec![Value(2)], 0.75);
+        let plan = build_plan(&q).unwrap();
+        assert!((query_probability(&db, &plan) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_variable_scan() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "S(x,x)").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(s, vec![Value(1), Value(1)], 0.5);
+        db.insert(s, vec![Value(1), Value(2)], 0.9);
+        let plan = build_plan(&q).unwrap();
+        assert!((query_probability(&db, &plan) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_and_certain_execute() {
+        let mut voc = Vocabulary::new();
+        let _ = voc.relation("R", 1).unwrap();
+        let db = ProbDb::new(voc);
+        assert_eq!(query_probability(&db, &PlanNode::Never), 0.0);
+        assert_eq!(query_probability(&db, &PlanNode::Certain), 1.0);
+        let plan = build_plan(&Query::truth()).unwrap();
+        assert_eq!(query_probability(&db, &plan), 1.0);
+    }
+
+    #[test]
+    fn empty_database_gives_zero() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let db = ProbDb::new(voc);
+        let plan = build_plan(&q).unwrap();
+        assert_eq!(query_probability(&db, &plan), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The safe-plan language.
+
+use cq::{Atom, Pred, Term, Vocabulary};
+
+/// One operator of an extensional safe plan. Executing a node yields a
+/// [`crate::ProbRelation`]; a plan for a Boolean query yields a
+/// zero-column scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanNode {
+    /// Constant true: probability 1 (unit of independent join).
+    Certain,
+    /// Constant false: probability 0 (an unsatisfiable query).
+    Never,
+    /// Scan a relation, filtering by the atom's constants and repeated
+    /// variables; output columns are the atom's distinct variables.
+    Scan { atom: Atom },
+    /// Scan the *complement* of a relation for a negated sub-goal
+    /// (Theorem 3.11): one row per binding of the atom's variables over the
+    /// evaluation domain, with probability `1 − p(tuple)`. Costs
+    /// `O(|domain|^k)` for `k` distinct variables — the same bound the
+    /// tuple-at-a-time recurrence pays.
+    ComplementScan { atom: Atom },
+    /// Filter by a restricted arithmetic predicate; all its variables must
+    /// be columns of the input.
+    Select { pred: Pred, input: Box<PlanNode> },
+    /// Natural join multiplying probabilities; inputs touch disjoint
+    /// relation symbols, so row events are independent.
+    IndependentJoin { inputs: Vec<PlanNode> },
+    /// Project to `keep`, combining collapsing rows with `1 − Π(1−p)`;
+    /// sound because the projected-away variables occur in every sub-goal
+    /// below, so distinct values pin disjoint tuples.
+    IndependentProject {
+        keep: Vec<cq::Var>,
+        input: Box<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// Number of operators in the plan.
+    pub fn size(&self) -> usize {
+        match self {
+            PlanNode::Certain
+            | PlanNode::Never
+            | PlanNode::Scan { .. }
+            | PlanNode::ComplementScan { .. } => 1,
+            PlanNode::Select { input, .. } | PlanNode::IndependentProject { input, .. } => {
+                1 + input.size()
+            }
+            PlanNode::IndependentJoin { inputs } => {
+                1 + inputs.iter().map(PlanNode::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Height of the operator tree.
+    pub fn depth(&self) -> usize {
+        match self {
+            PlanNode::Certain
+            | PlanNode::Never
+            | PlanNode::Scan { .. }
+            | PlanNode::ComplementScan { .. } => 1,
+            PlanNode::Select { input, .. } | PlanNode::IndependentProject { input, .. } => {
+                1 + input.depth()
+            }
+            PlanNode::IndependentJoin { inputs } => {
+                1 + inputs.iter().map(PlanNode::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Pretty-print the plan with relation and variable names resolved
+    /// through `voc`, one operator per line, children indented.
+    ///
+    /// ```
+    /// use cq::{parse_query, Vocabulary};
+    /// use safeplan::build_plan;
+    /// let mut voc = Vocabulary::new();
+    /// let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+    /// let plan = build_plan(&q).unwrap();
+    /// assert!(plan.display(&voc).starts_with("independent-project []"));
+    /// ```
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        let mut out = String::new();
+        self.render(voc, 0, &mut out);
+        out
+    }
+
+    fn render(&self, voc: &Vocabulary, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match self {
+            PlanNode::Certain => out.push_str(&format!("{pad}certain\n")),
+            PlanNode::Never => out.push_str(&format!("{pad}never\n")),
+            PlanNode::Scan { atom } => {
+                out.push_str(&format!("{pad}scan {}\n", atom.display(voc)));
+            }
+            PlanNode::ComplementScan { atom } => {
+                out.push_str(&format!("{pad}complement-scan {}\n", atom.display(voc)));
+            }
+            PlanNode::Select { pred, input } => {
+                out.push_str(&format!("{pad}select {}\n", display_pred(pred)));
+                input.render(voc, indent + 1, out);
+            }
+            PlanNode::IndependentJoin { inputs } => {
+                out.push_str(&format!("{pad}independent-join\n"));
+                for i in inputs {
+                    i.render(voc, indent + 1, out);
+                }
+            }
+            PlanNode::IndependentProject { keep, input } => {
+                let cols: Vec<String> = keep.iter().map(|v| format!("x{}", v.0)).collect();
+                out.push_str(&format!("{pad}independent-project [{}]\n", cols.join(",")));
+                input.render(voc, indent + 1, out);
+            }
+        }
+    }
+}
+
+fn display_pred(p: &Pred) -> String {
+    let t = |t: &Term| match t {
+        Term::Var(v) => format!("x{}", v.0),
+        Term::Const(c) => format!("{}", c.0),
+    };
+    let op = match p.op {
+        cq::CompOp::Lt => "<",
+        cq::CompOp::Eq => "=",
+        cq::CompOp::Ne => "!=",
+    };
+    format!("{} {} {}", t(&p.lhs), op, t(&p.rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::{parse_query, Vocabulary};
+
+    #[test]
+    fn size_and_depth() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x)").unwrap();
+        let scan = PlanNode::Scan {
+            atom: q.atoms[0].clone(),
+        };
+        assert_eq!(scan.size(), 1);
+        let proj = PlanNode::IndependentProject {
+            keep: vec![],
+            input: Box::new(scan.clone()),
+        };
+        assert_eq!(proj.size(), 2);
+        assert_eq!(proj.depth(), 2);
+        let join = PlanNode::IndependentJoin {
+            inputs: vec![proj.clone(), PlanNode::Certain],
+        };
+        assert_eq!(join.size(), 4);
+        assert_eq!(join.depth(), 3);
+    }
+
+    #[test]
+    fn display_is_indented() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x)").unwrap();
+        let plan = PlanNode::IndependentProject {
+            keep: vec![],
+            input: Box::new(PlanNode::Scan {
+                atom: q.atoms[0].clone(),
+            }),
+        };
+        let s = plan.display(&voc);
+        assert!(s.starts_with("independent-project []\n"));
+        assert!(s.contains("\n  scan R("));
+    }
+}

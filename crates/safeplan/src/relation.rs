@@ -1,0 +1,243 @@
+//! Probabilistic relations: the values flowing between plan operators.
+
+use cq::{Value, Var};
+use lineage::ProbValue;
+use std::collections::BTreeMap;
+
+/// A relation whose rows carry marginal probabilities of *mutually
+/// independent* events. Operator correctness (product for joins,
+/// `1 − Π(1−p)` for projections) relies on the independence discipline the
+/// plan compiler enforces: rows of one relation pin disjoint tuple sets, and
+/// joined relations touch disjoint relation symbols.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbRelation<P> {
+    /// Column schema: the query variables each position binds.
+    pub cols: Vec<Var>,
+    /// Rows: a value per column plus the row's event probability.
+    pub rows: Vec<(Vec<Value>, P)>,
+}
+
+impl<P: ProbValue> ProbRelation<P> {
+    pub fn new(cols: Vec<Var>) -> Self {
+        ProbRelation {
+            cols,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The zero-column, one-row relation of probability 1 — the unit of
+    /// independent join; a Boolean "true" scalar.
+    pub fn certain() -> Self {
+        ProbRelation {
+            cols: Vec::new(),
+            rows: vec![(Vec::new(), P::one())],
+        }
+    }
+
+    /// The zero-column, zero-row relation — a Boolean "false" scalar.
+    pub fn never() -> Self {
+        ProbRelation {
+            cols: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Position of variable `v` in the schema.
+    pub fn col_index(&self, v: Var) -> Option<usize> {
+        self.cols.iter().position(|&c| c == v)
+    }
+
+    /// For a Boolean (zero-column) relation: the scalar probability.
+    ///
+    /// # Panics
+    /// If the relation has columns or more than one row.
+    pub fn scalar(&self) -> P {
+        assert!(self.cols.is_empty(), "scalar() on non-Boolean relation");
+        match self.rows.len() {
+            0 => P::zero(),
+            1 => self.rows[0].1.clone(),
+            n => panic!("Boolean relation with {n} rows"),
+        }
+    }
+
+    /// Natural join, multiplying probabilities. Correct when the two
+    /// relations' row events are independent (disjoint relation symbols —
+    /// guaranteed for self-join-free plans).
+    pub fn independent_join(&self, other: &ProbRelation<P>) -> ProbRelation<P> {
+        let common: Vec<Var> = self
+            .cols
+            .iter()
+            .copied()
+            .filter(|&c| other.col_index(c).is_some())
+            .collect();
+        let self_key: Vec<usize> = common.iter().map(|&c| self.col_index(c).unwrap()).collect();
+        let other_key: Vec<usize> = common
+            .iter()
+            .map(|&c| other.col_index(c).unwrap())
+            .collect();
+        let other_extra: Vec<usize> = (0..other.cols.len())
+            .filter(|&i| !common.contains(&other.cols[i]))
+            .collect();
+
+        let mut out_cols = self.cols.clone();
+        out_cols.extend(other_extra.iter().map(|&i| other.cols[i]));
+
+        // Hash the smaller side in a real engine; here: hash `other`.
+        let mut index: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+        for (i, (row, _)) in other.rows.iter().enumerate() {
+            let key: Vec<Value> = other_key.iter().map(|&k| row[k]).collect();
+            index.entry(key).or_default().push(i);
+        }
+
+        let mut out = ProbRelation::new(out_cols);
+        for (row, p) in &self.rows {
+            let key: Vec<Value> = self_key.iter().map(|&k| row[k]).collect();
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            for &j in matches {
+                let (orow, op) = &other.rows[j];
+                let mut values = row.clone();
+                values.extend(other_extra.iter().map(|&i| orow[i]));
+                out.rows.push((values, p.mul(op)));
+            }
+        }
+        out
+    }
+
+    /// Independent project: keep columns `keep`, combining collapsing rows
+    /// with `1 − Π (1 − p)`. Correct when rows mapping to the same group are
+    /// independent events (distinct values of the projected-away root
+    /// variable pin disjoint tuples).
+    ///
+    /// # Panics
+    /// If some column in `keep` is not in the schema.
+    pub fn independent_project(&self, keep: &[Var]) -> ProbRelation<P> {
+        let key_idx: Vec<usize> = keep
+            .iter()
+            .map(|&v| self.col_index(v).expect("projection column missing"))
+            .collect();
+        // Accumulate Π(1−p) per group, preserving first-seen group order.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut none: BTreeMap<Vec<Value>, P> = BTreeMap::new();
+        for (row, p) in &self.rows {
+            let key: Vec<Value> = key_idx.iter().map(|&k| row[k]).collect();
+            match none.get_mut(&key) {
+                Some(acc) => *acc = acc.mul(&p.complement()),
+                None => {
+                    none.insert(key.clone(), p.complement());
+                    order.push(key);
+                }
+            }
+        }
+        let mut out = ProbRelation::new(keep.to_vec());
+        for key in order {
+            let p = none[&key].complement();
+            out.rows.push((key, p));
+        }
+        out
+    }
+
+    /// Filter rows by a predicate over the bound values.
+    pub fn select(&self, pred: impl Fn(&[Value]) -> bool) -> ProbRelation<P> {
+        ProbRelation {
+            cols: self.cols.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|(row, _)| pred(row))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(cols: &[u32], rows: &[(&[u64], f64)]) -> ProbRelation<f64> {
+        ProbRelation {
+            cols: cols.iter().map(|&c| Var(c)).collect(),
+            rows: rows
+                .iter()
+                .map(|(vals, p)| (vals.iter().map(|&v| Value(v)).collect(), *p))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(ProbRelation::<f64>::certain().scalar(), 1.0);
+        assert_eq!(ProbRelation::<f64>::never().scalar(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Boolean")]
+    fn scalar_requires_zero_columns() {
+        let _ = rel(&[0], &[(&[1], 0.5)]).scalar();
+    }
+
+    #[test]
+    fn join_on_common_column() {
+        let r = rel(&[0], &[(&[1], 0.5), (&[2], 0.25)]);
+        let s = rel(&[0, 1], &[(&[1, 7], 0.5), (&[1, 8], 0.5), (&[3, 9], 0.5)]);
+        let j = r.independent_join(&s);
+        assert_eq!(j.cols, vec![Var(0), Var(1)]);
+        assert_eq!(j.rows.len(), 2); // only x = 1 matches
+        for (_, p) in &j.rows {
+            assert_eq!(*p, 0.25);
+        }
+    }
+
+    #[test]
+    fn join_disjoint_schemas_is_cartesian() {
+        let r = rel(&[0], &[(&[1], 0.5)]);
+        let s = rel(&[1], &[(&[7], 0.5), (&[8], 0.25)]);
+        let j = r.independent_join(&s);
+        assert_eq!(j.rows.len(), 2);
+        assert_eq!(j.cols.len(), 2);
+    }
+
+    #[test]
+    fn join_with_certain_is_identity() {
+        let r = rel(&[0], &[(&[1], 0.5), (&[2], 0.25)]);
+        let j = ProbRelation::certain().independent_join(&r);
+        assert_eq!(j.rows.len(), 2);
+        let probs: Vec<f64> = j.rows.iter().map(|(_, p)| *p).collect();
+        assert_eq!(probs, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn project_combines_independent_rows() {
+        let s = rel(&[0, 1], &[(&[1, 7], 0.5), (&[1, 8], 0.5), (&[2, 9], 0.25)]);
+        let p = s.independent_project(&[Var(0)]);
+        assert_eq!(p.cols, vec![Var(0)]);
+        assert_eq!(p.rows.len(), 2);
+        let x1 = p.rows.iter().find(|(r, _)| r[0] == Value(1)).unwrap();
+        assert!((x1.1 - 0.75).abs() < 1e-12);
+        let x2 = p.rows.iter().find(|(r, _)| r[0] == Value(2)).unwrap();
+        assert!((x2.1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_to_scalar() {
+        let s = rel(&[0], &[(&[1], 0.5), (&[2], 0.5)]);
+        let p = s.independent_project(&[]);
+        assert!((p.scalar() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_of_empty_is_never() {
+        let s = rel(&[0], &[]);
+        assert_eq!(s.independent_project(&[]).scalar(), 0.0);
+    }
+
+    #[test]
+    fn select_filters_rows() {
+        let s = rel(&[0, 1], &[(&[1, 7], 0.5), (&[2, 1], 0.5)]);
+        let f = s.select(|row| row[0] < row[1]);
+        assert_eq!(f.rows.len(), 1);
+        assert_eq!(f.rows[0].0[0], Value(1));
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a tuple-independent probabilistic database, classify a
+//! query with the dichotomy, and evaluate its probability with the best
+//! plan.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use probdb::prelude::*;
+
+fn main() {
+    // --- 1. Vocabulary and data -----------------------------------------
+    // A movie-style scenario with uncertain information extraction:
+    // Director(d)        — d was correctly recognized as a director
+    // Credit(d, m)       — extraction believes d directed movie m
+    let mut voc = Vocabulary::new();
+    let q_safe = parse_query(&mut voc, "Director(d), Credit(d, m)").unwrap();
+
+    let director = voc.find_relation("Director").unwrap();
+    let credit = voc.find_relation("Credit").unwrap();
+    let mut db = ProbDb::new(voc.clone());
+    // Two candidate directors with extraction confidences.
+    db.insert(director, vec![Value(1)], 0.9);
+    db.insert(director, vec![Value(2)], 0.4);
+    // Credits with their own confidences.
+    db.insert(credit, vec![Value(1), Value(100)], 0.8);
+    db.insert(credit, vec![Value(1), Value(101)], 0.3);
+    db.insert(credit, vec![Value(2), Value(100)], 0.6);
+
+    // --- 2. Classify -----------------------------------------------------
+    let classification = classify(&q_safe).unwrap();
+    println!("query     : Director(d), Credit(d,m)");
+    println!("complexity: {}", classification.complexity);
+
+    // --- 3. Evaluate with the automatically selected plan ----------------
+    let engine = Engine::new();
+    let result = engine.evaluate(&db, &q_safe, Strategy::Auto).unwrap();
+    println!(
+        "P(q) = {:.6}   (method: {}, {:?})",
+        result.probability, result.method, result.wall_time
+    );
+
+    // Cross-check against exhaustive possible-world enumeration.
+    let exact = brute_force_probability(&db, &q_safe);
+    println!("brute force over 2^{} worlds = {:.6}", db.num_tuples(), exact);
+    assert!((result.probability - exact).abs() < 1e-9);
+
+    // --- 4. A #P-hard query falls back to Monte Carlo --------------------
+    // H_0 = R(x), S(x,y), S(x2,y2), T(y2): hierarchical, but its inversion
+    // has no eraser (Theorem 1.5).
+    let mut voc2 = Vocabulary::new();
+    let q_hard = parse_query(&mut voc2, "R(x), S(x,y), S(x2,y2), T(y2)").unwrap();
+    let r = voc2.find_relation("R").unwrap();
+    let s = voc2.find_relation("S").unwrap();
+    let t = voc2.find_relation("T").unwrap();
+    let mut db2 = ProbDb::new(voc2);
+    for i in 0..4u64 {
+        db2.insert(r, vec![Value(i)], 0.5);
+        db2.insert(t, vec![Value(10 + i)], 0.5);
+        db2.insert(s, vec![Value(i), Value(10 + i)], 0.7);
+        db2.insert(s, vec![Value(i), Value(10 + (i + 1) % 4)], 0.7);
+    }
+    let hard_class = classify(&q_hard).unwrap();
+    println!("\nquery     : R(x), S(x,y), S(x2,y2), T(y2)   (H_0)");
+    println!("complexity: {}", hard_class.complexity);
+    let result = engine.evaluate(&db2, &q_hard, Strategy::Auto).unwrap();
+    println!(
+        "P(q) ≈ {:.4} ± {:.4}   (method: {})",
+        result.probability,
+        1.96 * result.std_error,
+        result.method
+    );
+    let exact = brute_force_probability(&db2, &q_hard);
+    println!("exact (small instance)      = {:.4}", exact);
+    assert!((result.probability - exact).abs() < 0.03);
+}

@@ -1,0 +1,136 @@
+//! The `probdb` command-line tool: classify, explain, and evaluate
+//! conjunctive queries on probabilistic databases in the plain-text format
+//! of `pdb::text`.
+//!
+//! ```text
+//! probdb classify "R(x), S(x,y), T(y)"
+//! probdb explain  "R(x), S(x,y), S(u,v), T(v)"
+//! probdb eval db.txt "R(x), S(x,y)" [--mc-samples 100000] [--exact]
+//! probdb count db.txt "R(x), S(x,y)"        # satisfying substructures
+//! probdb plan "R(x), S(x,y)"                # extensional safe plan
+//! ```
+
+use dichotomy::engine::{Engine, Strategy};
+use dichotomy::{classify, count_substructures_recurrence, explain};
+use pdb::{count_satisfying_worlds_exact, load_db};
+use probdb::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] | count <db.txt> <query> | plan <query>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "classify" => {
+            let text = args.get(1).ok_or("missing query")?;
+            let mut voc = Vocabulary::new();
+            let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
+            let c = classify(&q).map_err(|e| e.to_string())?;
+            println!("{}", c.complexity);
+            Ok(())
+        }
+        "explain" => {
+            let text = args.get(1).ok_or("missing query")?;
+            let mut voc = Vocabulary::new();
+            let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
+            let c = classify(&q).map_err(|e| e.to_string())?;
+            print!("{}", explain(&c, &voc));
+            Ok(())
+        }
+        "eval" => {
+            let path = args.get(1).ok_or("missing database file")?;
+            let text = args.get(2).ok_or("missing query")?;
+            let samples = match args.iter().position(|a| a == "--mc-samples") {
+                Some(i) => args
+                    .get(i + 1)
+                    .ok_or("--mc-samples needs a value")?
+                    .parse::<u64>()
+                    .map_err(|e| e.to_string())?,
+                None => 100_000,
+            };
+            let data = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let mut voc = Vocabulary::new();
+            if args.iter().any(|a| a == "--exact") {
+                // Exact rational path: Eq. 3 recurrence when safe, exact
+                // lineage compilation otherwise. Probabilities like `1/3`
+                // in the database file survive with no rounding at all.
+                let (db, probs) =
+                    pdb::load_db_exact(&mut voc, &data).map_err(|e| e.to_string())?;
+                let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
+                let (p, how) = match eval_recurrence_exact(&db, &probs, &q) {
+                    Ok(p) => (p, "eq3-recurrence"),
+                    Err(_) => (pdb::exact_query_probability(&db, &probs, &q), "exact-lineage"),
+                };
+                println!("P(q) = {p}");
+                println!("     ≈ {:.12}   method={how}", p.to_f64());
+                return Ok(());
+            }
+            let db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
+            let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
+            let engine = Engine {
+                mc_samples: samples,
+                seed: 0xDA151,
+            };
+            let ev = engine
+                .evaluate(&db, &q, Strategy::Auto)
+                .map_err(|e| e.to_string())?;
+            if ev.std_error > 0.0 {
+                println!(
+                    "P(q) ≈ {:.6} ± {:.6}   method={} time={:?}",
+                    ev.probability,
+                    1.96 * ev.std_error,
+                    ev.method,
+                    ev.wall_time
+                );
+            } else {
+                println!(
+                    "P(q) = {:.9}   method={} time={:?}",
+                    ev.probability, ev.method, ev.wall_time
+                );
+            }
+            if let Some(c) = ev.classification {
+                println!("classification: {}", c.complexity);
+            }
+            Ok(())
+        }
+        "count" => {
+            let path = args.get(1).ok_or("missing database file")?;
+            let text = args.get(2).ok_or("missing query")?;
+            let data = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let mut voc = Vocabulary::new();
+            let db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
+            let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
+            let n = db.num_tuples();
+            // Safe queries count in PTIME via the exact rational recurrence;
+            // everything else goes through exact lineage compilation.
+            let (count, how) = match count_substructures_recurrence(&db, &q) {
+                Ok(c) => (c, "eq3-recurrence"),
+                Err(_) => (count_satisfying_worlds_exact(&db, &q), "exact-lineage"),
+            };
+            println!("{count} of 2^{n} substructures satisfy q   method={how}");
+            Ok(())
+        }
+        "plan" => {
+            let text = args.get(1).ok_or("missing query")?;
+            let mut voc = Vocabulary::new();
+            let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
+            let plan = build_plan(&q).map_err(|e| format!("no extensional plan: {e}"))?;
+            print!("{}", plan.display(&voc));
+            println!("({} operators, depth {})", plan.size(), plan.depth());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}

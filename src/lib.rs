@@ -1,0 +1,93 @@
+//! # probdb — the Dalvi–Suciu dichotomy, as a runnable system
+//!
+//! A from-scratch reproduction of *"The Dichotomy of Conjunctive Queries on
+//! Probabilistic Structures"* (Dalvi & Suciu, PODS 2007): every Boolean
+//! conjunctive query is either PTIME or #P-complete on tuple-independent
+//! probabilistic databases, and the boundary is decidable.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`cq`] — the conjunctive-query language (atoms, arithmetic predicates,
+//!   homomorphisms, minimization, unification),
+//! * [`pdb`] — tuple-independent probabilistic structures, possible worlds,
+//!   lineage extraction, workload generators,
+//! * [`lineage`] — exact weighted model counting and Monte-Carlo
+//!   estimators over event DNFs,
+//! * [`dichotomy`] — the paper's contribution: hierarchy analysis,
+//!   coverages, inversions, erasers, the classifier, the PTIME evaluators,
+//!   and a MystiQ-style engine,
+//! * [`reductions`] — executable #P-hardness reductions from bipartite
+//!   2DNF counting,
+//! * [`safeplan`] — extensional safe relational-algebra plans (independent
+//!   join / independent project) with a set-at-a-time executor,
+//! * [`numeric`] — arbitrary-precision integers and rationals, for exact
+//!   probability computation and substructure counting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use probdb::prelude::*;
+//!
+//! // Vocabulary and query: "is some calibrated sensor reporting?"
+//! let mut voc = Vocabulary::new();
+//! let q = parse_query(&mut voc, "Sensor(s), Reading(s, v)").unwrap();
+//!
+//! // A small tuple-independent database.
+//! let sensor = voc.find_relation("Sensor").unwrap();
+//! let reading = voc.find_relation("Reading").unwrap();
+//! let mut db = ProbDb::new(voc);
+//! db.insert(sensor, vec![Value(1)], 0.9);
+//! db.insert(reading, vec![Value(1), Value(42)], 0.5);
+//!
+//! // Classify and evaluate with the best plan (here: the Eq. 3 recurrence).
+//! let engine = Engine::new();
+//! let result = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+//! assert_eq!(result.method, Method::Recurrence);
+//! assert!((result.probability - 0.45).abs() < 1e-12);
+//! ```
+
+pub use cq;
+pub use dichotomy;
+pub use lineage;
+pub use numeric;
+pub use pdb;
+pub use reductions;
+pub use safeplan;
+
+/// Everything a typical user needs.
+pub mod prelude {
+    pub use cq::{parse_query, Query, RelId, Term, Value, Var, Vocabulary};
+    pub use dichotomy::engine::{Engine, Evaluation, Method, Strategy};
+    pub use dichotomy::{
+        classify, count_substructures_recurrence, eval_inversion_free, eval_recurrence,
+        eval_recurrence_exact, multisim_top_k, Classification, Complexity, MultiSimConfig,
+    };
+    pub use lineage::{exact_probability, karp_luby, naive_mc, Dnf};
+    pub use numeric::{BigInt, BigUint, QRat};
+    pub use pdb::{
+        brute_force_probability, count_satisfying_worlds_exact, lineage_of, ProbDb, RatProbs,
+        TupleId,
+    };
+    pub use reductions::{count_via_hk, count_via_pattern, Bipartite2Dnf};
+    pub use safeplan::{build_plan, query_probability, query_probability_exact, PlanNode};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5);
+        db.insert(s, vec![Value(1), Value(2)], 0.5);
+        let engine = Engine::new();
+        let ev = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        let bf = brute_force_probability(&db, &q);
+        assert!((ev.probability - bf).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Invariance properties of the query-side algorithms: classification,
+//! minimization, and plan compilation are *semantic* — they must not care
+//! how a query is spelled. Random queries are re-spelled (variables
+//! bijectively renamed, atoms permuted) and every analysis must return the
+//! same verdict; minimization must return an equivalent query.
+
+use dichotomy::{classify, Complexity};
+use probdb::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Build a random query over a small vocabulary, self-joins included.
+fn random_query(rng: &mut StdRng, voc: &mut Vocabulary) -> Query {
+    let rels = [("R", 1usize), ("S", 2), ("T", 1), ("U", 2)];
+    let n_atoms = rng.gen_range(1..=3);
+    let n_vars = rng.gen_range(1..=3u32);
+    let parts: Vec<String> = (0..n_atoms)
+        .map(|_| {
+            let (name, arity) = rels[rng.gen_range(0..rels.len())];
+            let args: Vec<String> = (0..arity)
+                .map(|_| {
+                    if rng.gen_bool(0.1) {
+                        "1".to_string()
+                    } else {
+                        format!("v{}", rng.gen_range(0..n_vars))
+                    }
+                })
+                .collect();
+            format!("{name}({})", args.join(","))
+        })
+        .collect();
+    parse_query(voc, &parts.join(", ")).unwrap()
+}
+
+/// Re-spell: permute atoms and bijectively rename variables.
+fn respell(q: &Query, rng: &mut StdRng) -> Query {
+    let mut atoms = q.atoms.clone();
+    atoms.shuffle(rng);
+    let shuffled = Query::new(atoms, q.preds.clone());
+    // Bijective renaming: shift ids by a random offset (stays injective).
+    let offset = rng.gen_range(10..50u32);
+    shuffled.rename_apart(offset)
+}
+
+fn verdict_kind(c: &Complexity) -> &'static str {
+    if c.is_ptime() {
+        "ptime"
+    } else {
+        "hard"
+    }
+}
+
+#[test]
+fn classification_is_invariant_under_respelling() {
+    let mut rng = StdRng::seed_from_u64(0x1BADB002);
+    let mut checked = 0;
+    for round in 0..50u64 {
+        let mut voc = Vocabulary::new();
+        let q = random_query(&mut rng, &mut voc);
+        let Ok(c1) = classify(&q) else { continue };
+        let q2 = respell(&q, &mut rng);
+        let Ok(c2) = classify(&q2) else { continue };
+        assert_eq!(
+            verdict_kind(&c1.complexity),
+            verdict_kind(&c2.complexity),
+            "round {round}: {q:?} vs respelled {q2:?}: {} vs {}",
+            c1.complexity,
+            c2.complexity
+        );
+        checked += 1;
+    }
+    assert!(checked >= 40, "only {checked} queries checked");
+}
+
+#[test]
+fn minimization_returns_an_equivalent_query() {
+    let mut rng = StdRng::seed_from_u64(0x31313);
+    for round in 0..60u64 {
+        let mut voc = Vocabulary::new();
+        let q = random_query(&mut rng, &mut voc);
+        let Some(qn) = q.normalize() else { continue };
+        let Some(m) = cq::minimize(&q) else {
+            // Unsatisfiable: normalize must agree.
+            continue;
+        };
+        assert!(
+            cq::equivalent(&qn, &m),
+            "round {round}: {q:?} not equivalent to its minimization {m:?}"
+        );
+        assert!(
+            m.atoms.len() <= qn.atoms.len(),
+            "round {round}: minimization grew {q:?}"
+        );
+        // Idempotence.
+        let m2 = cq::minimize(&m).expect("minimal query stays satisfiable");
+        assert_eq!(
+            m2.atoms.len(),
+            m.atoms.len(),
+            "round {round}: minimize not idempotent on {m:?}"
+        );
+    }
+}
+
+#[test]
+fn plan_compilation_is_invariant_under_respelling() {
+    let mut rng = StdRng::seed_from_u64(0xACCE);
+    let mut both_built = 0;
+    for round in 0..50u64 {
+        let mut voc = Vocabulary::new();
+        // Self-join-free by construction so plans usually exist.
+        let n_atoms = rng.gen_range(1..=3);
+        let n_vars = rng.gen_range(1..=3u32);
+        let parts: Vec<String> = (0..n_atoms)
+            .map(|i| {
+                let arity = rng.gen_range(1..=2usize);
+                let args: Vec<String> = (0..arity)
+                    .map(|_| format!("v{}", rng.gen_range(0..n_vars)))
+                    .collect();
+                format!("N{i}({})", args.join(","))
+            })
+            .collect();
+        let q = parse_query(&mut voc, &parts.join(", ")).unwrap();
+        let q2 = respell(&q, &mut rng);
+        let p1 = build_plan(&q);
+        let p2 = build_plan(&q2);
+        assert_eq!(
+            p1.is_ok(),
+            p2.is_ok(),
+            "round {round}: {q:?} vs {q2:?} disagree on compilability"
+        );
+        if let (Ok(p1), Ok(p2)) = (&p1, &p2) {
+            both_built += 1;
+            // The plans must be structurally identical up to renaming:
+            // same operator counts and depth.
+            assert_eq!(p1.size(), p2.size(), "round {round}: {q:?}");
+            assert_eq!(p1.depth(), p2.depth(), "round {round}: {q:?}");
+        }
+    }
+    assert!(both_built >= 30, "only {both_built} plans compared");
+}
+
+#[test]
+fn evaluation_is_invariant_under_respelling() {
+    use pdb::generators::{random_db_for_query, RandomDbOptions};
+    let mut rng = StdRng::seed_from_u64(0xE7A1);
+    let engine = Engine::new();
+    for round in 0..20u64 {
+        let mut voc = Vocabulary::new();
+        let q = random_query(&mut rng, &mut voc);
+        let Ok(c) = classify(&q) else { continue };
+        if !c.complexity.is_ptime() {
+            continue;
+        }
+        let opts = RandomDbOptions {
+            domain: 3,
+            tuples_per_relation: 3,
+            prob_range: (0.1, 0.9),
+        };
+        let db = random_db_for_query(&q, &voc, opts, &mut rng);
+        let q2 = respell(&q, &mut rng);
+        let p1 = engine
+            .evaluate(&db, &q, Strategy::Auto)
+            .unwrap()
+            .probability;
+        let p2 = engine
+            .evaluate(&db, &q2, Strategy::Auto)
+            .unwrap()
+            .probability;
+        assert!(
+            (p1 - p2).abs() < 1e-9,
+            "round {round}: {q:?} gave {p1}, respelled {q2:?} gave {p2}"
+        );
+    }
+}

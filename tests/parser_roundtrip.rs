@@ -1,0 +1,78 @@
+//! Display/parse round-trip: rendering a query through the vocabulary and
+//! re-parsing it must give back the same query up to variable renaming —
+//! the property that makes the CLI, the text fixtures, and the examples
+//! trustworthy mirrors of the in-memory representation.
+
+use probdb::prelude::*;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+/// Random query text assembled from a small grammar (relations R/1, S/2,
+/// U/3; variables v0..v3; constants; `<`/`=`/`!=` predicates; negation).
+fn arb_query_text() -> impl proptest::strategy::Strategy<Value = String> {
+    let atom = (0..3usize, proptest::collection::vec(0..5u32, 1..=3), any::<bool>()).prop_map(
+        |(rel, args, neg)| {
+            let (name, arity) = [("R", 1), ("S", 2), ("U", 3)][rel];
+            let rendered: Vec<String> = (0..arity)
+                .map(|i| {
+                    let a = args[i % args.len()];
+                    if a == 4 {
+                        "7".to_string() // constant
+                    } else {
+                        format!("v{a}")
+                    }
+                })
+                .collect();
+            format!(
+                "{}{}({})",
+                if neg { "not " } else { "" },
+                name,
+                rendered.join(",")
+            )
+        },
+    );
+    proptest::collection::vec(atom, 1..4).prop_map(|atoms| atoms.join(", "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn display_parse_roundtrip(text in arb_query_text()) {
+        let mut voc = Vocabulary::new();
+        let Ok(q) = parse_query(&mut voc, &text) else {
+            // Range-restriction or arity clashes: fine, nothing to check.
+            return Ok(());
+        };
+        let rendered = q.display(&voc);
+        let mut voc2 = voc.clone();
+        let q2 = parse_query(&mut voc2, &rendered)
+            .unwrap_or_else(|e| panic!("rendered {rendered:?} failed to parse: {e}"));
+        // Compare up to variable renaming.
+        prop_assert_eq!(
+            q.compact_vars().cache_key(),
+            q2.compact_vars().cache_key(),
+            "roundtrip changed the query: {:?} -> {} -> {:?}",
+            q, rendered, q2
+        );
+        prop_assert_eq!(q.atoms.len(), q2.atoms.len());
+        prop_assert_eq!(q.preds.len(), q2.preds.len());
+    }
+
+    #[test]
+    fn classification_survives_roundtrip(text in arb_query_text()) {
+        let mut voc = Vocabulary::new();
+        let Ok(q) = parse_query(&mut voc, &text) else { return Ok(()); };
+        let Ok(c1) = classify(&q) else { return Ok(()); };
+        let rendered = q.display(&voc);
+        let mut voc2 = voc.clone();
+        let q2 = parse_query(&mut voc2, &rendered).expect("rendered query parses");
+        let c2 = classify(&q2).expect("roundtripped query classifies");
+        prop_assert_eq!(
+            c1.complexity.is_ptime(),
+            c2.complexity.is_ptime(),
+            "classification changed across roundtrip of {:?}",
+            q
+        );
+    }
+}

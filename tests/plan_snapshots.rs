@@ -1,0 +1,101 @@
+//! Golden snapshots of the extensional plans for the paper's tractable
+//! query shapes — plan *shape* regressions (a lost project, a mis-scoped
+//! select) change probabilities only on adversarial data, so we pin the
+//! rendered operator trees directly.
+
+use probdb::prelude::*;
+
+fn plan_text(query: &str) -> String {
+    let mut voc = Vocabulary::new();
+    let q = parse_query(&mut voc, query).unwrap();
+    build_plan(&q).unwrap().display(&voc)
+}
+
+#[test]
+fn q_hier() {
+    assert_eq!(
+        plan_text("R(x), S(x,y)"),
+        "\
+independent-project []
+  independent-join
+    scan R(x0)
+    independent-project [x0]
+      scan S(x0,x1)
+"
+    );
+}
+
+#[test]
+fn three_level_hierarchy() {
+    assert_eq!(
+        plan_text("R(x), S(x,y), U(x,y,z)"),
+        "\
+independent-project []
+  independent-join
+    scan R(x0)
+    independent-project [x0]
+      independent-join
+        scan S(x0,x1)
+        independent-project [x0,x1]
+          scan U(x0,x1,x2)
+"
+    );
+}
+
+#[test]
+fn two_components() {
+    assert_eq!(
+        plan_text("R(x), T(z,w)"),
+        "\
+independent-join
+  independent-project []
+    scan R(x0)
+  independent-project []
+    scan T(x1,x2)
+"
+    );
+}
+
+#[test]
+fn select_sits_at_the_binding_level() {
+    assert_eq!(
+        plan_text("R(x), S(x,y), x < y"),
+        "\
+independent-project []
+  independent-join
+    scan R(x0)
+    independent-project [x0]
+      select x0 < x1
+        scan S(x0,x1)
+"
+    );
+}
+
+#[test]
+fn negation_compiles_to_complement_scan() {
+    assert_eq!(
+        plan_text("R(x), not T(x)"),
+        "\
+independent-project []
+  independent-join
+    scan R(x0)
+    complement-scan T(x0)
+"
+    );
+}
+
+#[test]
+fn sibling_branches_under_one_root() {
+    assert_eq!(
+        plan_text("R(x), S(x,y), T2(x,z)"),
+        "\
+independent-project []
+  independent-join
+    scan R(x0)
+    independent-project [x0]
+      scan S(x0,x1)
+    independent-project [x0]
+      scan T2(x0,x2)
+"
+    );
+}

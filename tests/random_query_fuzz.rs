@@ -1,0 +1,87 @@
+//! Random-*query* fuzzing: the strongest check on the dichotomy boundary
+//! itself. Random conjunctive queries (random variable patterns, self-joins
+//! and constants included) are classified; whenever the classifier says
+//! PTIME, the engine's plan must reproduce exact brute-force probabilities
+//! on random instances. A misclassified hard query would show up here as a
+//! wrong probability (the safe evaluator's runtime root check turns the
+//! other failure direction into a typed error, which the engine surfaces).
+
+use dichotomy::engine::{Engine, Method, Strategy};
+use pdb::generators::{random_db_for_query, RandomDbOptions};
+use probdb::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a random query over R/1, S/2, T/1, U/2 with 2–4 atoms.
+fn random_query(rng: &mut StdRng, voc: &mut Vocabulary) -> Query {
+    let rels = [("R", 1usize), ("S", 2), ("T", 1), ("U", 2)];
+    let n_atoms = rng.gen_range(2..=4);
+    let n_vars = rng.gen_range(2..=4u32);
+    let mut parts = Vec::new();
+    for _ in 0..n_atoms {
+        let (name, arity) = rels[rng.gen_range(0..rels.len())];
+        let args: Vec<String> = (0..arity)
+            .map(|_| {
+                if rng.gen_bool(0.15) {
+                    rng.gen_range(0..2u64).to_string()
+                } else {
+                    format!("v{}", rng.gen_range(0..n_vars))
+                }
+            })
+            .collect();
+        parts.push(format!("{name}({})", args.join(",")));
+    }
+    parse_query(voc, &parts.join(", ")).unwrap()
+}
+
+#[test]
+fn random_queries_classify_and_evaluate_consistently() {
+    let mut rng = StdRng::seed_from_u64(0xF0CC);
+    let engine = Engine {
+        mc_samples: 40_000,
+        seed: 2,
+    };
+    let mut ptime_seen = 0;
+    let mut hard_seen = 0;
+    for round in 0..60u64 {
+        let mut voc = Vocabulary::new();
+        let q = random_query(&mut rng, &mut voc);
+        let Ok(c) = classify(&q) else {
+            continue; // budget exceeded on an adversarial shape: acceptable
+        };
+        let opts = RandomDbOptions {
+            domain: 3,
+            tuples_per_relation: 3,
+            prob_range: (0.1, 0.9),
+        };
+        let db = random_db_for_query(&q, &voc, opts, &mut rng);
+        if db.num_tuples() > 20 {
+            continue;
+        }
+        let exact = brute_force_probability(&db, &q);
+        let ev = match engine.evaluate(&db, &q, Strategy::Auto) {
+            Ok(ev) => ev,
+            Err(e) => panic!("round {round}: engine failed on {q:?}: {e}"),
+        };
+        if c.complexity.is_ptime() {
+            ptime_seen += 1;
+            assert!(
+                (ev.probability - exact).abs() < 1e-7,
+                "round {round}: PTIME query {q:?} ({}) gave {} vs exact {exact}",
+                ev.method,
+                ev.probability
+            );
+        } else {
+            hard_seen += 1;
+            assert_eq!(ev.method, Method::KarpLuby);
+            assert!(
+                (ev.probability - exact).abs() < 6.0 * ev.std_error + 8e-3,
+                "round {round}: hard query {q:?} estimate {} vs exact {exact}",
+                ev.probability
+            );
+        }
+    }
+    // The generator must actually exercise both sides of the dichotomy.
+    assert!(ptime_seen >= 10, "only {ptime_seen} PTIME queries generated");
+    assert!(hard_seen >= 5, "only {hard_seen} hard queries generated");
+}
