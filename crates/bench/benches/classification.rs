@@ -1,8 +1,8 @@
 //! E1–E3: classification cost over the paper's catalog — the decision
 //! procedure is query-complexity only and must be interactive-speed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cq::{parse_query, Vocabulary};
+use criterion::{criterion_group, criterion_main, Criterion};
 use dichotomy::{classify, CATALOG};
 use std::time::Duration;
 

@@ -25,7 +25,12 @@ fn bench(c: &mut Criterion) {
         });
         let (db_e, q_e) = star_workload(n, 2, 3);
         group.bench_with_input(BenchmarkId::new("easy_same_size", n), &n, |b, _| {
-            b.iter(|| engine.evaluate(&db_e, &q_e, Strategy::Auto).unwrap().probability)
+            b.iter(|| {
+                engine
+                    .evaluate(&db_e, &q_e, Strategy::Auto)
+                    .unwrap()
+                    .probability
+            })
         });
     }
     group.finish();

@@ -16,17 +16,32 @@ fn bench(c: &mut Criterion) {
     for n in [20u64, 40, 80] {
         let (db, q) = star_workload(n, 4, 7);
         group.bench_with_input(BenchmarkId::new("q_hier_recurrence", n), &n, |b, _| {
-            b.iter(|| engine.evaluate(&db, &q, Strategy::Auto).unwrap().probability)
+            b.iter(|| {
+                engine
+                    .evaluate(&db, &q, Strategy::Auto)
+                    .unwrap()
+                    .probability
+            })
         });
         let (db, q) = selfjoin_workload(n, 7);
         group.bench_with_input(BenchmarkId::new("selfjoin_safe_plan", n), &n, |b, _| {
-            b.iter(|| engine.evaluate(&db, &q, Strategy::Auto).unwrap().probability)
+            b.iter(|| {
+                engine
+                    .evaluate(&db, &q, Strategy::Auto)
+                    .unwrap()
+                    .probability
+            })
         });
     }
     for n in [5u64, 10, 20] {
         let (db, q) = deep_workload(n, 3, 7);
         group.bench_with_input(BenchmarkId::new("deep_v3_recurrence", n), &n, |b, _| {
-            b.iter(|| engine.evaluate(&db, &q, Strategy::Auto).unwrap().probability)
+            b.iter(|| {
+                engine
+                    .evaluate(&db, &q, Strategy::Auto)
+                    .unwrap()
+                    .probability
+            })
         });
     }
     group.finish();

@@ -2,8 +2,8 @@
 //! and vs uniform-allocation Monte Carlo. The win is adaptive: samples
 //! concentrate on the candidates near the top-k boundary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq::{parse_query, Query, Value, Var, Vocabulary};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dichotomy::{multisim_top_k, MultiSimConfig};
 use pdb::ProbDb;
 use rand::rngs::StdRng;

@@ -55,7 +55,10 @@ fn main() {
 }
 
 fn header(title: &str) {
-    println!("\n=== {title} {}", "=".repeat(76usize.saturating_sub(title.len())));
+    println!(
+        "\n=== {title} {}",
+        "=".repeat(76usize.saturating_sub(title.len()))
+    );
 }
 
 /// E1 + E2 + E3: the classification table over the full paper catalog
@@ -109,10 +112,7 @@ fn mystiq() {
     );
     for n in [20u64, 50, 100, 200] {
         let (db, q) = star_workload(n, 4, 42);
-        let engine = Engine {
-            mc_samples: 0,
-            seed: 1,
-        };
+        let engine = Engine::with_samples_and_seed(0, 1);
         let (t_safe, p_safe) = time(|| {
             engine
                 .evaluate(&db, &q, Strategy::Auto)
@@ -237,7 +237,9 @@ fn blowup() {
             t_easy * 1e3
         );
     }
-    println!("-> Shannon decisions on the hard lineage grow super-linearly; the easy query stays flat.");
+    println!(
+        "-> Shannon decisions on the hard lineage grow super-linearly; the easy query stays flat."
+    );
 }
 
 /// Ablation (Fig. 1): disable the coverage simplification passes and show
@@ -246,7 +248,10 @@ fn ablation() {
     header("Ablation (Fig. 1): coverage simplification passes");
     use dichotomy::{find_inversion, strict_coverage_with, CoverageOptions};
     let rows = [
-        ("fig1_row2", "R(x1,x2), S(x1,x2,y,y), S(x1,x1,x2,x2), S(x3,x3,y3,y3), T(y3)"),
+        (
+            "fig1_row2",
+            "R(x1,x2), S(x1,x2,y,y), S(x1,x1,x2,x2), S(x3,x3,y3,y3), T(y3)",
+        ),
         (
             "fig1_row3",
             "R(x1,x2), S(x1,x2,y,y), S(x1,x2,x1,x2), S(x3,x3,y31,y32), T(y31,y32)",
@@ -274,7 +279,11 @@ fn ablation() {
                 "{:<12} {:<24} {}",
                 name,
                 label,
-                if inv { "SPURIOUS inversion -> would misclassify" } else { "none (correct)" }
+                if inv {
+                    "SPURIOUS inversion -> would misclassify"
+                } else {
+                    "none (correct)"
+                }
             );
         }
     }
@@ -345,11 +354,13 @@ fn plans() {
 fn counting() {
     header("E10: substructure counting at p = 1/2 (paper conclusions)");
     println!("safe query R(x), S(x,y):");
-    println!("{:>8} {:>10} {:>14} {:>16}", "tuples", "worlds", "time", "count digits");
+    println!(
+        "{:>8} {:>10} {:>14} {:>16}",
+        "tuples", "worlds", "time", "count digits"
+    );
     for n in [20u64, 40, 80, 160] {
         let (db, q) = star_workload(n, 3, 5);
-        let (secs, count) =
-            time(|| dichotomy::count_substructures_recurrence(&db, &q).unwrap());
+        let (secs, count) = time(|| dichotomy::count_substructures_recurrence(&db, &q).unwrap());
         println!(
             "{:>8} {:>9}  {:>12.2}ms {:>16}",
             db.num_tuples(),
@@ -359,7 +370,10 @@ fn counting() {
         );
     }
     println!("hard query H_0 (exact lineage; exponential worst case):");
-    println!("{:>8} {:>10} {:>14} {:>16}", "tuples", "worlds", "time", "count digits");
+    println!(
+        "{:>8} {:>10} {:>14} {:>16}",
+        "tuples", "worlds", "time", "count digits"
+    );
     for n in [6u64, 10, 14] {
         let (db, q) = h0_workload(n, 5);
         let (secs, count) = time(|| pdb::count_satisfying_worlds_exact(&db, &q));
@@ -408,14 +422,15 @@ fn multisim() {
     );
     let max = result.all.iter().map(|a| a.samples).max().unwrap_or(0);
     let uniform = max * m;
-    println!(
-        "uniform allocation at the same per-candidate depth would need {uniform} samples"
-    );
+    println!("uniform allocation at the same per-candidate depth would need {uniform} samples");
     println!(
         "-> adaptivity saves {:.0}% of the simulation work on this instance",
         100.0 * (1.0 - result.total_samples as f64 / uniform as f64)
     );
-    println!("{:<8} {:>10} {:>20} {:>10}", "answer", "estimate", "interval", "samples");
+    println!(
+        "{:<8} {:>10} {:>20} {:>10}",
+        "answer", "estimate", "interval", "samples"
+    );
     for a in result.all.iter().take(6) {
         println!(
             "d={:<6} {:>10.4} [{:>8.4}, {:>8.4}] {:>10}",

@@ -44,10 +44,7 @@ pub enum HardReason {
     /// A hierarchical join with an inversion admits no eraser
     /// (Theorem 4.4); carries the join query and the inversion path length
     /// (the `k` of the `H_k` reduction).
-    EraserFreeInversion {
-        join: Query,
-        chain_length: usize,
-    },
+    EraserFreeInversion { join: Query, chain_length: usize },
 }
 
 /// The two sides of the dichotomy.

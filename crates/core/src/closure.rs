@@ -276,11 +276,8 @@ pub fn hierarchical_closure(cov: &Coverage) -> Result<Closure, ClosureError> {
                     if items.len() >= MAX_ITEMS {
                         return Err(ClosureError::BudgetExceeded);
                     }
-                    let factors: BTreeSet<usize> = items[i]
-                        .factors
-                        .union(&items[j].factors)
-                        .copied()
-                        .collect();
+                    let factors: BTreeSet<usize> =
+                        items[i].factors.union(&items[j].factors).copied().collect();
                     let inversion_free = is_query_inversion_free(&join)?;
                     next_frontier.push(items.len());
                     items.push(ClosureItem {
@@ -350,10 +347,7 @@ mod tests {
         let f2 = q(&mut voc, "S0(u,v), S1(u,v)");
         let joins = hierarchical_joins(&f1, &f2);
         let expected = q(&mut voc, "R(x), S0(x,y), S1(x,y)");
-        assert!(
-            joins.iter().any(|j| equivalent(j, &expected)),
-            "{joins:?}"
-        );
+        assert!(joins.iter().any(|j| equivalent(j, &expected)), "{joins:?}");
     }
 
     #[test]

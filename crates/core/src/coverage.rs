@@ -16,9 +16,7 @@
 //! minimization/redundancy passes reproduce the cover-level simplifications
 //! of Fig. 1.
 
-use cq::{
-    contains, minimize, mgu_atoms, Pred, Query, Subst, Term, Value, Var,
-};
+use cq::{contains, mgu_atoms, minimize, Pred, Query, Subst, Term, Value, Var};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -277,7 +275,9 @@ fn crossing_unifier_exists(f: &Query, u: Var, v: Var) -> bool {
             p1.negated = false;
             let mut p2 = a2.clone();
             p2.negated = false;
-            let Some(mgu) = mgu_atoms(&p1, &p2) else { continue };
+            let Some(mgu) = mgu_atoms(&p1, &p2) else {
+                continue;
+            };
             let mut preds: Vec<Pred> = f.preds.clone();
             preds.extend(fr.preds.iter().copied());
             preds.extend(mgu.equalities());
@@ -364,7 +364,9 @@ pub fn rooted_coverage(q: &Query) -> Result<Coverage, CoverageError> {
         'scan: for (ci, cover) in covers.iter().enumerate() {
             for comp in cover.connected_components() {
                 let maxima = crate::hierarchy::maximal_vars(&comp);
-                let Some(theory) = comp.theory() else { continue };
+                let Some(theory) = comp.theory() else {
+                    continue;
+                };
                 for (i, &u) in maxima.iter().enumerate() {
                     for &v in &maxima[i + 1..] {
                         let ordered = theory.entails(&Pred::lt(u, v))
@@ -573,8 +575,14 @@ mod ablation_tests {
         };
         for row in [FIG1_ROW2, FIG1_ROW3] {
             assert!(!inversion_with(row, full), "{row}: full pipeline");
-            assert!(!inversion_with(row, no_min), "{row}: redundancy alone suffices");
-            assert!(!inversion_with(row, no_red), "{row}: minimization alone suffices");
+            assert!(
+                !inversion_with(row, no_min),
+                "{row}: redundancy alone suffices"
+            );
+            assert!(
+                !inversion_with(row, no_red),
+                "{row}: minimization alone suffices"
+            );
             assert!(
                 inversion_with(row, neither),
                 "{row}: expected a spurious inversion with both passes off"

@@ -1,59 +1,48 @@
-//! A MystiQ-style evaluation engine (§1, "Background and motivation").
+//! A MystiQ-style evaluation engine (§1, "Background and motivation") —
+//! now split into a planner and an executor.
 //!
 //! MystiQ "tests if queries have a PTIME plan ...; if not, then we run a
-//! Monte Carlo simulation algorithm". The [`Engine`] reproduces that
-//! architecture over this workspace's substrates: classify the query with
-//! the dichotomy, then dispatch:
+//! Monte Carlo simulation algorithm". Earlier revisions of this engine
+//! re-ran that test on every call; the [`Engine`] is now a thin facade
+//! over the split architecture:
+//!
+//! * the [`crate::planner::Planner`] classifies a query **once**, compiles
+//!   a [`crate::plan::PhysicalPlan`], and memoizes it in an LRU cache
+//!   keyed by the canonicalized query — repeated traffic (alpha-renamed or
+//!   atom-permuted variants included) skips classification entirely;
+//! * the [`crate::plan::Executor`] runs the plan against any database,
+//!   set-at-a-time through the `safeplan` extensional operators where the
+//!   query allows it (hierarchical, self-join-free — Theorem 1.3's
+//!   tractable fragment), tuple-at-a-time or via lineage otherwise.
 //!
 //! | classification | plan |
 //! |---|---|
-//! | hierarchical, no self-joins | Eq. 3 recurrence ([`crate::recurrence`]) |
+//! | hierarchical, no self-joins | extensional safe plan ([`safeplan`]) |
+//! | — (negated self-join survivor) | Eq. 3 recurrence ([`crate::recurrence`]) |
 //! | inversion-free | root-recursion safe plan ([`crate::safe_eval`]) |
 //! | erasable inversions | exact lineage compilation (documented §3.4 substitution) |
 //! | #P-hard | Karp–Luby FPRAS over the lineage (MystiQ's fallback) |
 //!
 //! Small instances may force exact lineage evaluation for ground truth via
-//! [`Strategy::ExactLineage`].
+//! [`Strategy::ExactLineage`]; [`Strategy::MonteCarlo`] forces sampling.
+//! [`Evaluation`] reports planning and execution time separately, plus
+//! whether the plan came from the cache.
 
-use crate::classify::{classify, Classification, ClassifyError, Complexity, PTimeReason};
-use crate::recurrence::eval_recurrence;
-use crate::safe_eval::eval_inversion_free;
+use crate::classify::{Classification, ClassifyError};
+use crate::plan::{Executor, PhysicalPlan};
+use crate::planner::{Planner, PlannerStats};
 use cq::Query;
-use lineage::{exact_probability, karp_luby};
-use pdb::{lineage_of, ProbDb};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pdb::ProbDb;
 use std::fmt;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// How a probability was computed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Method {
-    /// Eq. 3 recurrence (Theorem 1.3(1)).
-    Recurrence,
-    /// Inversion-free safe plan (§3.2).
-    SafePlan,
-    /// Exact weighted model counting over the lineage.
-    ExactLineage,
-    /// Karp–Luby estimation over the lineage.
-    KarpLuby,
-}
-
-impl fmt::Display for Method {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Method::Recurrence => write!(f, "recurrence"),
-            Method::SafePlan => write!(f, "safe-plan"),
-            Method::ExactLineage => write!(f, "exact-lineage"),
-            Method::KarpLuby => write!(f, "karp-luby"),
-        }
-    }
-}
+pub use crate::plan::Method;
 
 /// Evaluation strategy selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
-    /// Classify, then pick the best plan (the MystiQ architecture).
+    /// Plan (with caching), then execute — the MystiQ architecture.
     Auto,
     /// Force exact lineage compilation (exponential worst case).
     ExactLineage,
@@ -66,10 +55,21 @@ pub enum Strategy {
 pub struct Evaluation {
     pub probability: f64,
     pub method: Method,
-    pub classification: Option<Classification>,
-    /// Standard error when `method == KarpLuby`, 0 otherwise.
+    /// The classification behind an `Auto` plan (shared with the plan
+    /// cache — cloning an `Arc`, not the coverage artifacts).
+    pub classification: Option<Arc<Classification>>,
+    /// Standard error of the estimate. Populated for every sampling path
+    /// (including forced [`Strategy::MonteCarlo`]); 0 for exact methods.
     pub std_error: f64,
-    pub wall_time: std::time::Duration,
+    /// Time spent planning: classification + plan compilation, or the
+    /// cache probe when the plan was already cached.
+    pub planning: Duration,
+    /// Time spent executing the physical plan against the database.
+    pub execution: Duration,
+    /// Total: `planning + execution`.
+    pub wall_time: Duration,
+    /// Whether the plan came from the engine's plan cache.
+    pub cache_hit: bool,
 }
 
 /// Engine errors.
@@ -90,28 +90,64 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// The evaluation engine. Holds tuning knobs; databases and queries are
-/// passed per call so one engine can serve many evaluations.
-#[derive(Clone, Debug)]
+/// The evaluation engine: a shared planner (with its plan cache) plus an
+/// executor. Databases and queries are passed per call so one engine can
+/// serve many evaluations; clones share the same plan cache, so a fleet
+/// of workers warms one cache.
+#[derive(Clone)]
 pub struct Engine {
-    /// Samples for the Monte-Carlo fallback.
+    /// Samples for the Monte-Carlo fallback. Honored at evaluation time:
+    /// changing it after construction overrides the sample count of
+    /// already-cached sampling plans on their next execution.
     pub mc_samples: u64,
     /// RNG seed for reproducible estimates.
     pub seed: u64,
+    planner: Arc<Planner>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("mc_samples", &self.mc_samples)
+            .field("seed", &self.seed)
+            .field("cache", &self.planner.stats())
+            .finish()
+    }
 }
 
 impl Default for Engine {
     fn default() -> Self {
-        Engine {
-            mc_samples: 100_000,
-            seed: 0xD_A151,
-        }
+        Engine::with_samples_and_seed(100_000, 0xD_A151)
     }
 }
 
 impl Engine {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An engine with explicit tuning (the struct-literal construction
+    /// sites of earlier revisions map onto this).
+    pub fn with_samples_and_seed(mc_samples: u64, seed: u64) -> Self {
+        Engine {
+            mc_samples,
+            seed,
+            planner: Arc::new(Planner::new(mc_samples)),
+        }
+    }
+
+    /// The planner behind this engine (plan inspection, ranked templates).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Cache counters of the shared planner.
+    pub fn cache_stats(&self) -> PlannerStats {
+        self.planner.stats()
+    }
+
+    pub(crate) fn executor(&self) -> Executor {
+        Executor::new(self.seed)
     }
 
     /// Evaluate `p(q)` on `db` with the chosen strategy.
@@ -121,132 +157,87 @@ impl Engine {
         q: &Query,
         strategy: Strategy,
     ) -> Result<Evaluation, EngineError> {
-        let start = Instant::now();
-        match strategy {
-            Strategy::ExactLineage => {
-                let p = self.exact_lineage(db, q);
-                Ok(Evaluation {
-                    probability: p,
-                    method: Method::ExactLineage,
-                    classification: None,
-                    std_error: 0.0,
-                    wall_time: start.elapsed(),
-                })
-            }
-            Strategy::MonteCarlo { samples } => {
-                let (p, se) = self.karp_luby(db, q, samples);
-                Ok(Evaluation {
-                    probability: p,
-                    method: Method::KarpLuby,
-                    classification: None,
-                    std_error: se,
-                    wall_time: start.elapsed(),
-                })
-            }
-            Strategy::Auto => {
-                let classification = classify(q).map_err(EngineError::Classify)?;
-                // Evaluate the minimized equivalent: classification is a
-                // property of the minimal query (e.g. `R(x), R(y)` minimizes
-                // to the self-join-free `R(x)`). With negated sub-goals the
-                // classifier minimized the *positive* version, which is not
-                // equivalent — keep the original there.
-                let eval_q = if q.has_negation() {
-                    q.clone()
-                } else {
-                    classification.minimized.clone()
-                };
-                let eval_q = &eval_q;
-                let (p, method, se) = match &classification.complexity {
-                    Complexity::PTime(PTimeReason::Trivial) => {
-                        // Satisfiable trivial queries (no atoms) are certain;
-                        // unsatisfiable ones have probability 0. `minimize`
-                        // returned an empty-atom query only in those cases.
-                        if classification.minimized.atoms.is_empty()
-                            && classification.minimized.normalize().is_some()
-                        {
-                            (1.0, Method::Recurrence, 0.0)
-                        } else {
-                            (0.0, Method::Recurrence, 0.0)
-                        }
-                    }
-                    Complexity::PTime(PTimeReason::HierarchicalNoSelfJoin) => {
-                        // A negated self-join can survive the positive-only
-                        // classification (e.g. `R(x), not R(y)`): fall
-                        // through to the safe plan, then exact lineage.
-                        match eval_recurrence(db, eval_q) {
-                            Ok(p) => (p, Method::Recurrence, 0.0),
-                            Err(crate::recurrence::RecurrenceError::SelfJoin) => {
-                                match eval_inversion_free(db, eval_q) {
-                                    Ok(p) => (p, Method::SafePlan, 0.0),
-                                    Err(_) => {
-                                        (self.exact_lineage(db, eval_q), Method::ExactLineage, 0.0)
-                                    }
-                                }
-                            }
-                            Err(e) => return Err(EngineError::Eval(e.to_string())),
-                        }
-                    }
-                    Complexity::PTime(PTimeReason::InversionFree) => {
-                        match eval_inversion_free(db, eval_q) {
-                            Ok(p) => (p, Method::SafePlan, 0.0),
-                            // The safe plan's inclusion-exclusion budget is
-                            // an engineering bound; exact lineage stays
-                            // correct (if not worst-case polynomial).
-                            Err(crate::safe_eval::SafeEvalError::TooComplex) => {
-                                (self.exact_lineage(db, eval_q), Method::ExactLineage, 0.0)
-                            }
-                            Err(e) => return Err(EngineError::Eval(e.to_string())),
-                        }
-                    }
-                    Complexity::PTime(PTimeReason::ErasableInversions) => {
-                        // Documented substitution (DESIGN.md §3.4): the
-                        // paper's general algorithm is replaced by exact
-                        // lineage compilation — exact, not worst-case
-                        // polynomial.
-                        (self.exact_lineage(db, eval_q), Method::ExactLineage, 0.0)
-                    }
-                    Complexity::SharpPHard(_) => {
-                        let (p, se) = self.karp_luby(db, eval_q, self.mc_samples);
-                        (p, Method::KarpLuby, se)
-                    }
-                };
-                Ok(Evaluation {
-                    probability: p,
-                    method,
-                    classification: Some(classification),
-                    std_error: se,
-                    wall_time: start.elapsed(),
-                })
-            }
+        // The cached plan is shared, not cloned: the executor borrows it.
+        enum Holder {
+            Cached(Arc<crate::planner::PlannedQuery>),
+            Adhoc(PhysicalPlan),
         }
+
+        let plan_start = Instant::now();
+        let mut classification = None;
+        let mut cache_hit = false;
+        let holder = match strategy {
+            Strategy::Auto => {
+                let (planned, hit) = self
+                    .planner
+                    .plan_tracked(q)
+                    .map_err(EngineError::Classify)?;
+                classification = Some(Arc::clone(&planned.classification));
+                cache_hit = hit;
+                match &planned.plan {
+                    // Honor the engine's *current* sample count even when a
+                    // cached sampling plan was compiled with another.
+                    PhysicalPlan::KarpLuby { query, samples } if *samples != self.mc_samples => {
+                        Holder::Adhoc(PhysicalPlan::KarpLuby {
+                            query: query.clone(),
+                            samples: self.mc_samples,
+                        })
+                    }
+                    _ => Holder::Cached(planned),
+                }
+            }
+            Strategy::ExactLineage => {
+                Holder::Adhoc(PhysicalPlan::ExactLineage { query: q.clone() })
+            }
+            Strategy::MonteCarlo { samples } => Holder::Adhoc(PhysicalPlan::KarpLuby {
+                query: q.clone(),
+                samples,
+            }),
+        };
+        let plan: &PhysicalPlan = match &holder {
+            Holder::Cached(planned) => &planned.plan,
+            Holder::Adhoc(plan) => plan,
+        };
+        let planning = plan_start.elapsed();
+
+        let exec_start = Instant::now();
+        let outcome = self
+            .executor()
+            .execute(db, plan)
+            .map_err(EngineError::Eval)?;
+        let execution = exec_start.elapsed();
+
+        Ok(Evaluation {
+            probability: outcome.probability,
+            method: outcome.method,
+            classification,
+            std_error: outcome.std_error,
+            planning,
+            execution,
+            wall_time: planning + execution,
+            cache_hit,
+        })
     }
 
-    /// Evaluate `p(q)` in exact rational arithmetic: the Eq. 3 recurrence
-    /// when the query is hierarchical and self-join-free, exact lineage
-    /// compilation otherwise. Always exact; the lineage path is worst-case
-    /// exponential (and must be, for #P-hard queries).
+    /// Evaluate `p(q)` in exact rational arithmetic, through the same
+    /// planner: the extensional plan or Eq. 3 recurrence when the query is
+    /// safe, exact lineage compilation otherwise. Always exact; the
+    /// lineage path is worst-case exponential (and must be, for #P-hard
+    /// queries).
     pub fn evaluate_exact(
         &self,
         db: &ProbDb,
         probs: &pdb::RatProbs,
         q: &Query,
     ) -> (numeric::QRat, Method) {
-        match crate::exact_recurrence::eval_recurrence_exact(db, probs, q) {
-            Ok(p) => (p, Method::Recurrence),
-            Err(_) => (pdb::exact_query_probability(db, probs, q), Method::ExactLineage),
+        match self.planner.plan(q) {
+            Ok(planned) => self.executor().execute_exact(db, probs, &planned.plan),
+            // Classification resource bounds: exact lineage is always sound.
+            Err(_) => (
+                pdb::exact_query_probability(db, probs, q),
+                Method::ExactLineage,
+            ),
         }
-    }
-
-    fn exact_lineage(&self, db: &ProbDb, q: &Query) -> f64 {
-        let dnf = lineage_of(db, q);
-        exact_probability(&dnf, &db.prob_vector())
-    }
-
-    fn karp_luby(&self, db: &ProbDb, q: &Query, samples: u64) -> (f64, f64) {
-        let dnf = lineage_of(db, q);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let est = karp_luby(&dnf, &db.prob_vector(), samples, &mut rng);
-        (est.estimate, est.std_error)
     }
 }
 
@@ -268,10 +259,10 @@ mod tests {
     }
 
     #[test]
-    fn auto_picks_recurrence_for_no_self_join() {
+    fn auto_picks_extensional_plan_for_no_self_join() {
         let (db, q) = setup("R(x), S(x,y)", 1);
         let ev = Engine::new().evaluate(&db, &q, Strategy::Auto).unwrap();
-        assert_eq!(ev.method, Method::Recurrence);
+        assert_eq!(ev.method, Method::Extensional);
         let bf = brute_force_probability(&db, &q);
         assert!((ev.probability - bf).abs() < 1e-9);
     }
@@ -288,12 +279,10 @@ mod tests {
     #[test]
     fn auto_falls_back_to_karp_luby_for_hard_query() {
         let (db, q) = setup("R(x), S(x,y), S(x2,y2), T(y2)", 3);
-        let engine = Engine {
-            mc_samples: 50_000,
-            seed: 7,
-        };
+        let engine = Engine::with_samples_and_seed(50_000, 7);
         let ev = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
         assert_eq!(ev.method, Method::KarpLuby);
+        assert!(ev.std_error > 0.0, "sampling must report a standard error");
         let bf = brute_force_probability(&db, &q);
         assert!(
             (ev.probability - bf).abs() < 0.02,
@@ -313,6 +302,18 @@ mod tests {
     }
 
     #[test]
+    fn forced_monte_carlo_reports_std_error() {
+        let (db, q) = setup("R(x), S(x,y)", 8);
+        let ev = Engine::new()
+            .evaluate(&db, &q, Strategy::MonteCarlo { samples: 10_000 })
+            .unwrap();
+        assert_eq!(ev.method, Method::KarpLuby);
+        assert!(ev.std_error > 0.0);
+        let bf = brute_force_probability(&db, &q);
+        assert!((ev.probability - bf).abs() < 0.05);
+    }
+
+    #[test]
     fn trivial_queries_answered_without_data() {
         let mut voc = Vocabulary::new();
         let q = parse_query(&mut voc, "R(x), x < x").unwrap();
@@ -324,8 +325,8 @@ mod tests {
     #[test]
     fn evaluate_exact_dispatches_and_agrees() {
         use pdb::RatProbs;
-        // Safe query → recurrence; hard query → exact lineage; both agree
-        // with the f64 oracle.
+        // Safe query → extensional plan; hard query → exact lineage; both
+        // agree with the f64 oracle.
         for (text, seed) in [("R(x), S(x,y)", 10u64), ("R(x,y), R(y,z)", 11)] {
             let (db, q) = setup(text, seed);
             let probs = RatProbs::from_db(&db);
@@ -336,7 +337,7 @@ mod tests {
                 "{text}: exact {p} vs brute force {bf}"
             );
             if text.starts_with("R(x),") {
-                assert_eq!(method, Method::Recurrence);
+                assert_eq!(method, Method::Extensional);
             } else {
                 assert_eq!(method, Method::ExactLineage);
             }
@@ -352,5 +353,48 @@ mod tests {
         db.insert(r, vec![Value(1)], 1.0);
         let ev = Engine::new().evaluate(&db, &q, Strategy::Auto).unwrap();
         assert!((ev.probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_evaluation_hits_the_plan_cache() {
+        let (db, q) = setup("R(x), S(x,y)", 5);
+        let engine = Engine::new();
+        let first = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert!(!first.cache_hit);
+        let second = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert!(second.cache_hit);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.classifications, 1);
+        assert_eq!(stats.hits, 1);
+        // Clones share the cache.
+        let clone = engine.clone();
+        let third = clone.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert!(third.cache_hit);
+    }
+
+    #[test]
+    fn mutated_mc_samples_override_cached_sampling_plans() {
+        let (db, q) = setup("R(x), S(x,y), S(x2,y2), T(y2)", 3);
+        let mut engine = Engine::with_samples_and_seed(500, 7);
+        let coarse = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert_eq!(coarse.method, Method::KarpLuby);
+        // Tighten the budget after the plan is cached: the next execution
+        // must use the new count (more samples → smaller standard error).
+        engine.mc_samples = 50_000;
+        let fine = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert!(fine.cache_hit);
+        assert!(
+            fine.std_error < coarse.std_error / 2.0,
+            "std error {} should shrink well below {}",
+            fine.std_error,
+            coarse.std_error
+        );
+    }
+
+    #[test]
+    fn timings_cover_planning_and_execution() {
+        let (db, q) = setup("R(x), S(x,y)", 6);
+        let ev = Engine::new().evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert_eq!(ev.wall_time, ev.planning + ev.execution);
     }
 }

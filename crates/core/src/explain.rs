@@ -1,11 +1,47 @@
 //! Human-readable explanations of classification outcomes — render the
 //! dichotomy's witnesses (non-hierarchical variable pairs, inversion paths,
-//! hard joins) the way the paper presents them.
+//! hard joins) the way the paper presents them — and of evaluations (which
+//! plan ran, planning vs execution time, cache behavior).
 
 use crate::classify::{Classification, Complexity, HardReason, PTimeReason};
+use crate::engine::Evaluation;
 use crate::hierarchy::VarRel;
 use cq::Vocabulary;
 use std::fmt::Write as _;
+
+/// Render an evaluation: probability (with its 95% interval when the plan
+/// sampled), the substrate that ran, and the planning/execution split the
+/// planner/executor architecture makes observable.
+pub fn explain_evaluation(ev: &Evaluation) -> String {
+    let mut out = String::new();
+    if ev.std_error > 0.0 {
+        let _ = writeln!(
+            out,
+            "P(q) ≈ {:.6} ± {:.6} (95%)",
+            ev.probability,
+            1.96 * ev.std_error
+        );
+    } else {
+        let _ = writeln!(out, "P(q) = {:.9}", ev.probability);
+    }
+    let _ = writeln!(out, "method    : {}", ev.method);
+    let _ = writeln!(
+        out,
+        "planning  : {:?}{}",
+        ev.planning,
+        if ev.cache_hit {
+            " (plan-cache hit)"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(out, "execution : {:?}", ev.execution);
+    let _ = writeln!(out, "wall time : {:?}", ev.wall_time);
+    if let Some(c) = &ev.classification {
+        let _ = writeln!(out, "complexity: {}", c.complexity);
+    }
+    out
+}
 
 /// Render a classification with its witnesses. Intended for CLI/debug
 /// output; stable enough to grep in tests but not a machine interface.
@@ -30,8 +66,12 @@ pub fn explain(c: &Classification, voc: &Vocabulary) -> String {
                     "  the strict coverage has no inversion: evaluated by the §3.2 safe plan."
                 );
                 if let Some(cov) = &c.coverage {
-                    let _ = writeln!(out, "  coverage: {} factor(s), {} cover(s)",
-                        cov.factors.len(), cov.covers.len());
+                    let _ = writeln!(
+                        out,
+                        "  coverage: {} factor(s), {} cover(s)",
+                        cov.factors.len(),
+                        cov.covers.len()
+                    );
                     for (i, f) in cov.factors.iter().enumerate() {
                         let _ = writeln!(out, "    f{}: {}", i, f.display(voc));
                     }
@@ -114,7 +154,10 @@ mod tests {
     fn explains_non_hierarchical_witness() {
         let s = explained("R(x), S(x,y), T(y)");
         assert!(s.contains("non-hierarchical"), "{s}");
-        assert!(s.contains("R(") && s.contains("S(") && s.contains("T("), "{s}");
+        assert!(
+            s.contains("R(") && s.contains("S(") && s.contains("T("),
+            "{s}"
+        );
         assert!(s.contains("Theorem B.5"), "{s}");
     }
 
@@ -131,6 +174,35 @@ mod tests {
         let s = explained("P(x), R(x,y), R(x2,y2), S(x2)");
         assert!(s.contains("no inversion"), "{s}");
         assert!(s.contains("factor(s)"), "{s}");
+    }
+
+    #[test]
+    fn explains_evaluation_timings_and_method() {
+        use crate::engine::{Engine, Strategy};
+        use cq::Value;
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = pdb::ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5);
+        db.insert(s, vec![Value(1), Value(2)], 0.4);
+        // Second component: a multi-clause lineage so forced Monte Carlo
+        // has a genuine standard error to render.
+        db.insert(r, vec![Value(3)], 0.7);
+        db.insert(s, vec![Value(3), Value(4)], 0.6);
+        let engine = Engine::new();
+        let ev = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        let text = explain_evaluation(&ev);
+        assert!(text.contains("method    : extensional-plan"), "{text}");
+        assert!(text.contains("planning"), "{text}");
+        assert!(text.contains("execution"), "{text}");
+        let again = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert!(explain_evaluation(&again).contains("plan-cache hit"));
+        let mc = engine
+            .evaluate(&db, &q, Strategy::MonteCarlo { samples: 5_000 })
+            .unwrap();
+        assert!(explain_evaluation(&mc).contains("±"), "std error rendered");
     }
 
     #[test]

@@ -152,9 +152,10 @@ pub fn hierarchy_tree(q: &Query) -> Option<HierarchyNode> {
     }
     // The root class must be above or equal to every other class.
     let root_idx = (0..classes.len()).find(|&i| {
-        classes.iter().enumerate().all(|(j, c)| {
-            i == j || matches!(var_rel(q, classes[i][0], c[0]), VarRel::Above)
-        })
+        classes
+            .iter()
+            .enumerate()
+            .all(|(j, c)| i == j || matches!(var_rel(q, classes[i][0], c[0]), VarRel::Above))
     })?;
     Some(build_node(q, root_idx, &classes))
 }
@@ -168,9 +169,9 @@ fn build_node(q: &Query, idx: usize, classes: &[Vec<Var>]) -> HierarchyNode {
         .iter()
         .copied()
         .filter(|&j| {
-            !below.iter().any(|&k| {
-                k != j && var_rel(q, classes[j][0], classes[k][0]) == VarRel::Below
-            })
+            !below
+                .iter()
+                .any(|&k| k != j && var_rel(q, classes[j][0], classes[k][0]) == VarRel::Below)
         })
         .collect();
     HierarchyNode {

@@ -80,7 +80,9 @@ pub fn find_inversion(cov: &Coverage) -> Option<InversionWitness> {
             let gr = g.rename_apart(offset);
             for a1 in &f.atoms {
                 for a2 in &gr.atoms {
-                    let Some(mgu) = mgu_atoms(a1, a2) else { continue };
+                    let Some(mgu) = mgu_atoms(a1, a2) else {
+                        continue;
+                    };
                     // Consistency with both factors' predicates.
                     let mut preds: Vec<Pred> = f.preds.clone();
                     preds.extend(gr.preds.iter().copied());
@@ -103,12 +105,10 @@ pub fn find_inversion(cov: &Coverage) -> Option<InversionWitness> {
                                     if x2 == y2 {
                                         continue;
                                     }
-                                    let jx = mgu
-                                        .subst
-                                        .apply_term_deep(Term::Var(Var(x2.0 + offset)));
-                                    let jy = mgu
-                                        .subst
-                                        .apply_term_deep(Term::Var(Var(y2.0 + offset)));
+                                    let jx =
+                                        mgu.subst.apply_term_deep(Term::Var(Var(x2.0 + offset)));
+                                    let jy =
+                                        mgu.subst.apply_term_deep(Term::Var(Var(y2.0 + offset)));
                                     if ix == jx && iy == jy {
                                         let n1 = NodeId { factor: fi, x, y };
                                         let n2 = NodeId {
@@ -237,9 +237,7 @@ mod tests {
     #[test]
     fn open_marked_ring_has_inversion() {
         // Fig. 2 row 2: path goes twice through each factor.
-        assert!(
-            inversion("R(x), S1(x,y), S1(u1,v1), S2(u1,v1), S2(u2,v2), S2(v2,u2)").is_some()
-        );
+        assert!(inversion("R(x), S1(x,y), S1(u1,v1), S2(u1,v1), S2(u2,v2), S2(v2,u2)").is_some());
     }
 
     #[test]
@@ -259,28 +257,24 @@ mod tests {
         // Fig. 1 row 1: R(x), S1(x,y,y) | S1(u,v,w), S2(u,v,w) |
         // S2(x2,x2,y2), T(y2). The trivial coverage would show a spurious
         // inversion; strict refinement interrupts the unification chain.
-        assert!(inversion(
-            "R(x), S1(x,y,y), S1(u,v,w), S2(u,v,w), S2(x2,x2,y2), T(y2)"
-        )
-        .is_none());
+        assert!(inversion("R(x), S1(x,y,y), S1(u,v,w), S2(u,v,w), S2(x2,x2,y2), T(y2)").is_none());
     }
 
     #[test]
     fn figure1_row2_minimization_removes_inversion() {
         // Fig. 1 row 2.
-        assert!(inversion(
-            "R(x1,x2), S(x1,x2,y,y), S(x1,x1,x2,x2), S(x3,x3,y3,y3), T(y3)"
-        )
-        .is_none());
+        assert!(
+            inversion("R(x1,x2), S(x1,x2,y,y), S(x1,x1,x2,x2), S(x3,x3,y3,y3), T(y3)").is_none()
+        );
     }
 
     #[test]
     fn figure1_row3_redundancy_removes_inversion() {
         // Fig. 1 row 3.
-        assert!(inversion(
-            "R(x1,x2), S(x1,x2,y,y), S(x1,x2,x1,x2), S(x3,x3,y31,y32), T(y31,y32)"
-        )
-        .is_none());
+        assert!(
+            inversion("R(x1,x2), S(x1,x2,y,y), S(x1,x2,x1,x2), S(x3,x3,y31,y32), T(y31,y32)")
+                .is_none()
+        );
     }
 
     #[test]
@@ -288,10 +282,7 @@ mod tests {
         // Footnote 1 (atoms share variables): R(x,y,y,x), R(x,y,x,z) and
         // R(y,x,y,x,y), R(y,x,y,z,x), R(x,x,y,z,u) are PTIME (no inversion).
         assert!(inversion("R(x,y,y,x), R(x,y,x,z)").is_none());
-        assert!(inversion(
-            "R(y,x,y,x,y), R(y,x,y,z,x), R(x,x,y,z,u)"
-        )
-        .is_none());
+        assert!(inversion("R(y,x,y,x,y), R(y,x,y,z,x), R(x,x,y,z,u)").is_none());
     }
 
     #[test]
@@ -307,9 +298,6 @@ mod tests {
         // (see safe_eval tests and EXPERIMENTS.md §divergences), so we
         // record the inversion-free outcome as intended behaviour rather
         // than asserting the footnote.
-        assert!(inversion(
-            "R(y,x,y,x,y), R(y,y,y,z,x), R(x,x,y,z,u)"
-        )
-        .is_none());
+        assert!(inversion("R(y,x,y,x,y), R(y,y,y,z,x), R(x,x,y,z,u)").is_none());
     }
 }

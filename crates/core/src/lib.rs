@@ -4,6 +4,8 @@
 //! query has either PTIME or #P-complete data complexity on
 //! tuple-independent probabilistic structures, decidably so.
 //!
+//! ## The analysis layer (the paper's machinery)
+//!
 //! * [`hierarchy`] — hierarchical queries (Definition 1.2), the `⊑` variable
 //!   hierarchy, hierarchy trees.
 //! * [`coverage`] — strict coverages (§2.1) by lazy `<`/`=`/`>` refinement,
@@ -14,16 +16,36 @@
 //! * [`eraser`] — the `N(C,σ)` inclusion–exclusion coefficients
 //!   (Definition 2.11) and eraser search (Definition 2.21).
 //! * [`classify`] — the dichotomy decision procedure (Theorem 1.8).
-//! * [`recurrence`] — the Eq. 3 PTIME algorithm for hierarchical queries
-//!   without self-joins (Theorem 1.3), with negation (Theorem 3.11).
-//! * [`safe_eval`] — the PTIME algorithm for inversion-free queries (§3.2)
-//!   in root-recursion form.
-//! * [`engine`] — a MystiQ-style facade: classify, then dispatch to a safe
-//!   plan, exact lineage compilation, or Karp–Luby estimation.
-//! * [`ranking`] — non-Boolean queries: answer tuples ranked by marginal
-//!   probability, one dichotomy-planned residual per candidate.
 //! * [`catalog`] — the paper's named queries with their claimed
 //!   complexities, as data.
+//!
+//! ## The evaluation layer (MystiQ's architecture, split in two)
+//!
+//! * [`planner`] — runs [`classify`] **once** per canonical query, compiles
+//!   a [`plan::PhysicalPlan`], and memoizes it in an LRU cache keyed by
+//!   [`cq::Query::cache_key`]; alpha-renamed and atom-permuted variants
+//!   share one entry, so repeated traffic never re-classifies. Also plans
+//!   non-Boolean *ranked templates* (batched extensional plans carrying the
+//!   head variables as columns, or a per-binding residual template).
+//! * [`plan`] — the typed `PhysicalPlan` IR and the [`plan::Executor`] that
+//!   runs it against any [`pdb::ProbDb`]: the `safeplan` set-at-a-time
+//!   extensional operators for hierarchical self-join-free queries (the
+//!   preferred backend), the Eq. 3 recurrence ([`recurrence`]), the §3.2
+//!   root recursion ([`safe_eval`]), exact lineage compilation, or
+//!   Karp–Luby sampling — with exact runtime fallbacks between them.
+//! * [`engine`] — the facade: plan (with caching), execute, report planning
+//!   and execution time separately.
+//! * [`ranking`] — non-Boolean queries: answer tuples ranked by marginal
+//!   probability; tractable shapes run as **one** batched plan over all
+//!   candidates, others plan the residual template once and execute it per
+//!   head binding.
+//! * [`multisim`] — top-k retrieval for hard answer sets by adaptive
+//!   interval Monte Carlo over per-candidate lineages, extracted in one
+//!   shared pass.
+//!
+//! The per-query evaluators ([`recurrence`], [`exact_recurrence`],
+//! [`safe_eval`]) remain directly callable; the planner is the policy that
+//! chooses among them.
 
 pub mod catalog;
 pub mod classify;
@@ -36,6 +58,8 @@ pub mod explain;
 pub mod hierarchy;
 pub mod inversion;
 pub mod multisim;
+pub mod plan;
+pub mod planner;
 pub mod ranking;
 pub mod recurrence;
 pub mod safe_eval;
@@ -48,10 +72,12 @@ pub use coverage::{
 };
 pub use engine::{Engine, Evaluation, Method};
 pub use exact_recurrence::{count_substructures_recurrence, eval_recurrence_exact};
-pub use explain::explain;
+pub use explain::{explain, explain_evaluation};
 pub use hierarchy::{check_hierarchical, is_hierarchical};
 pub use inversion::{find_inversion, InversionWitness};
 pub use multisim::{multisim_top_k, MultiSimAnswer, MultiSimConfig, MultiSimResult};
+pub use plan::{ExecOutcome, Executor, PhysicalPlan};
+pub use planner::{PlannedQuery, Planner, PlannerStats, RankedPlan, ResidualKind};
 pub use ranking::{ranked_answers, top_k, RankedAnswer};
 pub use recurrence::eval_recurrence;
 pub use safe_eval::eval_inversion_free;

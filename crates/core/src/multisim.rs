@@ -13,12 +13,11 @@
 //! set is the true top-k with probability at least `1 − delta` (under the
 //! usual i.i.d.-sampling caveats).
 
-use cq::{Query, Subst, Value, Var};
+use cq::{Query, Value, Var};
 use lineage::Dnf;
-use pdb::{all_valuations, lineage_of, ProbDb};
+use pdb::{lineages_by_head, ProbDb};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeSet;
 
 /// Tuning knobs for [`multisim_top_k`].
 #[derive(Clone, Copy, Debug)]
@@ -131,19 +130,12 @@ pub fn multisim_top_k(
     let probs = db.prob_vector();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    // Candidates and their lineages.
-    let mut tuples: BTreeSet<Vec<Value>> = BTreeSet::new();
-    for val in all_valuations(db, q) {
-        tuples.insert(head.iter().map(|h| val[h]).collect());
-    }
-    let mut cands: Vec<Candidate> = tuples
+    // Candidates and their lineages, extracted in one shared pass over the
+    // valuations (earlier revisions re-enumerated the join once per
+    // candidate).
+    let mut cands: Vec<Candidate> = lineages_by_head(db, q, head)
         .into_iter()
-        .map(|tuple| {
-            let mut subst = Subst::new();
-            for (h, &v) in head.iter().zip(&tuple) {
-                subst.bind(*h, v);
-            }
-            let dnf = lineage_of(db, &q.apply(&subst));
+        .map(|(tuple, dnf)| {
             let fixed = if dnf.is_false() {
                 Some(0.0)
             } else if dnf.is_true() {

@@ -1,0 +1,339 @@
+//! The physical plan IR joining the [`crate::planner`] to the executor.
+//!
+//! The paper's motivating system (MystiQ, §1) is an *engine*: classify a
+//! query once, compile the cheapest sound plan, then evaluate it
+//! extensionally inside the database. [`PhysicalPlan`] is the typed
+//! artifact that crosses that boundary: the planner runs the dichotomy
+//! classification exactly once and emits a plan; the [`Executor`] runs the
+//! plan against any [`ProbDb`] — many times, against many scenarios —
+//! without ever touching the classifier again.
+//!
+//! Plan variants, in preference order for PTIME queries:
+//!
+//! | variant | substrate | when |
+//! |---|---|---|
+//! | [`PhysicalPlan::Trivial`] | constant | no sub-goals after minimization |
+//! | [`PhysicalPlan::Extensional`] | `safeplan` set-at-a-time operators | hierarchical, no self-joins |
+//! | [`PhysicalPlan::Recurrence`] | Eq. 3 tuple-at-a-time recurrence | extensional compile declined |
+//! | [`PhysicalPlan::RootRecursion`] | §3.2 coverage root recursion | inversion-free self-joins |
+//! | [`PhysicalPlan::ExactLineage`] | weighted model counting | erasable inversions (§3.4 substitution) |
+//! | [`PhysicalPlan::KarpLuby`] | FPRAS over the lineage | #P-hard queries |
+
+use crate::recurrence::{eval_recurrence, RecurrenceError};
+use crate::safe_eval::{eval_inversion_free, SafeEvalError};
+use cq::{Query, Vocabulary};
+use lineage::{exact_probability, karp_luby};
+use numeric::QRat;
+use pdb::{lineage_of, ProbDb, RatProbs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// How a probability was computed — the executor's report of which
+/// substrate actually ran (runtime fallbacks may differ from the plan).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Eq. 3 recurrence, tuple-at-a-time (Theorem 1.3(1)).
+    Recurrence,
+    /// Extensional set-at-a-time safe plan (`safeplan` operators).
+    Extensional,
+    /// Inversion-free coverage safe plan, root-recursion form (§3.2).
+    SafePlan,
+    /// Exact weighted model counting over the lineage.
+    ExactLineage,
+    /// Karp–Luby estimation over the lineage.
+    KarpLuby,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::Recurrence => write!(f, "recurrence"),
+            Method::Extensional => write!(f, "extensional-plan"),
+            Method::SafePlan => write!(f, "safe-plan"),
+            Method::ExactLineage => write!(f, "exact-lineage"),
+            Method::KarpLuby => write!(f, "karp-luby"),
+        }
+    }
+}
+
+/// A compiled evaluation plan for a Boolean query: everything the executor
+/// needs, nothing the classifier produced along the way.
+#[derive(Clone, Debug)]
+pub enum PhysicalPlan {
+    /// Constant probability, no data access (trivial after minimization).
+    Trivial { probability: f64 },
+    /// Extensional safe plan run by the `safeplan` set-at-a-time executor —
+    /// the preferred backend for hierarchical self-join-free queries.
+    Extensional { plan: safeplan::PlanNode },
+    /// Tuple-at-a-time Eq. 3 recurrence; kept for negated self-joins the
+    /// extensional compiler declines, with runtime fallbacks below it.
+    Recurrence { query: Query },
+    /// Root-recursion safe evaluation for inversion-free queries.
+    RootRecursion { query: Query },
+    /// Exact lineage compilation (worst-case exponential, always exact).
+    ExactLineage { query: Query },
+    /// Karp–Luby FPRAS over the lineage (MystiQ's Monte-Carlo fallback).
+    KarpLuby { query: Query, samples: u64 },
+}
+
+impl PhysicalPlan {
+    /// The method this plan runs under normal (non-fallback) execution.
+    pub fn method(&self) -> Method {
+        match self {
+            PhysicalPlan::Trivial { .. } => Method::Recurrence,
+            PhysicalPlan::Extensional { .. } => Method::Extensional,
+            PhysicalPlan::Recurrence { .. } => Method::Recurrence,
+            PhysicalPlan::RootRecursion { .. } => Method::SafePlan,
+            PhysicalPlan::ExactLineage { .. } => Method::ExactLineage,
+            PhysicalPlan::KarpLuby { .. } => Method::KarpLuby,
+        }
+    }
+
+    /// Render the plan for CLI/debug output.
+    pub fn display(&self, voc: &Vocabulary) -> String {
+        match self {
+            PhysicalPlan::Trivial { probability } => {
+                format!("trivial (constant probability {probability})\n")
+            }
+            PhysicalPlan::Extensional { plan } => {
+                format!("extensional plan:\n{}", plan.display(voc))
+            }
+            PhysicalPlan::Recurrence { query } => {
+                format!("eq-3 recurrence over {}\n", query.display(voc))
+            }
+            PhysicalPlan::RootRecursion { query } => {
+                format!("root-recursion safe plan over {}\n", query.display(voc))
+            }
+            PhysicalPlan::ExactLineage { query } => {
+                format!("exact lineage compilation of {}\n", query.display(voc))
+            }
+            PhysicalPlan::KarpLuby { query, samples } => {
+                format!(
+                    "karp-luby estimation of {} ({samples} samples)\n",
+                    query.display(voc)
+                )
+            }
+        }
+    }
+}
+
+/// What one execution produced.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOutcome {
+    pub probability: f64,
+    /// Standard error of the estimate; 0 for exact methods.
+    pub std_error: f64,
+    /// The substrate that actually ran (after runtime fallbacks).
+    pub method: Method,
+}
+
+/// The executor: runs a [`PhysicalPlan`] against a database. Holds only
+/// tuning that affects execution (the RNG seed for sampling plans); all
+/// query analysis lives behind it in the planner.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    /// RNG seed for reproducible Monte-Carlo estimates.
+    pub seed: u64,
+}
+
+impl Executor {
+    pub fn new(seed: u64) -> Self {
+        Executor { seed }
+    }
+
+    /// Run `plan` against `db` in `f64` arithmetic.
+    ///
+    /// Exact-method plans degrade gracefully at runtime: the recurrence
+    /// falls back to root recursion and then exact lineage when a (negated)
+    /// self-join survives classification, and root recursion falls back to
+    /// exact lineage when its inclusion–exclusion budget trips. Both
+    /// fallbacks stay exact — only the reported [`Method`] changes.
+    pub fn execute(&self, db: &ProbDb, plan: &PhysicalPlan) -> Result<ExecOutcome, String> {
+        match plan {
+            PhysicalPlan::Trivial { probability } => Ok(exact(*probability, Method::Recurrence)),
+            PhysicalPlan::Extensional { plan } => Ok(exact(
+                safeplan::query_probability(db, plan),
+                Method::Extensional,
+            )),
+            PhysicalPlan::Recurrence { query } => match eval_recurrence(db, query) {
+                Ok(p) => Ok(exact(p, Method::Recurrence)),
+                Err(RecurrenceError::SelfJoin) => match eval_inversion_free(db, query) {
+                    Ok(p) => Ok(exact(p, Method::SafePlan)),
+                    Err(_) => Ok(exact(self.exact_lineage(db, query), Method::ExactLineage)),
+                },
+                Err(e) => Err(e.to_string()),
+            },
+            PhysicalPlan::RootRecursion { query } => match eval_inversion_free(db, query) {
+                Ok(p) => Ok(exact(p, Method::SafePlan)),
+                // The safe plan's inclusion-exclusion budget is an
+                // engineering bound, and a per-binding residual can carry
+                // constants that create unifications the planned template
+                // did not have; exact lineage stays correct in every such
+                // case (if not worst-case polynomial).
+                Err(SafeEvalError::TooComplex)
+                | Err(SafeEvalError::RootSelectionFailed)
+                | Err(SafeEvalError::DepthExceeded) => {
+                    Ok(exact(self.exact_lineage(db, query), Method::ExactLineage))
+                }
+                Err(e) => Err(e.to_string()),
+            },
+            PhysicalPlan::ExactLineage { query } => {
+                Ok(exact(self.exact_lineage(db, query), Method::ExactLineage))
+            }
+            PhysicalPlan::KarpLuby { query, samples } => {
+                let (p, se) = self.karp_luby(db, query, *samples);
+                Ok(ExecOutcome {
+                    probability: p,
+                    std_error: se,
+                    method: Method::KarpLuby,
+                })
+            }
+        }
+    }
+
+    /// Run `plan` against `db` in exact rational arithmetic. Sampling plans
+    /// and runtime fallbacks route to exact lineage compilation — always
+    /// exact, worst-case exponential (necessarily, for #P-hard queries).
+    pub fn execute_exact(
+        &self,
+        db: &ProbDb,
+        probs: &RatProbs,
+        plan: &PhysicalPlan,
+    ) -> (QRat, Method) {
+        match plan {
+            PhysicalPlan::Trivial { probability } => {
+                let p = if *probability >= 1.0 {
+                    QRat::one()
+                } else {
+                    QRat::zero()
+                };
+                (p, Method::Recurrence)
+            }
+            PhysicalPlan::Extensional { plan } => (
+                safeplan::query_probability_exact(db, probs, plan),
+                Method::Extensional,
+            ),
+            PhysicalPlan::Recurrence { query } => {
+                match crate::exact_recurrence::eval_recurrence_exact(db, probs, query) {
+                    Ok(p) => (p, Method::Recurrence),
+                    Err(_) => (
+                        pdb::exact_query_probability(db, probs, query),
+                        Method::ExactLineage,
+                    ),
+                }
+            }
+            PhysicalPlan::RootRecursion { query }
+            | PhysicalPlan::ExactLineage { query }
+            | PhysicalPlan::KarpLuby { query, .. } => (
+                pdb::exact_query_probability(db, probs, query),
+                Method::ExactLineage,
+            ),
+        }
+    }
+
+    pub(crate) fn exact_lineage(&self, db: &ProbDb, q: &Query) -> f64 {
+        let dnf = lineage_of(db, q);
+        exact_probability(&dnf, &db.prob_vector())
+    }
+
+    pub(crate) fn karp_luby(&self, db: &ProbDb, q: &Query, samples: u64) -> (f64, f64) {
+        let dnf = lineage_of(db, q);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let est = karp_luby(&dnf, &db.prob_vector(), samples, &mut rng);
+        (est.estimate, est.std_error)
+    }
+}
+
+fn exact(p: f64, method: Method) -> ExecOutcome {
+    ExecOutcome {
+        probability: p,
+        std_error: 0.0,
+        method,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::{parse_query, Value, Vocabulary};
+    use pdb::brute_force_probability;
+
+    fn small_db() -> (ProbDb, Query) {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5);
+        db.insert(s, vec![Value(1), Value(2)], 0.4);
+        // A second component, so sampling plans have a non-degenerate
+        // (multi-clause) lineage and a genuine standard error.
+        db.insert(r, vec![Value(3)], 0.7);
+        db.insert(s, vec![Value(3), Value(4)], 0.6);
+        (db, q)
+    }
+
+    #[test]
+    fn every_plan_variant_executes_r_s() {
+        let (db, q) = small_db();
+        let want = brute_force_probability(&db, &q);
+        let exec = Executor::new(7);
+        let plans = [
+            PhysicalPlan::Extensional {
+                plan: safeplan::build_plan(&q).unwrap(),
+            },
+            PhysicalPlan::Recurrence { query: q.clone() },
+            PhysicalPlan::ExactLineage { query: q.clone() },
+        ];
+        for plan in &plans {
+            let out = exec.execute(&db, plan).unwrap();
+            assert!(
+                (out.probability - want).abs() < 1e-12,
+                "{:?}: {} vs {want}",
+                plan.method(),
+                out.probability
+            );
+            assert_eq!(out.std_error, 0.0);
+        }
+        let kl = exec
+            .execute(
+                &db,
+                &PhysicalPlan::KarpLuby {
+                    query: q.clone(),
+                    samples: 20_000,
+                },
+            )
+            .unwrap();
+        assert!((kl.probability - want).abs() < 0.02);
+        assert!(kl.std_error > 0.0, "sampling must report a standard error");
+    }
+
+    #[test]
+    fn exact_execution_matches_f64() {
+        let (db, q) = small_db();
+        let probs = RatProbs::from_db(&db);
+        let exec = Executor::new(7);
+        let plan = PhysicalPlan::Extensional {
+            plan: safeplan::build_plan(&q).unwrap(),
+        };
+        let (p, method) = exec.execute_exact(&db, &probs, &plan);
+        assert_eq!(method, Method::Extensional);
+        // RatProbs::from_db embeds the exact binary f64 values, so compare
+        // against the f64 executor, not a decimal closed form.
+        let f = exec.execute(&db, &plan).unwrap().probability;
+        assert!((p.to_f64() - f).abs() < 1e-15);
+    }
+
+    #[test]
+    fn trivial_plans_skip_data() {
+        let mut voc = Vocabulary::new();
+        let _ = voc.relation("R", 1).unwrap();
+        let db = ProbDb::new(voc);
+        let exec = Executor::new(1);
+        let out = exec
+            .execute(&db, &PhysicalPlan::Trivial { probability: 1.0 })
+            .unwrap();
+        assert_eq!(out.probability, 1.0);
+    }
+}

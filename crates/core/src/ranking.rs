@@ -3,14 +3,20 @@
 //! The paper studies *Boolean* properties, but its motivating system
 //! (MystiQ, §1: "a system for finding more answers by using probabilities")
 //! answers ordinary conjunctive queries and ranks the answer tuples by
-//! their marginal probability. This module closes that loop: a query with
-//! *head variables* `h̄` is answered by enumerating the candidate bindings
-//! of `h̄` over the possible tuples and evaluating, for each candidate `ā`,
-//! the Boolean residual query `q[ā/h̄]` with the dichotomy engine — so each
-//! residual gets the cheapest sound plan (the residual of a hard query is
-//! often safe, because the substitution grounds the offending variables).
+//! their marginal probability. This module closes that loop through the
+//! planner/executor split:
+//!
+//! * For the tractable shapes (residual hierarchical and self-join-free)
+//!   the planner emits a **batched extensional plan** whose output relation
+//!   holds one row per candidate binding — the whole ranked answer set in a
+//!   single set-at-a-time execution, no per-candidate work at all.
+//! * Otherwise the **residual template** `q[ā/h̄]` is classified once and
+//!   each candidate executes the template's evaluator directly — earlier
+//!   revisions re-ran the dichotomy classifier for *every* candidate
+//!   tuple; the planner now runs it at most once per query shape.
 
 use crate::engine::{Engine, EngineError, Method, Strategy};
+use crate::planner::RankedPlan;
 use cq::{Query, Subst, Value, Var};
 use pdb::{all_valuations, ProbDb};
 use std::collections::BTreeSet;
@@ -27,10 +33,28 @@ pub struct RankedAnswer {
     pub method: Method,
 }
 
+fn assert_head_occurs(q: &Query, head: &[Var]) {
+    for h in head {
+        assert!(
+            q.vars().contains(h),
+            "head variable {h} does not occur in the query"
+        );
+    }
+}
+
+/// Candidate answers: distinct projections of the valuations.
+pub(crate) fn candidates(db: &ProbDb, q: &Query, head: &[Var]) -> BTreeSet<Vec<Value>> {
+    let mut out: BTreeSet<Vec<Value>> = BTreeSet::new();
+    for val in all_valuations(db, q) {
+        out.insert(head.iter().map(|h| val[h]).collect());
+    }
+    out
+}
+
 /// Evaluate a non-Boolean query: candidates for `head` are enumerated from
-/// the valuations of `q` over the possible tuples; each residual Boolean
-/// query is evaluated with `strategy`; answers come back sorted by
-/// probability, descending (ties broken by tuple order for determinism).
+/// the valuations of `q` over the possible tuples (or read off the batched
+/// plan's output relation); answers come back sorted by probability,
+/// descending (ties broken by tuple order for determinism).
 pub fn ranked_answers(
     engine: &Engine,
     db: &ProbDb,
@@ -38,19 +62,81 @@ pub fn ranked_answers(
     head: &[Var],
     strategy: Strategy,
 ) -> Result<Vec<RankedAnswer>, EngineError> {
-    for h in head {
-        assert!(
-            q.vars().contains(h),
-            "head variable {h} does not occur in the query"
-        );
+    assert_head_occurs(q, head);
+    let mut out = match strategy {
+        Strategy::Auto => ranked_auto(engine, db, q, head)?,
+        _ => ranked_forced(engine, db, q, head, strategy)?,
+    };
+    out.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("finite probabilities")
+            .then_with(|| a.tuple.cmp(&b.tuple))
+    });
+    Ok(out)
+}
+
+/// The plan-once path: one ranked template per query shape.
+fn ranked_auto(
+    engine: &Engine,
+    db: &ProbDb,
+    q: &Query,
+    head: &[Var],
+) -> Result<Vec<RankedAnswer>, EngineError> {
+    let template = engine
+        .planner()
+        .plan_ranked(q, head)
+        .map_err(EngineError::Classify)?;
+    match &*template {
+        RankedPlan::Batched { plan, head } => {
+            // One set-at-a-time execution computes every candidate's
+            // marginal probability.
+            Ok(
+                safeplan::ranked_probabilities(db, &db.prob_vector(), plan, head)
+                    .into_iter()
+                    .map(|(tuple, probability)| RankedAnswer {
+                        tuple,
+                        probability,
+                        std_error: 0.0,
+                        method: Method::Extensional,
+                    })
+                    .collect(),
+            )
+        }
+        RankedPlan::PerBinding { kind, .. } => {
+            let executor = engine.executor();
+            let mut out = Vec::new();
+            for tuple in candidates(db, q, head) {
+                let mut subst = Subst::new();
+                for (h, &v) in head.iter().zip(&tuple) {
+                    subst.bind(*h, v);
+                }
+                let residual = q.apply(&subst);
+                let plan = kind.instantiate(residual);
+                let outcome = executor.execute(db, &plan).map_err(EngineError::Eval)?;
+                out.push(RankedAnswer {
+                    tuple,
+                    probability: outcome.probability,
+                    std_error: outcome.std_error,
+                    method: outcome.method,
+                });
+            }
+            Ok(out)
+        }
     }
-    // Candidate answers: distinct projections of the valuations.
-    let mut candidates: BTreeSet<Vec<Value>> = BTreeSet::new();
-    for val in all_valuations(db, q) {
-        candidates.insert(head.iter().map(|h| val[h]).collect());
-    }
-    let mut out = Vec::with_capacity(candidates.len());
-    for tuple in candidates {
+}
+
+/// Forced strategies evaluate each residual under that strategy (no
+/// classification happens there either).
+fn ranked_forced(
+    engine: &Engine,
+    db: &ProbDb,
+    q: &Query,
+    head: &[Var],
+    strategy: Strategy,
+) -> Result<Vec<RankedAnswer>, EngineError> {
+    let mut out = Vec::new();
+    for tuple in candidates(db, q, head) {
         let mut subst = Subst::new();
         for (h, &v) in head.iter().zip(&tuple) {
             subst.bind(*h, v);
@@ -64,12 +150,6 @@ pub fn ranked_answers(
             method: ev.method,
         });
     }
-    out.sort_by(|a, b| {
-        b.probability
-            .partial_cmp(&a.probability)
-            .expect("finite probabilities")
-            .then_with(|| a.tuple.cmp(&b.tuple))
-    });
     Ok(out)
 }
 
@@ -125,6 +205,22 @@ mod tests {
     }
 
     #[test]
+    fn safe_shapes_run_batched_without_classification() {
+        let (db, q, head) = movie_db();
+        let engine = Engine::new();
+        let answers = ranked_answers(&engine, &db, &q, &head, Strategy::Auto).unwrap();
+        assert_eq!(answers.len(), 2);
+        for a in &answers {
+            assert_eq!(a.method, Method::Extensional);
+        }
+        // The batched template never touches the classifier, and repeat
+        // traffic hits the ranked-plan cache.
+        assert_eq!(engine.cache_stats().classifications, 0);
+        let _ = ranked_answers(&engine, &db, &q, &head, Strategy::Auto).unwrap();
+        assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
     fn ranking_is_descending() {
         let (db, q, head) = movie_db();
         let engine = Engine::new();
@@ -151,8 +247,7 @@ mod tests {
         let (db, q, _) = movie_db();
         let vars = q.vars();
         let engine = Engine::new();
-        let answers =
-            ranked_answers(&engine, &db, &q, &vars, Strategy::Auto).unwrap();
+        let answers = ranked_answers(&engine, &db, &q, &vars, Strategy::Auto).unwrap();
         // Three (d, m) pairs with credits.
         assert_eq!(answers.len(), 3);
         for a in &answers {
@@ -163,7 +258,8 @@ mod tests {
     #[test]
     fn hard_query_residuals_become_tractable() {
         // H_0's residual under a grounding of x is hierarchical without the
-        // inversion: the engine should stop falling back to Monte Carlo.
+        // inversion: the template classifies once, and no candidate falls
+        // back to Monte Carlo.
         let mut voc = Vocabulary::new();
         let q = parse_query(&mut voc, "R(x), S(x,y), S(x2,y2), T(y2)").unwrap();
         let x = q.vars()[0];
@@ -186,6 +282,8 @@ mod tests {
             let bf = brute_force_probability(&db, &residual);
             assert!((a.probability - bf).abs() < 1e-9);
         }
+        // One classification for the whole template, not one per candidate.
+        assert_eq!(engine.cache_stats().classifications, 1);
     }
 
     #[test]

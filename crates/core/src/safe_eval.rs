@@ -185,7 +185,11 @@ impl Evaluator<'_> {
                     factors.extend(r.connected_components());
                 }
             }
-            let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+            let sign = if mask.count_ones() % 2 == 1 {
+                1.0
+            } else {
+                -1.0
+            };
             total += sign * self.conj(&factors, ctx, depth + 1)?;
         }
         self.memo.insert(memo_key, total);
@@ -278,7 +282,11 @@ impl Evaluator<'_> {
         }
         let mut total = 0.0;
         for mask in 0u32..(1 << k) {
-            let sign = if mask.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if mask.count_ones() % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             if mask == 0 {
                 total += sign;
                 continue;
@@ -338,7 +346,12 @@ impl Evaluator<'_> {
         }
     }
 
-    fn search_roots(&self, comps: &[Query], candidates: &[Vec<Var>], choice: &mut Vec<Var>) -> bool {
+    fn search_roots(
+        &self,
+        comps: &[Query],
+        candidates: &[Vec<Var>],
+        choice: &mut Vec<Var>,
+    ) -> bool {
         let i = choice.len();
         if i == comps.len() {
             return true;

@@ -41,7 +41,8 @@ fn drop_atom(q: &Query, i: usize) -> Query {
         .atoms
         .iter()
         .enumerate()
-        .filter(|&(j, _a)| j != i).map(|(_j, a)| a.clone())
+        .filter(|&(j, _a)| j != i)
+        .map(|(_j, a)| a.clone())
         .collect();
     let remaining_vars: Vec<_> = atoms.iter().flat_map(|a| a.vars()).collect();
     let preds = q

@@ -217,11 +217,7 @@ impl<'a> Parser<'a> {
                 .voc
                 .relation(&rel_name, args.len())
                 .map_err(|e| ParseError(e.to_string()))?;
-            atoms.push(Atom {
-                rel,
-                args,
-                negated,
-            });
+            atoms.push(Atom { rel, args, negated });
             Ok(())
         } else {
             if negated {

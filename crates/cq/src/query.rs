@@ -201,9 +201,7 @@ impl Query {
         }
         // Union atoms sharing a variable.
         for v in self.vars() {
-            let members: Vec<usize> = (0..n)
-                .filter(|&i| self.atoms[i].contains_var(v))
-                .collect();
+            let members: Vec<usize> = (0..n).filter(|&i| self.atoms[i].contains_var(v)).collect();
             for w in members.windows(2) {
                 let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
                 parent[a] = b;

@@ -3,8 +3,8 @@
 //! theory invariants.
 
 use cq::{
-    contains, equivalent, find_homomorphism, minimize, parse_query, Atom, CompOp, Pred,
-    PredTheory, Query, RelId, Term, Value, Var, Vocabulary,
+    contains, equivalent, find_homomorphism, minimize, parse_query, Atom, CompOp, Pred, PredTheory,
+    Query, RelId, Term, Value, Var, Vocabulary,
 };
 use proptest::prelude::*;
 

@@ -17,11 +17,18 @@ pub enum Node {
     True,
     False,
     /// A literal: event `var` with the given polarity.
-    Lit { var: u32, positive: bool },
+    Lit {
+        var: u32,
+        positive: bool,
+    },
     /// Decomposable conjunction — children over disjoint variable sets.
     And(Vec<NodeId>),
     /// Shannon decision on `var`: `(var ∧ hi) ∨ (¬var ∧ lo)`.
-    Decision { var: u32, hi: NodeId, lo: NodeId },
+    Decision {
+        var: u32,
+        hi: NodeId,
+        lo: NodeId,
+    },
     /// Deterministic disjunction of independent components:
     /// `¬(¬c1 ∧ ¬c2 ∧ …)` — stored as an OR over variable-disjoint children.
     Or(Vec<NodeId>),
@@ -296,7 +303,9 @@ mod tests {
                     .collect();
                 d.add_clause(lits);
             }
-            let probs: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) / (n as f64 + 1.0)).collect();
+            let probs: Vec<f64> = (0..n)
+                .map(|i| (i as f64 + 1.0) / (n as f64 + 1.0))
+                .collect();
             let direct = exact_probability(&d, &probs);
             let circuit = compile(&d);
             let via = circuit.probability(&probs);

@@ -310,7 +310,9 @@ mod tests {
                     .collect();
                 d.add_clause(lits);
             }
-            let probs: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) / (n as f64 + 1.0)).collect();
+            let probs: Vec<f64> = (0..n)
+                .map(|i| (i as f64 + 1.0) / (n as f64 + 1.0))
+                .collect();
             let p = exact_probability(&d, &probs);
             let bf = brute_force(&d, &probs);
             assert!((p - bf).abs() < 1e-10, "dnf={d} p={p} bf={bf}");

@@ -200,14 +200,8 @@ mod tests {
     #[test]
     fn constants_short_circuit() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(
-            karp_luby(&Dnf::new(), &[], 10, &mut rng).estimate,
-            0.0
-        );
-        assert_eq!(
-            karp_luby(&Dnf::truth(), &[], 10, &mut rng).estimate,
-            1.0
-        );
+        assert_eq!(karp_luby(&Dnf::new(), &[], 10, &mut rng).estimate, 0.0);
+        assert_eq!(karp_luby(&Dnf::truth(), &[], 10, &mut rng).estimate, 1.0);
         assert_eq!(naive_mc(&Dnf::new(), &[], 10, &mut rng).estimate, 0.0);
     }
 

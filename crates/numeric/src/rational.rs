@@ -150,10 +150,9 @@ impl QRat {
 
     pub fn add_ref(&self, other: &QRat) -> QRat {
         // a/b + c/d = (a·d + c·b) / (b·d)
-        let ad = self.num.mul_ref(&BigInt::from_biguint(
-            Sign::Positive,
-            other.den.clone(),
-        ));
+        let ad = self
+            .num
+            .mul_ref(&BigInt::from_biguint(Sign::Positive, other.den.clone()));
         let cb = other
             .num
             .mul_ref(&BigInt::from_biguint(Sign::Positive, self.den.clone()));
@@ -174,10 +173,9 @@ impl QRat {
     /// If `other` is zero.
     pub fn div_ref(&self, other: &QRat) -> QRat {
         assert!(!other.is_zero(), "division by zero rational");
-        let num = self.num.mul_ref(&BigInt::from_biguint(
-            Sign::Positive,
-            other.den.clone(),
-        ));
+        let num = self
+            .num
+            .mul_ref(&BigInt::from_biguint(Sign::Positive, other.den.clone()));
         let den = self.den.mul_ref(other.num.magnitude());
         let sign = self.num.sign().mul(other.num.sign());
         QRat::from_parts(
@@ -255,10 +253,9 @@ impl Div for &QRat {
 impl Ord for QRat {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b vs c/d  ⇔  a·d vs c·b (b, d > 0).
-        let lhs = self.num.mul_ref(&BigInt::from_biguint(
-            Sign::Positive,
-            other.den.clone(),
-        ));
+        let lhs = self
+            .num
+            .mul_ref(&BigInt::from_biguint(Sign::Positive, other.den.clone()));
         let rhs = other
             .num
             .mul_ref(&BigInt::from_biguint(Sign::Positive, self.den.clone()));

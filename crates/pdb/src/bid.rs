@@ -72,7 +72,10 @@ impl BidDb {
             })
             .collect();
         assert!(total <= 1.0 + 1e-9, "block mass {total} exceeds 1");
-        self.blocks.push(Block { rel, alternatives: alts });
+        self.blocks.push(Block {
+            rel,
+            alternatives: alts,
+        });
         self.blocks.len() - 1
     }
 

@@ -22,7 +22,12 @@ pub fn satisfies(db: &ProbDb, q: &Query, world: &[bool]) -> bool {
     sat_rec(db, q, &positives, 0, world, &mut val)
 }
 
-fn tuple_matches(db: &ProbDb, id: TupleId, atom: &Atom, val: &Valuation) -> Option<Vec<(Var, Value)>> {
+fn tuple_matches(
+    db: &ProbDb,
+    id: TupleId,
+    atom: &Atom,
+    val: &Valuation,
+) -> Option<Vec<(Var, Value)>> {
     let tup = db.tuple(id);
     let mut added = Vec::new();
     let mut local: BTreeMap<Var, Value> = BTreeMap::new();

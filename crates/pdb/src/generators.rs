@@ -34,7 +34,12 @@ impl Default for RandomDbOptions {
 /// Build a random database over exactly the relations a query mentions
 /// (plus nothing else). Includes every constant of the query in the domain
 /// so ground sub-goals can fire.
-pub fn random_db_for_query<R: Rng>(q: &Query, voc: &Vocabulary, opts: RandomDbOptions, rng: &mut R) -> ProbDb {
+pub fn random_db_for_query<R: Rng>(
+    q: &Query,
+    voc: &Vocabulary,
+    opts: RandomDbOptions,
+    rng: &mut R,
+) -> ProbDb {
     let mut db = ProbDb::new(voc.clone());
     let mut domain: Vec<Value> = (0..opts.domain).map(Value).collect();
     for c in q.constants() {
@@ -118,11 +123,7 @@ pub fn four_partite_from_clauses(
         db.insert(e, vec![u, Value(1 + i as u64)], p);
     }
     for &(i, j) in clauses {
-        db.insert(
-            e,
-            vec![Value(1 + i as u64), Value(1 + m + j as u64)],
-            1.0,
-        );
+        db.insert(e, vec![Value(1 + i as u64), Value(1 + m + j as u64)], 1.0);
     }
     for (j, &p) in y_probs.iter().enumerate() {
         db.insert(e, vec![Value(1 + m + j as u64), v], p);

@@ -35,9 +35,8 @@ pub use bid::{BidDb, Block};
 pub use database::{ProbDb, ProbTuple, TupleId};
 pub use eval::{all_valuations, satisfies, Valuation};
 pub use exact::{
-    brute_force_probability_exact, count_satisfying_worlds_exact, exact_query_probability,
-    RatProbs,
+    brute_force_probability_exact, count_satisfying_worlds_exact, exact_query_probability, RatProbs,
 };
-pub use lineage_ext::lineage_of;
+pub use lineage_ext::{lineage_of, lineages_by_head};
 pub use text::{dump_db, dump_db_exact, load_db, load_db_exact, parse_rational};
 pub use worlds::{brute_force_probability, count_satisfying_worlds, WorldIter};

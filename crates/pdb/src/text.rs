@@ -106,7 +106,11 @@ pub fn parse_rational(s: &str) -> Option<QRat> {
         if den.is_zero() {
             return None;
         }
-        let sign = if num.is_zero() { Sign::Zero } else { Sign::Positive };
+        let sign = if num.is_zero() {
+            Sign::Zero
+        } else {
+            Sign::Positive
+        };
         return Some(QRat::from_parts(BigInt::from_biguint(sign, num), den));
     }
     let (int_part, frac_part) = match s.split_once('.') {
@@ -116,7 +120,11 @@ pub fn parse_rational(s: &str) -> Option<QRat> {
     let digits = format!("{int_part}{frac_part}");
     let num = BigUint::from_decimal(&digits)?;
     let den = BigUint::from_u64(10).pow(frac_part.len() as u64);
-    let sign = if num.is_zero() { Sign::Zero } else { Sign::Positive };
+    let sign = if num.is_zero() {
+        Sign::Zero
+    } else {
+        Sign::Positive
+    };
     Some(QRat::from_parts(BigInt::from_biguint(sign, num), den))
 }
 

@@ -158,7 +158,11 @@ pub fn negation_probability(
             let dnf = pdb::lineage_of(&inst.db, &conj);
             lineage::exact_probability(&dnf, &inst.db.prob_vector())
         };
-        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let sign = if mask.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
         p_union += sign * p;
     }
     1.0 - p_union
@@ -170,12 +174,11 @@ pub fn negation_probability(
 /// bounds the practical clause count at `t ≈ 3` — beyond that the
 /// generalized Vandermonde system becomes numerically singular, a property
 /// of the measurement family, not of the reduction's correctness).
-pub fn count_via_hk(
-    phi: &Bipartite2Dnf,
-    k: usize,
-    oracle: &dyn Fn(&ProbDb, &Query) -> f64,
-) -> u64 {
-    assert!(k >= 2, "the T_{{i,j}} recovery needs k >= 2 (see module docs)");
+pub fn count_via_hk(phi: &Bipartite2Dnf, k: usize, oracle: &dyn Fn(&ProbDb, &Query) -> f64) -> u64 {
+    assert!(
+        k >= 2,
+        "the T_{{i,j}} recovery needs k >= 2 (see module docs)"
+    );
     let t = phi.num_clauses();
     // Unknowns T_{i,j} with i + j ≤ t.
     let unknowns: Vec<(usize, usize)> = (0..=t)

@@ -116,11 +116,7 @@ mod tests {
 
     #[test]
     fn least_squares_overdetermined_consistent() {
-        let a = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ];
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
         let b = vec![1.0, 2.0, 3.0];
         let x = least_squares(&a, &b).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-10 && (x[1] - 2.0).abs() < 1e-10);

@@ -97,9 +97,7 @@ impl Bipartite2Dnf {
         assert!(self.num_vars() <= 24, "t_table is brute force");
         for mask in 0u64..(1 << self.num_vars()) {
             let xs: Vec<bool> = (0..self.m).map(|b| mask >> b & 1 == 1).collect();
-            let ys: Vec<bool> = (0..self.n)
-                .map(|b| mask >> (self.m + b) & 1 == 1)
-                .collect();
+            let ys: Vec<bool> = (0..self.n).map(|b| mask >> (self.m + b) & 1 == 1).collect();
             let (i, j) = self.clause_stats(&xs, &ys);
             table[i][j] += 1;
         }

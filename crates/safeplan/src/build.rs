@@ -18,7 +18,6 @@
 
 use crate::node::PlanNode;
 use cq::{Pred, Query, Term, Var};
-use dichotomy::is_hierarchical;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -35,6 +34,13 @@ pub enum PlanError {
     /// A component has no root variable (defensive; cannot happen for
     /// hierarchical queries).
     NoRoot,
+    /// A head variable the ranked compiler cannot carry: it must occur in
+    /// at least one positive sub-goal (candidates are enumerated from
+    /// possible tuples, not the whole domain).
+    UnsupportedHead(Var),
+    /// An arithmetic predicate found no level where all its variables are
+    /// in scope (e.g. a comparison across independent components).
+    StrandedPredicate,
 }
 
 impl fmt::Display for PlanError {
@@ -43,40 +49,142 @@ impl fmt::Display for PlanError {
             PlanError::NotHierarchical => write!(f, "query is not hierarchical"),
             PlanError::SelfJoin => write!(f, "query has self-joins"),
             PlanError::NoRoot => write!(f, "component has no root variable"),
+            PlanError::UnsupportedHead(v) => {
+                write!(f, "head variable {v} occurs in no positive sub-goal")
+            }
+            PlanError::StrandedPredicate => {
+                write!(f, "a predicate has no level where all its variables bind")
+            }
         }
     }
 }
 
 impl std::error::Error for PlanError {}
 
+/// Is the query hierarchical (Definition 1.2) *relative to* the `fixed`
+/// variables? Fixed (head) variables act as constants: only the
+/// existential variables must form a hierarchy. With `fixed = ∅` this is
+/// the standard check; the crate keeps its own copy so the plan language
+/// has no dependency on the classifier crate (the engine depends on us,
+/// not the other way around).
+fn is_hierarchical_wrt(q: &Query, fixed: &BTreeSet<Var>) -> bool {
+    let vars: Vec<Var> = q
+        .vars()
+        .into_iter()
+        .filter(|v| !fixed.contains(v))
+        .collect();
+    for (i, &x) in vars.iter().enumerate() {
+        for &y in &vars[i + 1..] {
+            let sx = q.sg(x);
+            let sy = q.sg(y);
+            let inter = sx.intersection(&sy).count();
+            if inter > 0 && inter < sx.len() && inter < sy.len() {
+                return false; // sg(x) and sg(y) cross
+            }
+        }
+    }
+    true
+}
+
 /// Compile a hierarchical self-join-free Boolean conjunctive query —
 /// negated sub-goals allowed (Theorem 3.11) — to an extensional safe plan.
 pub fn build_plan(q: &Query) -> Result<PlanNode, PlanError> {
+    build_ranked_plan(q, &[])
+}
+
+/// Compile a *non-Boolean* query with head variables `head` to a single
+/// extensional plan whose output relation has one row per candidate head
+/// binding, carrying that candidate's marginal probability — the whole
+/// ranked answer set in one set-at-a-time execution.
+///
+/// Head variables are treated as constants for the safety analysis (the
+/// residual `q[ā/h̄]` must be hierarchical and self-join-free) and carried
+/// through every operator as plain join/group-by columns, exactly the safe
+/// non-Boolean plans MystiQ runs inside the database engine. With
+/// `head = []` this is [`build_plan`].
+pub fn build_ranked_plan(q: &Query, head: &[Var]) -> Result<PlanNode, PlanError> {
     let Some(qn) = q.normalize() else {
         return Ok(PlanNode::Never);
     };
-    if !is_hierarchical(&qn) {
+    let fixed: BTreeSet<Var> = head.iter().copied().collect();
+    for &h in head {
+        if !qn.atoms.iter().any(|a| !a.negated && a.contains_var(h)) {
+            return Err(PlanError::UnsupportedHead(h));
+        }
+    }
+    if !is_hierarchical_wrt(&qn, &fixed) {
         return Err(PlanError::NotHierarchical);
     }
     if qn.has_self_join() {
         return Err(PlanError::SelfJoin);
     }
     let mut inputs = Vec::new();
-    for f in qn.connected_components() {
-        if f.is_ground() {
-            // A ground atom scans to a zero-column scalar directly.
+    // Split into groups connected through *existential* variables; groups
+    // sharing only head variables are independent given the head binding,
+    // so the natural join on head columns multiplies correctly.
+    let all: Vec<usize> = (0..qn.atoms.len()).collect();
+    for f in group_by_deep_vars(&qn, &all, &fixed) {
+        let fvars: BTreeSet<Var> = f.vars().into_iter().collect();
+        if fvars.iter().all(|v| fixed.contains(v)) {
+            // Only head variables or ground: scans carry the head columns
+            // (or the scalar) directly. Predicates over head variables are
+            // applied to the joined answer relation below.
             for atom in &f.atoms {
                 inputs.push(scan_of(atom));
             }
         } else {
-            let node = plan_scoped(&f, &BTreeSet::new())?;
+            let node = plan_scoped(&f, &BTreeSet::new(), &fixed)?;
+            let keep: Vec<Var> = fixed
+                .iter()
+                .copied()
+                .filter(|v| fvars.contains(v))
+                .collect();
             inputs.push(PlanNode::IndependentProject {
-                keep: Vec::new(),
+                keep,
                 input: Box::new(node),
             });
         }
     }
-    Ok(join_of(inputs))
+    let mut node = join_of(inputs);
+    // Predicates over head variables (and constants) apply to the final
+    // answer relation.
+    for p in &qn.preds {
+        let pvars: Vec<Var> = pred_vars(p);
+        if !pvars.is_empty() && pvars.iter().all(|v| fixed.contains(v)) {
+            node = PlanNode::Select {
+                pred: *p,
+                input: Box::new(node),
+            };
+        }
+    }
+    // Every predicate must have found a level where its variables bind;
+    // otherwise the plan would silently drop it.
+    if count_selects(&node) != qn.preds.len() {
+        return Err(PlanError::StrandedPredicate);
+    }
+    Ok(node)
+}
+
+fn pred_vars(p: &Pred) -> Vec<Var> {
+    p.terms()
+        .iter()
+        .filter_map(|t| match t {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        })
+        .collect()
+}
+
+fn count_selects(n: &PlanNode) -> usize {
+    match n {
+        PlanNode::Certain
+        | PlanNode::Never
+        | PlanNode::Scan { .. }
+        | PlanNode::ComplementScan { .. } => 0,
+        PlanNode::Select { input, .. } => 1 + count_selects(input),
+        PlanNode::IndependentProject { input, .. } => count_selects(input),
+        PlanNode::IndependentJoin { inputs } => inputs.iter().map(count_selects).sum(),
+    }
 }
 
 fn scan_of(atom: &cq::Atom) -> PlanNode {
@@ -99,25 +207,38 @@ fn join_of(mut inputs: Vec<PlanNode>) -> PlanNode {
     }
 }
 
-/// Plan a connected sub-query `g` all of whose atoms contain every variable
-/// of `scope`. Output columns: the variables occurring in every atom of `g`.
-fn plan_scoped(g: &Query, scope: &BTreeSet<Var>) -> Result<PlanNode, PlanError> {
-    // `here`: the root class at this level — variables in every atom.
+/// Plan a connected sub-query `g` all of whose atoms contain every
+/// existential variable of `scope`. Head variables in `fixed` are carried
+/// as columns but never act as root variables. Output columns: the
+/// existential variables occurring in every atom of `g`, plus the fixed
+/// variables `g` mentions.
+fn plan_scoped(
+    g: &Query,
+    scope: &BTreeSet<Var>,
+    fixed: &BTreeSet<Var>,
+) -> Result<PlanNode, PlanError> {
+    // `here`: the root class at this level — existential variables in
+    // every atom.
     let here: BTreeSet<Var> = g
         .vars()
         .into_iter()
-        .filter(|&v| g.sg(v).len() == g.atoms.len())
+        .filter(|&v| !fixed.contains(&v) && g.sg(v).len() == g.atoms.len())
         .collect();
     if !here.iter().any(|v| !scope.contains(v)) {
         // No new root variable: `g` would not be hierarchical.
         return Err(PlanError::NoRoot);
     }
 
-    // Local atoms: exactly the `here` variables (every atom has ⊇ here).
+    // Local atoms: exactly the `here` variables plus (possibly) fixed
+    // variables; every atom has ⊇ here among its existential variables.
     let mut inputs: Vec<PlanNode> = Vec::new();
     let mut deeper: Vec<usize> = Vec::new();
     for (i, atom) in g.atoms.iter().enumerate() {
-        let avars: BTreeSet<Var> = atom.vars().into_iter().collect();
+        let avars: BTreeSet<Var> = atom
+            .vars()
+            .into_iter()
+            .filter(|v| !fixed.contains(v))
+            .collect();
         if avars == here {
             inputs.push(scan_of(atom));
         } else {
@@ -126,20 +247,35 @@ fn plan_scoped(g: &Query, scope: &BTreeSet<Var>) -> Result<PlanNode, PlanError> 
     }
 
     // Group the deeper atoms by connectivity through variables below
-    // `here`, then recurse per group.
-    for group in group_by_deep_vars(g, &deeper, &here) {
-        let child = plan_scoped(&group, &here)?;
+    // `here`, then recurse per group, projecting each child back down to
+    // this level's columns (fixed columns ride along).
+    let ignore: BTreeSet<Var> = here.union(fixed).copied().collect();
+    for group in group_by_deep_vars(g, &deeper, &ignore) {
+        let gvars: BTreeSet<Var> = group.vars().into_iter().collect();
+        let child = plan_scoped(&group, &here, fixed)?;
+        let keep: BTreeSet<Var> = here
+            .iter()
+            .chain(fixed.intersection(&gvars))
+            .copied()
+            .collect();
         inputs.push(PlanNode::IndependentProject {
-            keep: here.iter().copied().collect(),
+            keep: keep.into_iter().collect(),
             input: Box::new(child),
         });
     }
 
     let mut node = join_of(inputs);
 
-    // Selections: predicates that become evaluable at this level.
+    // Selections: predicates that become evaluable at this level. Fixed
+    // variables mentioned by `g` are columns here too.
+    let gvars: BTreeSet<Var> = g.vars().into_iter().collect();
+    let avail: BTreeSet<Var> = here
+        .iter()
+        .chain(fixed.intersection(&gvars))
+        .copied()
+        .collect();
     for p in &g.preds {
-        if pred_attaches_here(p, &here, scope) {
+        if pred_attaches_here(p, &avail, scope) {
             node = PlanNode::Select {
                 pred: *p,
                 input: Box::new(node),
@@ -150,18 +286,11 @@ fn plan_scoped(g: &Query, scope: &BTreeSet<Var>) -> Result<PlanNode, PlanError> 
 }
 
 /// Does predicate `p` first become fully bound at the level whose columns
-/// are `here` (and was not already bound in the enclosing `scope`)?
-fn pred_attaches_here(p: &Pred, here: &BTreeSet<Var>, scope: &BTreeSet<Var>) -> bool {
-    let vars: Vec<Var> = p
-        .terms()
-        .iter()
-        .filter_map(|t| match t {
-            Term::Var(v) => Some(*v),
-            Term::Const(_) => None,
-        })
-        .collect();
+/// are `avail` (and was not already bound in the enclosing `scope`)?
+fn pred_attaches_here(p: &Pred, avail: &BTreeSet<Var>, scope: &BTreeSet<Var>) -> bool {
+    let vars = pred_vars(p);
     !vars.is_empty()
-        && vars.iter().all(|v| here.contains(v))
+        && vars.iter().all(|v| avail.contains(v))
         && !vars.iter().all(|v| scope.contains(v))
 }
 
@@ -206,9 +335,9 @@ fn group_by_deep_vars(g: &Query, indices: &[usize], here: &BTreeSet<Var>) -> Vec
                 .preds
                 .iter()
                 .filter(|p| {
-                    p.terms().iter().any(
-                        |t| matches!(t, Term::Var(v) if vars.contains(v) && !here.contains(v)),
-                    )
+                    p.terms()
+                        .iter()
+                        .any(|t| matches!(t, Term::Var(v) if vars.contains(v) && !here.contains(v)))
                 })
                 .copied()
                 .collect();
@@ -286,7 +415,9 @@ mod tests {
             PlanNode::IndependentJoin { inputs } => {
                 assert_eq!(inputs.len(), 2);
                 for i in inputs {
-                    assert!(matches!(i, PlanNode::IndependentProject { ref keep, .. } if keep.is_empty()));
+                    assert!(
+                        matches!(i, PlanNode::IndependentProject { ref keep, .. } if keep.is_empty())
+                    );
                 }
             }
             other => panic!("expected join, got {other:?}"),

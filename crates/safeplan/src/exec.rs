@@ -46,6 +46,36 @@ pub fn query_probability_exact(db: &ProbDb, probs: &RatProbs, plan: &PlanNode) -
     execute(db, probs.as_slice(), plan).scalar()
 }
 
+/// Execute a ranked plan (see [`crate::build_ranked_plan`]) and return one
+/// `(head binding, marginal probability)` pair per candidate answer, with
+/// the binding ordered as `head` — the whole answer set of a non-Boolean
+/// query in a single set-at-a-time pass.
+///
+/// # Panics
+/// If `plan` does not carry every variable of `head` as an output column
+/// (i.e. it was built for a different head).
+pub fn ranked_probabilities<P: ProbValue>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    head: &[cq::Var],
+) -> Vec<(Vec<Value>, P)> {
+    let rel = execute(db, probs, plan);
+    let order: Vec<usize> = head
+        .iter()
+        .map(|&h| rel.col_index(h).expect("ranked plan carries head column"))
+        .collect();
+    rel.rows
+        .iter()
+        .map(|(row, p)| {
+            (
+                order.iter().map(|&i| row[i]).collect::<Vec<Value>>(),
+                p.clone(),
+            )
+        })
+        .collect()
+}
+
 fn scan<P: ProbValue>(db: &ProbDb, probs: &[P], atom: &Atom) -> ProbRelation<P> {
     assert!(!atom.negated, "plans scan positive atoms only");
     let cols = atom.vars();

@@ -38,8 +38,8 @@ pub mod node;
 pub mod optimize;
 pub mod relation;
 
-pub use build::{build_plan, PlanError};
-pub use exec::{execute, query_probability, query_probability_exact};
+pub use build::{build_plan, build_ranked_plan, PlanError};
+pub use exec::{execute, query_probability, query_probability_exact, ranked_probabilities};
 pub use node::PlanNode;
 pub use optimize::{columns, estimate_rows, optimize, optimize_with_stats};
 pub use relation::ProbRelation;

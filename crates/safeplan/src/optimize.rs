@@ -104,10 +104,9 @@ fn apply_local(node: PlanNode) -> PlanNode {
             PlanNode::IndependentProject {
                 keep: inner_keep,
                 input: inner,
-            } if keep.iter().all(|k| inner_keep.contains(k)) => PlanNode::IndependentProject {
-                keep,
-                input: inner,
-            },
+            } if keep.iter().all(|k| inner_keep.contains(k)) => {
+                PlanNode::IndependentProject { keep, input: inner }
+            }
             // Projecting constants stays constant.
             PlanNode::Certain => PlanNode::Certain,
             PlanNode::Never => PlanNode::Never,
@@ -374,7 +373,11 @@ mod tests {
 
     #[test]
     fn optimizer_is_idempotent() {
-        for text in ["R(x), S(x,y)", "R(x), S(x,y), U(x,y,z), x != 1", "R(x), T(z,w)"] {
+        for text in [
+            "R(x), S(x,y)",
+            "R(x), S(x,y), U(x,y,z), x != 1",
+            "R(x), T(z,w)",
+        ] {
             let (_, q) = parse(text);
             let plan = build_plan(&q).unwrap();
             let once = optimize(&plan);
@@ -435,7 +438,10 @@ mod tests {
             if let PlanNode::IndependentJoin { inputs } = &**input {
                 let first = estimate_rows(&inputs[0], &db);
                 let second = estimate_rows(&inputs[1], &db);
-                assert!(first <= second, "join inputs not ordered: {first} > {second}");
+                assert!(
+                    first <= second,
+                    "join inputs not ordered: {first} > {second}"
+                );
                 return;
             }
         }

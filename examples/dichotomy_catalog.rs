@@ -31,7 +31,13 @@ fn main() {
             }
             _ => "NO — BUG",
         };
-        println!("{:<28} {:<22} {:<34} {}", entry.name, entry.source, got.to_string(), verdict);
+        println!(
+            "{:<28} {:<22} {:<34} {}",
+            entry.name,
+            entry.source,
+            got.to_string(),
+            verdict
+        );
     }
     println!("{}", "-".repeat(100));
     println!(

@@ -16,7 +16,10 @@ fn main() {
     let phi = Bipartite2Dnf::random(3, 3, 3, &mut rng);
     println!("Φ over x0..x2, y0..y2 with clauses {:?}", phi.clauses);
     let truth = phi.count_models();
-    println!("direct model count                : {truth} / {}", 1 << phi.num_vars());
+    println!(
+        "direct model count                : {truth} / {}",
+        1 << phi.num_vars()
+    );
 
     // (a) Theorem B.5: the non-hierarchical pattern R(x), S(x,y), T(y).
     let mut voc = Vocabulary::new();
@@ -39,9 +42,7 @@ fn main() {
     // (b) Appendix C: the H_2 chain-query pipeline. The oracle plays the
     // role of a (hypothetical) polynomial H_k evaluator; here it is exact
     // lineage compilation on the constructed instances.
-    let oracle = |db: &ProbDb, q: &Query| {
-        exact_probability(&lineage_of(db, q), &db.prob_vector())
-    };
+    let oracle = |db: &ProbDb, q: &Query| exact_probability(&lineage_of(db, q), &db.prob_vector());
     let via_h2 = count_via_hk(&phi, 2, &oracle);
     println!("via H_2 pipeline (App. C)         : {via_h2}");
     assert_eq!(via_h2, truth);

@@ -40,8 +40,26 @@ fn main() {
 
     // Cross-check against exhaustive possible-world enumeration.
     let exact = brute_force_probability(&db, &q_safe);
-    println!("brute force over 2^{} worlds = {:.6}", db.num_tuples(), exact);
+    println!(
+        "brute force over 2^{} worlds = {:.6}",
+        db.num_tuples(),
+        exact
+    );
     assert!((result.probability - exact).abs() < 1e-9);
+
+    // --- 3b. Plan once, execute many -------------------------------------
+    // The engine classified and compiled the plan exactly once; repeated
+    // traffic (alpha-renamed variants included) hits the plan cache.
+    let renamed = parse_query(&mut voc.clone(), "Director(u), Credit(u, w)").unwrap();
+    let again = engine.evaluate(&db, &renamed, Strategy::Auto).unwrap();
+    assert!(again.cache_hit);
+    let stats = engine.cache_stats();
+    println!(
+        "plan cache: {} classification(s), {} hit(s) across {} evaluations",
+        stats.classifications,
+        stats.hits,
+        stats.hits + stats.misses
+    );
 
     // --- 4. A #P-hard query falls back to Monte Carlo --------------------
     // H_0 = R(x), S(x,y), S(x2,y2), T(y2): hierarchical, but its inversion

@@ -44,7 +44,9 @@ fn main() {
             a.tuple[0].0, a.probability, a.method
         );
     }
-    assert!(answers.windows(2).all(|w| w[0].probability >= w[1].probability));
+    assert!(answers
+        .windows(2)
+        .all(|w| w[0].probability >= w[1].probability));
 
     // --- Part 2: disjoint alternatives (BID) ------------------------------
     // Each document mentions exactly one candidate — alternatives within a

@@ -23,14 +23,22 @@ fn main() {
         db.insert(tag, vec![Value(t)], 0.8);
         for l in 0..3u64 {
             db.insert(seen, vec![Value(t), Value(100 + l)], 0.5);
-            db.insert(zone, vec![Value(t), Value(100 + l), Value(200 + l % 2)], 0.6);
+            db.insert(
+                zone,
+                vec![Value(t), Value(100 + l), Value(200 + l % 2)],
+                0.6,
+            );
         }
     }
 
     // --- 1. Compile ------------------------------------------------------
     let plan = build_plan(&q).unwrap();
     println!("query: Tag(t), Seen(t,l), Zone(t,l,z)\n");
-    println!("extensional safe plan ({} operators, depth {}):", plan.size(), plan.depth());
+    println!(
+        "extensional safe plan ({} operators, depth {}):",
+        plan.size(),
+        plan.depth()
+    );
     print!("{}", plan.display(&voc));
 
     // --- 2. Execute (set-at-a-time) ---------------------------------------

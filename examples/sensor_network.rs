@@ -52,10 +52,7 @@ fn main() {
         db.num_tuples()
     );
 
-    let engine = Engine {
-        mc_samples: 200_000,
-        seed: 1,
-    };
+    let engine = Engine::with_samples_and_seed(200_000, 1);
 
     // --- Query 1: "some alive sensor reports a hot zone" — safe ----------
     let c = classify(&q_alert).unwrap();
@@ -64,7 +61,10 @@ fn main() {
     let safe_time = t0.elapsed();
     println!("q_alert     = Alive(s), Hot(s,z)");
     println!("  class     : {}", c.complexity);
-    println!("  P        ≈ {:.6}  via {} in {safe_time:?}", ev.probability, ev.method);
+    println!(
+        "  P        ≈ {:.6}  via {} in {safe_time:?}",
+        ev.probability, ev.method
+    );
 
     // --- Query 2: confirmed alert — non-hierarchical, #P-hard ------------
     let c = classify(&q_confirmed).unwrap();

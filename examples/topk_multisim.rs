@@ -44,7 +44,10 @@ fn main() {
         "\nmultisimulation for top-{k}: converged = {}, total samples = {}",
         result.converged, result.total_samples
     );
-    println!("{:<10} {:>10} {:>18} {:>10}", "answer", "estimate", "interval", "samples");
+    println!(
+        "{:<10} {:>10} {:>18} {:>10}",
+        "answer", "estimate", "interval", "samples"
+    );
     for a in &result.all {
         println!(
             "x = {:<6} {:>10.4} [{:>7.4}, {:>7.4}] {:>10}",
@@ -54,14 +57,7 @@ fn main() {
 
     // Cross-check the retrieved set against exact per-answer evaluation.
     let engine = Engine::new();
-    let exact = dichotomy::ranked_answers(
-        &engine,
-        &db,
-        &q,
-        &[x],
-        Strategy::ExactLineage,
-    )
-    .unwrap();
+    let exact = dichotomy::ranked_answers(&engine, &db, &q, &[x], Strategy::ExactLineage).unwrap();
     let exact_top: Vec<_> = exact.iter().take(k).map(|a| a.tuple.clone()).collect();
     let ms_top: Vec<_> = result.top.iter().map(|a| a.tuple.clone()).collect();
     println!("\nexact top-{k}:          {exact_top:?}");

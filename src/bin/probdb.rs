@@ -7,11 +7,14 @@
 //! probdb explain  "R(x), S(x,y), S(u,v), T(v)"
 //! probdb eval db.txt "R(x), S(x,y)" [--mc-samples 100000] [--exact]
 //! probdb count db.txt "R(x), S(x,y)"        # satisfying substructures
-//! probdb plan "R(x), S(x,y)"                # extensional safe plan
+//! probdb plan "R(x), S(x,y)"                # the planner's physical plan
+//! probdb rank db.txt "Director(d), Credit(d,m)" x0 [--top K]
+//!                                   # head variables are x0, x1, … in
+//!                                   # first-occurrence order
 //! ```
 
 use dichotomy::engine::{Engine, Strategy};
-use dichotomy::{classify, count_substructures_recurrence, explain};
+use dichotomy::{classify, count_substructures_recurrence, explain, ranked_answers};
 use pdb::{count_satisfying_worlds_exact, load_db};
 use probdb::prelude::*;
 use std::process::ExitCode;
@@ -23,7 +26,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] | count <db.txt> <query> | plan <query>"
+                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K]"
             );
             ExitCode::from(2)
         }
@@ -66,12 +69,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 // Exact rational path: Eq. 3 recurrence when safe, exact
                 // lineage compilation otherwise. Probabilities like `1/3`
                 // in the database file survive with no rounding at all.
-                let (db, probs) =
-                    pdb::load_db_exact(&mut voc, &data).map_err(|e| e.to_string())?;
+                let (db, probs) = pdb::load_db_exact(&mut voc, &data).map_err(|e| e.to_string())?;
                 let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
                 let (p, how) = match eval_recurrence_exact(&db, &probs, &q) {
                     Ok(p) => (p, "eq3-recurrence"),
-                    Err(_) => (pdb::exact_query_probability(&db, &probs, &q), "exact-lineage"),
+                    Err(_) => (
+                        pdb::exact_query_probability(&db, &probs, &q),
+                        "exact-lineage",
+                    ),
                 };
                 println!("P(q) = {p}");
                 println!("     ≈ {:.12}   method={how}", p.to_f64());
@@ -79,30 +84,11 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             let db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
             let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
-            let engine = Engine {
-                mc_samples: samples,
-                seed: 0xDA151,
-            };
+            let engine = Engine::with_samples_and_seed(samples, 0xDA151);
             let ev = engine
                 .evaluate(&db, &q, Strategy::Auto)
                 .map_err(|e| e.to_string())?;
-            if ev.std_error > 0.0 {
-                println!(
-                    "P(q) ≈ {:.6} ± {:.6}   method={} time={:?}",
-                    ev.probability,
-                    1.96 * ev.std_error,
-                    ev.method,
-                    ev.wall_time
-                );
-            } else {
-                println!(
-                    "P(q) = {:.9}   method={} time={:?}",
-                    ev.probability, ev.method, ev.wall_time
-                );
-            }
-            if let Some(c) = ev.classification {
-                println!("classification: {}", c.complexity);
-            }
+            print!("{}", explain_evaluation(&ev));
             Ok(())
         }
         "count" => {
@@ -126,9 +112,68 @@ fn run(args: &[String]) -> Result<(), String> {
             let text = args.get(1).ok_or("missing query")?;
             let mut voc = Vocabulary::new();
             let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
-            let plan = build_plan(&q).map_err(|e| format!("no extensional plan: {e}"))?;
-            print!("{}", plan.display(&voc));
-            println!("({} operators, depth {})", plan.size(), plan.depth());
+            // The planner's view: classification once, then the compiled
+            // physical plan the executor would run.
+            let planner = Planner::new(100_000);
+            let planned = planner.plan(&q).map_err(|e| e.to_string())?;
+            print!("{}", planned.plan.display(&voc));
+            if let PhysicalPlan::Extensional { plan } = &planned.plan {
+                println!("({} operators, depth {})", plan.size(), plan.depth());
+            }
+            println!("classification: {}", planned.classification.complexity);
+            Ok(())
+        }
+        "rank" => {
+            let path = args.get(1).ok_or("missing database file")?;
+            let text = args.get(2).ok_or("missing query")?;
+            let head_name = args.get(3).ok_or("missing head variable")?;
+            let k = match args.iter().position(|a| a == "--top") {
+                Some(i) => Some(
+                    args.get(i + 1)
+                        .ok_or("--top needs a value")?
+                        .parse::<usize>()
+                        .map_err(|e| e.to_string())?,
+                ),
+                None => None,
+            };
+            let data = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let mut voc = Vocabulary::new();
+            let db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
+            let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
+            // Head variables are named x0, x1, … in parse order.
+            let head_idx: usize = head_name
+                .trim_start_matches('x')
+                .parse()
+                .map_err(|_| format!("head variable {head_name:?} should look like x0"))?;
+            let head = [Var(head_idx as u32)];
+            if !q.vars().contains(&head[0]) {
+                return Err(format!("{head_name} does not occur in the query"));
+            }
+            let engine = Engine::new();
+            let mut answers = ranked_answers(&engine, &db, &q, &head, Strategy::Auto)
+                .map_err(|e| e.to_string())?;
+            if let Some(k) = k {
+                answers.truncate(k);
+            }
+            for a in &answers {
+                let tuple: Vec<String> = a.tuple.iter().map(|v| voc.value_name(*v)).collect();
+                println!(
+                    "({})  p={:.6}{}  [{}]",
+                    tuple.join(", "),
+                    a.probability,
+                    if a.std_error > 0.0 {
+                        format!(" ±{:.6}", 1.96 * a.std_error)
+                    } else {
+                        String::new()
+                    },
+                    a.method
+                );
+            }
+            let stats = engine.cache_stats();
+            eprintln!(
+                "planned once: {} classification(s), {} cache hit(s)",
+                stats.classifications, stats.hits
+            );
             Ok(())
         }
         other => Err(format!("unknown command {other:?}")),

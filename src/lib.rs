@@ -14,8 +14,11 @@
 //! * [`lineage`] — exact weighted model counting and Monte-Carlo
 //!   estimators over event DNFs,
 //! * [`dichotomy`] — the paper's contribution: hierarchy analysis,
-//!   coverages, inversions, erasers, the classifier, the PTIME evaluators,
-//!   and a MystiQ-style engine,
+//!   coverages, inversions, erasers, the classifier — plus a MystiQ-style
+//!   engine split into a **planner** (classify once, compile a
+//!   `PhysicalPlan`, memoize it in an LRU cache keyed by the canonical
+//!   query) and an **executor** (run the plan against any database,
+//!   extensionally where the query allows),
 //! * [`reductions`] — executable #P-hardness reductions from bipartite
 //!   2DNF counting,
 //! * [`safeplan`] — extensional safe relational-algebra plans (independent
@@ -39,11 +42,19 @@
 //! db.insert(sensor, vec![Value(1)], 0.9);
 //! db.insert(reading, vec![Value(1), Value(42)], 0.5);
 //!
-//! // Classify and evaluate with the best plan (here: the Eq. 3 recurrence).
+//! // Plan once (classification + compilation, cached), then execute —
+//! // here through the set-at-a-time extensional safe-plan backend.
 //! let engine = Engine::new();
 //! let result = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
-//! assert_eq!(result.method, Method::Recurrence);
+//! assert_eq!(result.method, Method::Extensional);
 //! assert!((result.probability - 0.45).abs() < 1e-12);
+//! assert!(!result.cache_hit);
+//!
+//! // Repeated traffic — alpha-renamed variants included — skips
+//! // classification entirely.
+//! let again = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+//! assert!(again.cache_hit);
+//! assert_eq!(engine.cache_stats().classifications, 1);
 //! ```
 
 pub use cq;
@@ -60,7 +71,9 @@ pub mod prelude {
     pub use dichotomy::engine::{Engine, Evaluation, Method, Strategy};
     pub use dichotomy::{
         classify, count_substructures_recurrence, eval_inversion_free, eval_recurrence,
-        eval_recurrence_exact, multisim_top_k, Classification, Complexity, MultiSimConfig,
+        eval_recurrence_exact, explain_evaluation, multisim_top_k, ranked_answers, top_k,
+        Classification, Complexity, Executor, MultiSimConfig, PhysicalPlan, Planner, PlannerStats,
+        RankedAnswer, RankedPlan,
     };
     pub use lineage::{exact_probability, karp_luby, naive_mc, Dnf};
     pub use numeric::{BigInt, BigUint, QRat};

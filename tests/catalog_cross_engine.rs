@@ -13,10 +13,7 @@ use rand::SeedableRng;
 
 #[test]
 fn every_catalog_query_evaluates_correctly() {
-    let engine = Engine {
-        mc_samples: 60_000,
-        seed: 5,
-    };
+    let engine = Engine::with_samples_and_seed(60_000, 5);
     for (ei, entry) in CATALOG.iter().enumerate() {
         // Example 1.7's instances would need a domain that keeps the
         // brute-force enumeration feasible; its evaluation path (exact

@@ -8,8 +8,8 @@
 //! * the inversion-free safe evaluator (§3.2 root recursion),
 //! * the MystiQ-style engine in `Auto` mode.
 
-use probdb::prelude::*;
 use pdb::generators::{random_db_for_query, RandomDbOptions};
+use probdb::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -69,7 +69,13 @@ fn engine_auto_matches_brute_force_on_ptime_queries() {
             let (db, q) = random_instance(text, 100 + si as u64, round);
             let ev = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
             assert!(
-                matches!(ev.method, Method::Recurrence | Method::SafePlan | Method::ExactLineage),
+                matches!(
+                    ev.method,
+                    Method::Extensional
+                        | Method::Recurrence
+                        | Method::SafePlan
+                        | Method::ExactLineage
+                ),
                 "{text} picked {}",
                 ev.method
             );
@@ -85,10 +91,7 @@ fn engine_auto_matches_brute_force_on_ptime_queries() {
 
 #[test]
 fn engine_karp_luby_approximates_hard_queries() {
-    let engine = Engine {
-        mc_samples: 120_000,
-        seed: 11,
-    };
+    let engine = Engine::with_samples_and_seed(120_000, 11);
     for (si, text) in HARD_QUERIES.iter().enumerate() {
         let (db, q) = random_instance(text, 200 + si as u64, 0);
         let ev = engine.evaluate(&db, &q, Strategy::Auto).unwrap();

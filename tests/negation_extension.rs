@@ -23,10 +23,16 @@ fn check(text: &str, seed: u64) {
         assert!((p_lin - p_bf).abs() < 1e-9, "{text}: lineage");
         if !q.has_self_join() {
             let p_rec = eval_recurrence(&db, &q).unwrap();
-            assert!((p_rec - p_bf).abs() < 1e-9, "{text}: recurrence {p_rec} vs {p_bf}");
+            assert!(
+                (p_rec - p_bf).abs() < 1e-9,
+                "{text}: recurrence {p_rec} vs {p_bf}"
+            );
         }
         let p_safe = eval_inversion_free(&db, &q).unwrap();
-        assert!((p_safe - p_bf).abs() < 1e-8, "{text}: safe {p_safe} vs {p_bf}");
+        assert!(
+            (p_safe - p_bf).abs() < 1e-8,
+            "{text}: safe {p_safe} vs {p_bf}"
+        );
     }
 }
 

@@ -10,8 +10,12 @@ use proptest::strategy::Strategy as _;
 /// Random query text assembled from a small grammar (relations R/1, S/2,
 /// U/3; variables v0..v3; constants; `<`/`=`/`!=` predicates; negation).
 fn arb_query_text() -> impl proptest::strategy::Strategy<Value = String> {
-    let atom = (0..3usize, proptest::collection::vec(0..5u32, 1..=3), any::<bool>()).prop_map(
-        |(rel, args, neg)| {
+    let atom = (
+        0..3usize,
+        proptest::collection::vec(0..5u32, 1..=3),
+        any::<bool>(),
+    )
+        .prop_map(|(rel, args, neg)| {
             let (name, arity) = [("R", 1), ("S", 2), ("U", 3)][rel];
             let rendered: Vec<String> = (0..arity)
                 .map(|i| {
@@ -29,8 +33,7 @@ fn arb_query_text() -> impl proptest::strategy::Strategy<Value = String> {
                 name,
                 rendered.join(",")
             )
-        },
-    );
+        });
     proptest::collection::vec(atom, 1..4).prop_map(|atoms| atoms.join(", "))
 }
 

@@ -1,0 +1,162 @@
+//! Plan-cache behavior of the planner/executor split: one classification
+//! per canonical query, cache hits for repeated and alpha-renamed traffic,
+//! no collisions between distinct queries, and plan-once ranked
+//! evaluation (no per-candidate classification).
+
+use probdb::prelude::*;
+
+fn movie_db() -> (ProbDb, Query, Vec<Var>, Vocabulary) {
+    let mut voc = Vocabulary::new();
+    let q = parse_query(&mut voc, "Director(d), Credit(d,m)").unwrap();
+    let d = q.vars()[0];
+    let director = voc.find_relation("Director").unwrap();
+    let credit = voc.find_relation("Credit").unwrap();
+    let mut db = ProbDb::new(voc.clone());
+    db.insert(director, vec![Value(1)], 0.9);
+    db.insert(director, vec![Value(2)], 0.4);
+    db.insert(credit, vec![Value(1), Value(100)], 0.8);
+    db.insert(credit, vec![Value(2), Value(100)], 0.9);
+    db.insert(credit, vec![Value(2), Value(101)], 0.9);
+    (db, q, vec![d], voc)
+}
+
+#[test]
+fn same_canonical_query_hits_the_cache() {
+    let (db, q, _, _) = movie_db();
+    let engine = Engine::new();
+    for round in 0..5 {
+        let ev = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert_eq!(ev.cache_hit, round > 0, "round {round}");
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 4);
+    assert_eq!(stats.classifications, 1, "classified exactly once");
+}
+
+#[test]
+fn alpha_renamed_variants_share_one_entry() {
+    let (db, _, _, voc) = movie_db();
+    let engine = Engine::new();
+    // The same query under different variable names and atom orders.
+    let variants = [
+        "Director(d), Credit(d,m)",
+        "Director(boss), Credit(boss,film)",
+        "Credit(a,b), Director(a)",
+    ];
+    let mut p = Vec::new();
+    for text in variants {
+        let q = parse_query(&mut voc.clone(), text).unwrap();
+        p.push(
+            engine
+                .evaluate(&db, &q, Strategy::Auto)
+                .unwrap()
+                .probability,
+        );
+    }
+    assert!((p[0] - p[1]).abs() < 1e-15);
+    assert!((p[0] - p[2]).abs() < 1e-15);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1, "one cache entry for all variants");
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.classifications, 1);
+}
+
+#[test]
+fn distinct_queries_get_distinct_entries() {
+    let (db, _, _, voc) = movie_db();
+    let engine = Engine::new();
+    // Different queries over the same vocabulary must not collide.
+    let q1 = parse_query(&mut voc.clone(), "Director(d), Credit(d,m)").unwrap();
+    let q2 = parse_query(&mut voc.clone(), "Director(d), Credit(m,d)").unwrap();
+    let q3 = parse_query(&mut voc.clone(), "Credit(d,m)").unwrap();
+    let p1 = engine
+        .evaluate(&db, &q1, Strategy::Auto)
+        .unwrap()
+        .probability;
+    let p2 = engine
+        .evaluate(&db, &q2, Strategy::Auto)
+        .unwrap()
+        .probability;
+    let p3 = engine
+        .evaluate(&db, &q3, Strategy::Auto)
+        .unwrap()
+        .probability;
+    assert_eq!(engine.cache_stats().misses, 3);
+    assert_eq!(engine.cache_stats().hits, 0);
+    // And each answer matches its own brute force.
+    for (q, p) in [(&q1, p1), (&q2, p2), (&q3, p3)] {
+        let bf = brute_force_probability(&db, q);
+        assert!((p - bf).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn ranked_answers_plan_the_template_once() {
+    // A safe shape: the batched extensional plan needs no classification
+    // at all, and repeated calls hit the ranked-plan cache.
+    let (db, q, head, _) = movie_db();
+    let engine = Engine::new();
+    let first = ranked_answers(&engine, &db, &q, &head, Strategy::Auto).unwrap();
+    assert!(first.len() >= 2);
+    assert_eq!(engine.cache_stats().classifications, 0);
+    assert_eq!(engine.cache_stats().misses, 1);
+    let _ = ranked_answers(&engine, &db, &q, &head, Strategy::Auto).unwrap();
+    assert_eq!(engine.cache_stats().hits, 1);
+}
+
+#[test]
+fn per_binding_templates_classify_once_not_per_candidate() {
+    // H_0 with head x: the residual is classified once for the whole
+    // template — earlier revisions ran `classify` per candidate tuple.
+    let mut voc = Vocabulary::new();
+    let q = parse_query(&mut voc, "R(x), S(x,y), S(x2,y2), T(y2)").unwrap();
+    let x = q.vars()[0];
+    let (r, s, t) = (
+        voc.find_relation("R").unwrap(),
+        voc.find_relation("S").unwrap(),
+        voc.find_relation("T").unwrap(),
+    );
+    let mut db = ProbDb::new(voc);
+    for i in 0..6u64 {
+        db.insert(r, vec![Value(i)], 0.5);
+        db.insert(s, vec![Value(i), Value(10 + i)], 0.5);
+        db.insert(t, vec![Value(10 + i)], 0.5);
+    }
+    let engine = Engine::new();
+    let answers = ranked_answers(&engine, &db, &q, &[x], Strategy::Auto).unwrap();
+    assert_eq!(answers.len(), 6);
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.classifications, 1,
+        "one classification for 6 candidates"
+    );
+    // Re-running hits the ranked-template cache: still one classification.
+    let _ = ranked_answers(&engine, &db, &q, &[x], Strategy::Auto).unwrap();
+    assert_eq!(engine.cache_stats().classifications, 1);
+}
+
+#[test]
+fn lru_keeps_hot_entries_under_churn() {
+    let (db, _, _, voc) = movie_db();
+    let hot = parse_query(&mut voc.clone(), "Director(d), Credit(d,m)").unwrap();
+    let planner = Planner::with_capacity(10_000, 4);
+    let executor = Executor::new(1);
+    let mut hot_p = None;
+    for i in 0..20u64 {
+        // Keep the hot query hot...
+        let planned = planner.plan(&hot).unwrap();
+        let out = executor.execute(&db, &planned.plan).unwrap();
+        match hot_p {
+            None => hot_p = Some(out.probability),
+            Some(p) => assert!((p - out.probability).abs() < 1e-15),
+        }
+        // ...while churning through cold constant-pinned variants.
+        let cold = parse_query(&mut voc.clone(), &format!("Credit({i},m)")).unwrap();
+        planner.plan(&cold).unwrap();
+    }
+    let stats = planner.stats();
+    // The hot entry misses once and then always hits, despite evictions.
+    assert_eq!(stats.hits, 19);
+    assert_eq!(stats.misses, 21);
+}

@@ -2,8 +2,8 @@
 //! lineage layer, randomized DNFs — must keep every cross-engine invariant.
 
 use probdb::prelude::{
-    brute_force_probability, eval_inversion_free, eval_recurrence,
-    exact_probability, karp_luby, lineage_of, parse_query, ProbDb, Value, Vocabulary,
+    brute_force_probability, eval_inversion_free, eval_recurrence, exact_probability, karp_luby,
+    lineage_of, parse_query, ProbDb, Value, Vocabulary,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -18,11 +18,7 @@ fn arb_rs_db(domain: u64) -> impl Strategy<Value = RsRows> {
     (r, s)
 }
 
-fn build_db(
-    voc: &Vocabulary,
-    r_rows: &[(u64, f64)],
-    s_rows: &[(u64, u64, f64)],
-) -> ProbDb {
+fn build_db(voc: &Vocabulary, r_rows: &[(u64, f64)], s_rows: &[(u64, u64, f64)]) -> ProbDb {
     let r = voc.find_relation("R").unwrap();
     let s = voc.find_relation("S").unwrap();
     let mut db = ProbDb::new(voc.clone());

@@ -37,10 +37,7 @@ fn random_query(rng: &mut StdRng, voc: &mut Vocabulary) -> Query {
 #[test]
 fn random_queries_classify_and_evaluate_consistently() {
     let mut rng = StdRng::seed_from_u64(0xF0CC);
-    let engine = Engine {
-        mc_samples: 40_000,
-        seed: 2,
-    };
+    let engine = Engine::with_samples_and_seed(40_000, 2);
     let mut ptime_seen = 0;
     let mut hard_seen = 0;
     for round in 0..60u64 {
@@ -82,6 +79,9 @@ fn random_queries_classify_and_evaluate_consistently() {
         }
     }
     // The generator must actually exercise both sides of the dichotomy.
-    assert!(ptime_seen >= 10, "only {ptime_seen} PTIME queries generated");
+    assert!(
+        ptime_seen >= 10,
+        "only {ptime_seen} PTIME queries generated"
+    );
     assert!(hard_seen >= 5, "only {hard_seen} hard queries generated");
 }

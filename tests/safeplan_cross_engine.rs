@@ -199,3 +199,133 @@ fn multisim_matches_exact_ranking() {
         );
     }
 }
+
+/// Generate a random hierarchical self-join-free query: a forest of
+/// hierarchy trees where every atom's variables are a root-to-node path,
+/// each atom over a fresh relation. Hierarchical and self-join-free by
+/// construction — exactly the Theorem 1.3 fragment the extensional
+/// compiler accepts.
+fn random_hierarchical_query(rng: &mut StdRng, voc: &mut Vocabulary) -> Query {
+    fn grow(
+        rng: &mut StdRng,
+        voc: &mut Vocabulary,
+        atoms: &mut Vec<cq::Atom>,
+        path: &mut Vec<Var>,
+        next_var: &mut u32,
+        depth: u32,
+    ) {
+        // Atoms whose variables are exactly the current path.
+        for _ in 0..rng.gen_range(1..=2u32) {
+            let name = format!("P{}", atoms.len());
+            let rel = voc.relation(&name, path.len()).unwrap();
+            let args = path.iter().map(|&v| cq::Term::Var(v)).collect();
+            atoms.push(cq::Atom::new(rel, args));
+        }
+        if depth < 3 {
+            for _ in 0..rng.gen_range(0..=2u32) {
+                path.push(Var(*next_var));
+                *next_var += 1;
+                grow(rng, voc, atoms, path, next_var, depth + 1);
+                path.pop();
+            }
+        }
+    }
+    let mut atoms = Vec::new();
+    let mut next_var = 0u32;
+    for _ in 0..rng.gen_range(1..=2u32) {
+        let mut path = vec![Var(next_var)];
+        next_var += 1;
+        grow(rng, voc, &mut atoms, &mut path, &mut next_var, 1);
+    }
+    Query::new(atoms, vec![])
+}
+
+/// For randomized hierarchical self-join-free queries, the planner's
+/// extensional plan, the Eq. 3 recurrence, and exact lineage compilation
+/// agree within 1e-9 — the cross-engine guarantee of the planner/executor
+/// split, exercised through the new Planner API.
+#[test]
+fn planner_extensional_recurrence_and_lineage_agree_on_random_safe_queries() {
+    let mut rng = StdRng::seed_from_u64(0x91A);
+    for case in 0..40 {
+        let mut voc = Vocabulary::new();
+        let q = random_hierarchical_query(&mut rng, &mut voc);
+        let planner = Planner::new(10_000);
+        let planned = planner.plan(&q).unwrap();
+        assert!(
+            matches!(planned.plan, PhysicalPlan::Extensional { .. }),
+            "case {case}: safe query must compile extensionally, got {:?} for {}",
+            planned.plan,
+            q.display(&voc)
+        );
+        let executor = Executor::new(7);
+        let opts = RandomDbOptions {
+            domain: 3,
+            tuples_per_relation: 3,
+            prob_range: (0.1, 0.9),
+        };
+        for round in 0..2 {
+            let db = random_db_for_query(&q, &voc, opts, &mut rng);
+            let by_plan = executor.execute(&db, &planned.plan).unwrap().probability;
+            let by_rec = eval_recurrence(&db, &q).unwrap();
+            let dnf = lineage_of(&db, &q);
+            let by_lineage = exact_probability(&dnf, &db.prob_vector());
+            assert!(
+                (by_plan - by_rec).abs() < 1e-9,
+                "case {case} round {round}: extensional {by_plan} vs recurrence {by_rec} for {}",
+                q.display(&voc)
+            );
+            assert!(
+                (by_plan - by_lineage).abs() < 1e-9,
+                "case {case} round {round}: extensional {by_plan} vs lineage {by_lineage} for {}",
+                q.display(&voc)
+            );
+        }
+        // And the cache serves the same plan on re-planning.
+        let again = planner.plan(&q).unwrap();
+        assert_eq!(planner.stats().hits, 1);
+        assert_eq!(again.plan.method(), planned.plan.method());
+    }
+}
+
+/// Batched ranked plans agree with per-residual evaluation: for random
+/// head choices over random safe queries, every candidate's probability
+/// from the one-pass extensional plan matches the residual's probability
+/// computed independently.
+#[test]
+fn batched_ranked_plans_agree_with_per_residual_evaluation() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let mut batched_seen = 0;
+    for case in 0..30 {
+        let mut voc = Vocabulary::new();
+        let q = random_hierarchical_query(&mut rng, &mut voc);
+        let vars = q.vars();
+        let head = vec![vars[rng.gen_range(0..vars.len())]];
+        let opts = RandomDbOptions {
+            domain: 3,
+            tuples_per_relation: 3,
+            prob_range: (0.1, 0.9),
+        };
+        let db = random_db_for_query(&q, &voc, opts, &mut rng);
+        let engine = Engine::new();
+        let answers = dichotomy::ranked_answers(&engine, &db, &q, &head, Strategy::Auto).unwrap();
+        if answers.iter().all(|a| a.method == Method::Extensional) && !answers.is_empty() {
+            batched_seen += 1;
+        }
+        for a in &answers {
+            let residual = q.apply(&cq::Subst::singleton(head[0], a.tuple[0]));
+            let by_rec = eval_recurrence(&db, &residual).unwrap();
+            assert!(
+                (a.probability - by_rec).abs() < 1e-9,
+                "case {case}: batched {} vs residual recurrence {by_rec} for {} head {:?}",
+                a.probability,
+                q.display(&voc),
+                head
+            );
+        }
+    }
+    assert!(
+        batched_seen >= 10,
+        "expected most random safe shapes to run batched, saw {batched_seen}"
+    );
+}
