@@ -32,12 +32,47 @@ use crate::classify::{Classification, ClassifyError};
 use crate::plan::{Executor, PhysicalPlan};
 use crate::planner::{Planner, PlannerStats};
 use cq::Query;
+use exec_parallel::ExecStats;
 use pdb::ProbDb;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use crate::plan::Method;
+
+/// Execution tuning the engine hands its executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads for the morsel-driven parallel executor; 1 = serial.
+    /// Parallel extensional execution is bit-for-bit identical to serial;
+    /// sampling plans stay deterministic per `(seed, threads)`.
+    pub threads: usize,
+}
+
+impl ExecOptions {
+    pub fn serial() -> Self {
+        ExecOptions { threads: 1 }
+    }
+
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for ExecOptions {
+    /// Honors `ENGINE_THREADS` (CI forces the parallel executor on the
+    /// whole suite that way); otherwise serial.
+    fn default() -> Self {
+        let threads = std::env::var("ENGINE_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1);
+        ExecOptions { threads }
+    }
+}
 
 /// Evaluation strategy selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,6 +105,9 @@ pub struct Evaluation {
     pub wall_time: Duration,
     /// Whether the plan came from the engine's plan cache.
     pub cache_hit: bool,
+    /// Per-thread timing counters when the plan ran on the parallel
+    /// executor (`ExecOptions::threads > 1`); `None` for serial runs.
+    pub parallel: Option<ExecStats>,
 }
 
 /// Engine errors.
@@ -102,6 +140,8 @@ pub struct Engine {
     pub mc_samples: u64,
     /// RNG seed for reproducible estimates.
     pub seed: u64,
+    /// Execution tuning (worker threads), honored at evaluation time.
+    pub exec: ExecOptions,
     planner: Arc<Planner>,
 }
 
@@ -110,6 +150,7 @@ impl fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("mc_samples", &self.mc_samples)
             .field("seed", &self.seed)
+            .field("threads", &self.exec.threads)
             .field("cache", &self.planner.stats())
             .finish()
     }
@@ -128,10 +169,23 @@ impl Engine {
 
     /// An engine with explicit tuning (the struct-literal construction
     /// sites of earlier revisions map onto this).
+    ///
+    /// Thread count comes from [`ExecOptions::default`], which honors
+    /// `ENGINE_THREADS` — so with that variable exported, sampling plans
+    /// draw from seed-split per-worker streams instead of the serial
+    /// stream (still deterministic, but per `(seed, threads)`). For
+    /// estimates reproducible regardless of environment, construct with
+    /// [`Engine::with_options`] and [`ExecOptions::serial`].
     pub fn with_samples_and_seed(mc_samples: u64, seed: u64) -> Self {
+        Self::with_options(mc_samples, seed, ExecOptions::default())
+    }
+
+    /// An engine with explicit execution options (worker threads).
+    pub fn with_options(mc_samples: u64, seed: u64, exec: ExecOptions) -> Self {
         Engine {
             mc_samples,
             seed,
+            exec,
             planner: Arc::new(Planner::new(mc_samples)),
         }
     }
@@ -147,7 +201,7 @@ impl Engine {
     }
 
     pub(crate) fn executor(&self) -> Executor {
-        Executor::new(self.seed)
+        Executor::with_threads(self.seed, self.exec.threads)
     }
 
     /// Evaluate `p(q)` on `db` with the chosen strategy.
@@ -216,6 +270,7 @@ impl Engine {
             execution,
             wall_time: planning + execution,
             cache_hit,
+            parallel: outcome.parallel,
         })
     }
 
@@ -388,6 +443,38 @@ mod tests {
             "std error {} should shrink well below {}",
             fine.std_error,
             coarse.std_error
+        );
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_bit_for_bit() {
+        let (db, q) = setup("R(x), S(x,y)", 21);
+        let serial = Engine::with_options(100_000, 1, ExecOptions::serial());
+        let want = serial.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert!(want.parallel.is_none());
+        for threads in [2, 4, 8] {
+            let par = Engine::with_options(100_000, 1, ExecOptions::with_threads(threads));
+            let ev = par.evaluate(&db, &q, Strategy::Auto).unwrap();
+            assert_eq!(ev.probability, want.probability, "threads={threads}");
+            let stats = ev.parallel.expect("parallel run reports thread counters");
+            assert_eq!(stats.threads(), threads);
+        }
+    }
+
+    #[test]
+    fn parallel_sampling_is_deterministic_per_thread_count() {
+        let (db, q) = setup("R(x), S(x,y), S(x2,y2), T(y2)", 3);
+        let engine = Engine::with_options(20_000, 7, ExecOptions::with_threads(4));
+        let a = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        let b = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert_eq!(a.probability, b.probability, "same seed, same threads");
+        assert!(a.std_error > 0.0);
+        assert!(a.parallel.is_some());
+        let bf = brute_force_probability(&db, &q);
+        assert!(
+            (a.probability - bf).abs() < 0.05,
+            "estimate {} vs exact {bf}",
+            a.probability
         );
     }
 

@@ -36,6 +36,22 @@ pub fn explain_evaluation(ev: &Evaluation) -> String {
         }
     );
     let _ = writeln!(out, "execution : {:?}", ev.execution);
+    if let Some(par) = &ev.parallel {
+        let _ = writeln!(
+            out,
+            "threads   : {} ({} morsels, {} rows)",
+            par.threads(),
+            par.total_morsels(),
+            par.total_rows()
+        );
+        for (i, t) in par.per_thread.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  worker {i}: busy {:?}, {} morsel(s), {} row(s)",
+                t.busy, t.morsels, t.rows
+            );
+        }
+    }
     let _ = writeln!(out, "wall time : {:?}", ev.wall_time);
     if let Some(c) = &ev.classification {
         let _ = writeln!(out, "complexity: {}", c.complexity);
@@ -203,6 +219,24 @@ mod tests {
             .evaluate(&db, &q, Strategy::MonteCarlo { samples: 5_000 })
             .unwrap();
         assert!(explain_evaluation(&mc).contains("±"), "std error rendered");
+    }
+
+    #[test]
+    fn explains_parallel_thread_counters() {
+        use crate::engine::{Engine, ExecOptions, Strategy};
+        use cq::Value;
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = pdb::ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5);
+        db.insert(s, vec![Value(1), Value(2)], 0.4);
+        let engine = Engine::with_options(1_000, 1, ExecOptions::with_threads(2));
+        let ev = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        let text = explain_evaluation(&ev);
+        assert!(text.contains("threads   : 2"), "{text}");
+        assert!(text.contains("worker 0"), "{text}");
     }
 
     #[test]

@@ -34,7 +34,13 @@
 //!   root recursion ([`safe_eval`]), exact lineage compilation, or
 //!   Karp–Luby sampling — with exact runtime fallbacks between them.
 //! * [`engine`] — the facade: plan (with caching), execute, report planning
-//!   and execution time separately.
+//!   and execution time separately. [`engine::ExecOptions`] selects the
+//!   morsel-driven parallel executor (`safeplan::par`, scoped-thread worker
+//!   pool from the `exec-parallel` crate): extensional plans and batched
+//!   ranked plans partition scans/joins/aggregations across workers
+//!   bit-for-bit identically to serial execution, and sampling plans fan
+//!   their budget over seed-split per-worker RNG streams; [`Evaluation`]
+//!   then carries per-thread timing counters.
 //! * [`ranking`] — non-Boolean queries: answer tuples ranked by marginal
 //!   probability; tractable shapes run as **one** batched plan over all
 //!   candidates, others plan the residual template once and execute it per
@@ -57,6 +63,7 @@ pub mod exact_recurrence;
 pub mod explain;
 pub mod hierarchy;
 pub mod inversion;
+pub mod lru;
 pub mod multisim;
 pub mod plan;
 pub mod planner;
@@ -70,8 +77,9 @@ pub use coverage::{
     rooted_coverage, strict_coverage, strict_coverage_with, Coverage, CoverageError,
     CoverageOptions,
 };
-pub use engine::{Engine, Evaluation, Method};
+pub use engine::{Engine, Evaluation, ExecOptions, Method};
 pub use exact_recurrence::{count_substructures_recurrence, eval_recurrence_exact};
+pub use exec_parallel::{ExecStats, ThreadStats};
 pub use explain::{explain, explain_evaluation};
 pub use hierarchy::{check_hierarchical, is_hierarchical};
 pub use inversion::{find_inversion, InversionWitness};

@@ -1,0 +1,242 @@
+//! An O(1) LRU map for the plan caches.
+//!
+//! The first planner revision used a logical-clock map with linear-scan
+//! eviction — fine at capacity 512, linear work per insert beyond it. This
+//! is the grown-up replacement: a `HashMap` from key to slot index plus an
+//! intrusive doubly-linked recency list over an arena of slots, so `get`,
+//! `insert`, and eviction are all O(1). Slots of evicted entries are
+//! recycled through a free list; the arena never exceeds `capacity`.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<V> {
+    key: String,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity map evicting the least-recently-used entry. `get` and
+/// `insert` both count as a use.
+pub struct LruMap<V> {
+    map: HashMap<String, usize>,
+    slots: Vec<Slot<V>>,
+    /// Most recently used slot, or `NIL` when empty.
+    head: usize,
+    /// Least recently used slot, or `NIL` when empty.
+    tail: usize,
+    free: Vec<usize>,
+    capacity: usize,
+}
+
+impl<V: Clone> LruMap<V> {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruMap {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            capacity,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &str) -> Option<V> {
+        let &slot = self.map.get(key)?;
+        self.touch(slot);
+        Some(self.slots[slot].value.clone())
+    }
+
+    /// Insert or overwrite `key`, marking it most recently used; at
+    /// capacity, the least-recently-used entry is evicted first.
+    pub fn insert(&mut self, key: String, value: V) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.touch(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            self.evict_tail();
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    /// Unlink `slot` and relink it at the head (most recently used).
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn evict_tail(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "evicting from an empty LRU");
+        self.unlink(victim);
+        self.map.remove(&self.slots[victim].key);
+        self.free.push(victim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_insert_round_trip() {
+        let mut lru = LruMap::new(4);
+        assert!(lru.is_empty());
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        assert_eq!(lru.get("a"), Some(1));
+        assert_eq!(lru.get("b"), Some(2));
+        assert_eq!(lru.get("c"), None);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_keeps_one_entry() {
+        let mut lru = LruMap::new(4);
+        lru.insert("a".into(), 1);
+        lru.insert("a".into(), 2);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get("a"), Some(2));
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let mut lru = LruMap::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        lru.get("a"); // refresh a; b is now LRU
+        lru.insert("c".into(), 3); // evicts b
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get("a"), Some(1));
+        assert_eq!(lru.get("b"), None);
+        assert_eq!(lru.get("c"), Some(3));
+    }
+
+    #[test]
+    fn inserts_refresh_recency_too() {
+        let mut lru = LruMap::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        lru.insert("a".into(), 10); // overwrite refreshes a; b is LRU
+        lru.insert("c".into(), 3); // evicts b
+        assert_eq!(lru.get("b"), None);
+        assert_eq!(lru.get("a"), Some(10));
+    }
+
+    #[test]
+    fn slots_are_recycled_not_grown() {
+        let mut lru = LruMap::new(3);
+        for i in 0..100 {
+            lru.insert(format!("k{i}"), i);
+        }
+        assert_eq!(lru.len(), 3);
+        assert!(lru.slots.len() <= 3, "arena grew to {}", lru.slots.len());
+        // The three newest survive.
+        assert_eq!(lru.get("k99"), Some(99));
+        assert_eq!(lru.get("k97"), Some(97));
+        assert_eq!(lru.get("k0"), None);
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut lru = LruMap::new(0); // clamped to 1
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get("a"), None);
+        assert_eq!(lru.get("b"), Some(2));
+    }
+
+    #[test]
+    fn long_interleaving_matches_reference_model() {
+        // Cross-check against a naive recency-vector model.
+        let mut lru = LruMap::new(4);
+        let mut model: Vec<(String, u32)> = Vec::new(); // front = MRU
+        let keys = ["a", "b", "c", "d", "e", "f"];
+        for step in 0..500u32 {
+            let k = keys[(step as usize * 7 + step as usize / 3) % keys.len()];
+            if step % 3 == 0 {
+                let got = lru.get(k);
+                let want = model.iter().find(|(mk, _)| mk == k).map(|&(_, v)| v);
+                assert_eq!(got, want, "step {step} get {k}");
+                if let Some(pos) = model.iter().position(|(mk, _)| mk == k) {
+                    let e = model.remove(pos);
+                    model.insert(0, e);
+                }
+            } else {
+                lru.insert(k.into(), step);
+                if let Some(pos) = model.iter().position(|(mk, _)| mk == k) {
+                    model.remove(pos);
+                } else if model.len() == 4 {
+                    model.pop();
+                }
+                model.insert(0, (k.into(), step));
+            }
+            assert_eq!(lru.len(), model.len(), "step {step}");
+        }
+    }
+}

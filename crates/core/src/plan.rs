@@ -22,11 +22,13 @@
 use crate::recurrence::{eval_recurrence, RecurrenceError};
 use crate::safe_eval::{eval_inversion_free, SafeEvalError};
 use cq::{Query, Vocabulary};
-use lineage::{exact_probability, karp_luby};
+use exec_parallel::ExecStats;
+use lineage::{exact_probability, karp_luby, karp_luby_par};
 use numeric::QRat;
 use pdb::{lineage_of, ProbDb, RatProbs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use safeplan::ParOptions;
 use std::fmt;
 
 /// How a probability was computed — the executor's report of which
@@ -119,27 +121,45 @@ impl PhysicalPlan {
 }
 
 /// What one execution produced.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecOutcome {
     pub probability: f64,
     /// Standard error of the estimate; 0 for exact methods.
     pub std_error: f64,
     /// The substrate that actually ran (after runtime fallbacks).
     pub method: Method,
+    /// Per-thread timing counters when the plan ran on the parallel
+    /// executor (extensional plans and sampling plans at `threads > 1`).
+    pub parallel: Option<ExecStats>,
 }
 
 /// The executor: runs a [`PhysicalPlan`] against a database. Holds only
-/// tuning that affects execution (the RNG seed for sampling plans); all
-/// query analysis lives behind it in the planner.
+/// tuning that affects execution (the RNG seed for sampling plans and the
+/// worker-thread count); all query analysis lives behind it in the planner.
 #[derive(Clone, Copy, Debug)]
 pub struct Executor {
     /// RNG seed for reproducible Monte-Carlo estimates.
     pub seed: u64,
+    /// Worker threads for the parallel execution paths; 1 = serial.
+    pub threads: usize,
 }
 
 impl Executor {
     pub fn new(seed: u64) -> Self {
-        Executor { seed }
+        Executor { seed, threads: 1 }
+    }
+
+    /// An executor running the morsel-driven parallel paths on `threads`
+    /// workers. Results are bit-for-bit those of the serial executor; only
+    /// wall time (and the reported [`ExecOutcome::parallel`] counters)
+    /// change with the thread count. Sampling plans draw from seed-split
+    /// per-worker RNG streams — deterministic for a fixed `(seed,
+    /// threads)`, but a *different* stream than the serial sampler's.
+    pub fn with_threads(seed: u64, threads: usize) -> Self {
+        Executor {
+            seed,
+            threads: threads.max(1),
+        }
     }
 
     /// Run `plan` against `db` in `f64` arithmetic.
@@ -152,10 +172,23 @@ impl Executor {
     pub fn execute(&self, db: &ProbDb, plan: &PhysicalPlan) -> Result<ExecOutcome, String> {
         match plan {
             PhysicalPlan::Trivial { probability } => Ok(exact(*probability, Method::Recurrence)),
-            PhysicalPlan::Extensional { plan } => Ok(exact(
-                safeplan::query_probability(db, plan),
-                Method::Extensional,
-            )),
+            PhysicalPlan::Extensional { plan } => {
+                if self.threads > 1 {
+                    let (p, stats) =
+                        safeplan::par_query_probability(db, plan, ParOptions::new(self.threads));
+                    Ok(ExecOutcome {
+                        probability: p,
+                        std_error: 0.0,
+                        method: Method::Extensional,
+                        parallel: Some(stats),
+                    })
+                } else {
+                    Ok(exact(
+                        safeplan::query_probability(db, plan),
+                        Method::Extensional,
+                    ))
+                }
+            }
             PhysicalPlan::Recurrence { query } => match eval_recurrence(db, query) {
                 Ok(p) => Ok(exact(p, Method::Recurrence)),
                 Err(RecurrenceError::SelfJoin) => match eval_inversion_free(db, query) {
@@ -182,11 +215,12 @@ impl Executor {
                 Ok(exact(self.exact_lineage(db, query), Method::ExactLineage))
             }
             PhysicalPlan::KarpLuby { query, samples } => {
-                let (p, se) = self.karp_luby(db, query, *samples);
+                let (p, se, stats) = self.karp_luby(db, query, *samples);
                 Ok(ExecOutcome {
                     probability: p,
                     std_error: se,
                     method: Method::KarpLuby,
+                    parallel: stats,
                 })
             }
         }
@@ -237,11 +271,28 @@ impl Executor {
         exact_probability(&dnf, &db.prob_vector())
     }
 
-    pub(crate) fn karp_luby(&self, db: &ProbDb, q: &Query, samples: u64) -> (f64, f64) {
+    /// Karp–Luby over the lineage; at `threads > 1` the sample budget fans
+    /// out over per-worker seed-split RNG streams and per-thread counters
+    /// come back alongside the estimate.
+    pub(crate) fn karp_luby(
+        &self,
+        db: &ProbDb,
+        q: &Query,
+        samples: u64,
+    ) -> (f64, f64, Option<ExecStats>) {
         let dnf = lineage_of(db, q);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let est = karp_luby(&dnf, &db.prob_vector(), samples, &mut rng);
-        (est.estimate, est.std_error)
+        if self.threads > 1 {
+            let (est, stats) =
+                karp_luby_par(&dnf, &db.prob_vector(), samples, self.threads, self.seed);
+            // Degenerate lineages short-circuit without fanning out; empty
+            // stats mean nothing ran in parallel, so report no counters.
+            let stats = (stats.threads() > 0).then_some(stats);
+            (est.estimate, est.std_error, stats)
+        } else {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            let est = karp_luby(&dnf, &db.prob_vector(), samples, &mut rng);
+            (est.estimate, est.std_error, None)
+        }
     }
 }
 
@@ -250,6 +301,7 @@ fn exact(p: f64, method: Method) -> ExecOutcome {
         probability: p,
         std_error: 0.0,
         method,
+        parallel: None,
     }
 }
 

@@ -16,9 +16,9 @@
 //! re-classifies.
 
 use crate::classify::{classify, Classification, ClassifyError, Complexity, PTimeReason};
+use crate::lru::LruMap;
 use crate::plan::PhysicalPlan;
 use cq::{Query, Subst, Value, Var};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -94,53 +94,6 @@ struct Counters {
     classifications: AtomicU64,
 }
 
-/// A small LRU map: logical clock per entry, evict the stalest on
-/// overflow. Linear-scan eviction is fine at plan-cache sizes (hundreds),
-/// where the win is skipping classification, not shaving nanoseconds.
-struct Lru<V> {
-    map: HashMap<String, (u64, V)>,
-    clock: u64,
-    capacity: usize,
-}
-
-impl<V: Clone> Lru<V> {
-    fn new(capacity: usize) -> Self {
-        Lru {
-            map: HashMap::new(),
-            clock: 0,
-            capacity: capacity.max(1),
-        }
-    }
-
-    fn get(&mut self, key: &str) -> Option<V> {
-        self.clock += 1;
-        let clock = self.clock;
-        self.map.get_mut(key).map(|slot| {
-            slot.0 = clock;
-            slot.1.clone()
-        })
-    }
-
-    fn insert(&mut self, key: String, value: V) {
-        self.clock += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(stalest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (t, _))| *t)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&stalest);
-            }
-        }
-        self.map.insert(key, (self.clock, value));
-    }
-
-    fn len(&self) -> usize {
-        self.map.len()
-    }
-}
-
 /// The planner. Cheap to share: clones of an [`crate::engine::Engine`]
 /// hold the same `Arc<Planner>`, so a fleet of workers shares one cache.
 ///
@@ -152,8 +105,8 @@ impl<V: Clone> Lru<V> {
 pub struct Planner {
     /// Samples a compiled Karp–Luby plan will draw.
     mc_samples: u64,
-    cache: Mutex<Lru<Arc<PlannedQuery>>>,
-    ranked_cache: Mutex<Lru<Arc<RankedPlan>>>,
+    cache: Mutex<LruMap<Arc<PlannedQuery>>>,
+    ranked_cache: Mutex<LruMap<Arc<RankedPlan>>>,
     counters: Counters,
 }
 
@@ -168,8 +121,8 @@ impl Planner {
     pub fn with_capacity(mc_samples: u64, capacity: usize) -> Self {
         Planner {
             mc_samples,
-            cache: Mutex::new(Lru::new(capacity)),
-            ranked_cache: Mutex::new(Lru::new(capacity)),
+            cache: Mutex::new(LruMap::new(capacity)),
+            ranked_cache: Mutex::new(LruMap::new(capacity)),
             counters: Counters::default(),
         }
     }

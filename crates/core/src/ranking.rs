@@ -90,18 +90,29 @@ fn ranked_auto(
     match &*template {
         RankedPlan::Batched { plan, head } => {
             // One set-at-a-time execution computes every candidate's
-            // marginal probability.
-            Ok(
+            // marginal probability; at `threads > 1` the answer set is
+            // partitioned across the workers (bit-for-bit the serial
+            // output, including order).
+            let pairs = if engine.exec.threads > 1 {
+                safeplan::par_ranked_probabilities(
+                    db,
+                    &db.prob_vector(),
+                    plan,
+                    head,
+                    safeplan::ParOptions::new(engine.exec.threads),
+                )
+            } else {
                 safeplan::ranked_probabilities(db, &db.prob_vector(), plan, head)
-                    .into_iter()
-                    .map(|(tuple, probability)| RankedAnswer {
-                        tuple,
-                        probability,
-                        std_error: 0.0,
-                        method: Method::Extensional,
-                    })
-                    .collect(),
-            )
+            };
+            Ok(pairs
+                .into_iter()
+                .map(|(tuple, probability)| RankedAnswer {
+                    tuple,
+                    probability,
+                    std_error: 0.0,
+                    method: Method::Extensional,
+                })
+                .collect())
         }
         RankedPlan::PerBinding { kind, .. } => {
             let executor = engine.executor();
@@ -218,6 +229,19 @@ mod tests {
         assert_eq!(engine.cache_stats().classifications, 0);
         let _ = ranked_answers(&engine, &db, &q, &head, Strategy::Auto).unwrap();
         assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn parallel_ranked_answers_match_serial() {
+        use crate::engine::ExecOptions;
+        let (db, q, head) = movie_db();
+        let serial_engine = Engine::with_options(1_000, 1, ExecOptions::serial());
+        let serial = ranked_answers(&serial_engine, &db, &q, &head, Strategy::Auto).unwrap();
+        for threads in [2, 4] {
+            let par_engine = Engine::with_options(1_000, 1, ExecOptions::with_threads(threads));
+            let par = ranked_answers(&par_engine, &db, &q, &head, Strategy::Auto).unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+        }
     }
 
     #[test]

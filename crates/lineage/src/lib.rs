@@ -30,4 +30,4 @@ pub use exact::{
     exact_probability, exact_probability_generic, model_count, model_count_exact, ExactStats,
 };
 pub use field::ProbValue;
-pub use mc::{karp_luby, naive_mc, McEstimate};
+pub use mc::{karp_luby, karp_luby_par, naive_mc, naive_mc_par, McEstimate};

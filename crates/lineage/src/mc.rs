@@ -14,9 +14,18 @@
 //! This pair is the paper's practical foil: MystiQ (§1) falls back to
 //! "a Monte Carlo simulation algorithm" for unsafe queries, and the observed
 //! 1–2 orders of magnitude gap versus safe plans is experiment E4.
+//!
+//! Both estimators also come in parallel form ([`naive_mc_par`],
+//! [`karp_luby_par`]): the sample budget is fanned out over a scoped-thread
+//! worker pool, each worker drawing from its own RNG stream (seed-split via
+//! [`rand::rngs::StdRng::split`], so a fixed seed and thread count is fully
+//! reproducible), and the per-worker hit counts pool into one estimate with
+//! a pooled standard error.
 
 use crate::dnf::Dnf;
-use rand::Rng;
+use exec_parallel::{ExecStats, Pool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A Monte-Carlo estimate with its standard error.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -43,6 +52,39 @@ pub fn naive_mc<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> 
             samples,
         };
     }
+    let hits = naive_hits(dnf, probs, samples, rng);
+    naive_estimate(hits, samples)
+}
+
+/// [`naive_mc`] with the sample budget fanned out over `threads` workers,
+/// each drawing from its own seed-split RNG stream. Deterministic for a
+/// fixed `(seed, threads)`; the per-worker hit counts pool into one
+/// estimate. Also reports per-thread busy-time counters.
+pub fn naive_mc_par(
+    dnf: &Dnf,
+    probs: &[f64],
+    samples: u64,
+    threads: usize,
+    seed: u64,
+) -> (McEstimate, ExecStats) {
+    if dnf.is_false() {
+        return (
+            McEstimate {
+                estimate: 0.0,
+                std_error: 0.0,
+                samples,
+            },
+            ExecStats::default(),
+        );
+    }
+    let (hits, stats) = pooled_hits(samples, threads, seed, |budget, rng| {
+        naive_hits(dnf, probs, budget, rng)
+    });
+    (naive_estimate(hits, samples), stats)
+}
+
+/// The naive sampling kernel: draw `samples` worlds, count satisfying ones.
+fn naive_hits<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> u64 {
     let n = probs.len().max(dnf.num_vars());
     let mut world = vec![false; n];
     let mut hits = 0u64;
@@ -55,12 +97,42 @@ pub fn naive_mc<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> 
             hits += 1;
         }
     }
+    hits
+}
+
+fn naive_estimate(hits: u64, samples: u64) -> McEstimate {
     let est = hits as f64 / samples as f64;
     McEstimate {
         estimate: est,
         std_error: (est * (1.0 - est) / samples as f64).sqrt(),
         samples,
     }
+}
+
+/// Split `samples` over `threads` seed-split RNG streams, run `kernel` on
+/// each worker's share, and pool the hit counts. The split is by worker
+/// index (worker `w` gets `samples/threads` plus one of the remainder), so
+/// the schedule cannot leak into the totals.
+fn pooled_hits(
+    samples: u64,
+    threads: usize,
+    seed: u64,
+    kernel: impl Fn(u64, &mut StdRng) -> u64 + Sync,
+) -> (u64, ExecStats) {
+    let threads = threads.max(1);
+    let streams = StdRng::seed_from_u64(seed).split(threads);
+    let base = samples / threads as u64;
+    let rem = samples % threads as u64;
+    let pool = Pool::new(threads);
+    let hits: u64 = pool
+        .map_partitions(threads, |w| {
+            let budget = base + u64::from((w as u64) < rem);
+            let mut rng = streams[w].clone();
+            kernel(budget, &mut rng)
+        })
+        .into_iter()
+        .sum();
+    (hits, pool.stats())
 }
 
 /// Karp–Luby importance sampling for `P(dnf)`.
@@ -70,29 +142,71 @@ pub fn naive_mc<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> 
 /// clause_j }]`. The score is an unbiased estimator of `P(⋁ clauses)` with
 /// variance at most `W²/4 ≤ (m·P)²/4`, giving an FPRAS.
 pub fn karp_luby<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> McEstimate {
-    if dnf.is_false() {
-        return McEstimate {
-            estimate: 0.0,
+    match karp_luby_prepare(dnf, probs) {
+        KlPrep::Constant(p) => McEstimate {
+            estimate: p,
             std_error: 0.0,
             samples,
-        };
+        },
+        KlPrep::Ready { cum, n, total_w } => {
+            let hits = karp_luby_hits(dnf, probs, &cum, n, samples, rng);
+            karp_luby_estimate(hits, samples, total_w)
+        }
+    }
+}
+
+/// [`karp_luby`] with the sample budget fanned out over `threads` workers
+/// on seed-split RNG streams; per-worker hit counts pool into one unbiased
+/// estimate with a pooled standard error. Deterministic for a fixed
+/// `(seed, threads)`.
+pub fn karp_luby_par(
+    dnf: &Dnf,
+    probs: &[f64],
+    samples: u64,
+    threads: usize,
+    seed: u64,
+) -> (McEstimate, ExecStats) {
+    match karp_luby_prepare(dnf, probs) {
+        KlPrep::Constant(p) => (
+            McEstimate {
+                estimate: p,
+                std_error: 0.0,
+                samples,
+            },
+            ExecStats::default(),
+        ),
+        KlPrep::Ready { cum, n, total_w } => {
+            let (hits, stats) = pooled_hits(samples, threads, seed, |budget, rng| {
+                karp_luby_hits(dnf, probs, &cum, n, budget, rng)
+            });
+            (karp_luby_estimate(hits, samples, total_w), stats)
+        }
+    }
+}
+
+/// What the serial and parallel Karp–Luby entry points share: degenerate
+/// DNFs short-circuit to a constant, everything else gets the clause CDF.
+enum KlPrep {
+    Constant(f64),
+    Ready {
+        cum: Vec<f64>,
+        n: usize,
+        total_w: f64,
+    },
+}
+
+fn karp_luby_prepare(dnf: &Dnf, probs: &[f64]) -> KlPrep {
+    if dnf.is_false() {
+        return KlPrep::Constant(0.0);
     }
     if dnf.is_true() {
-        return McEstimate {
-            estimate: 1.0,
-            std_error: 0.0,
-            samples,
-        };
+        return KlPrep::Constant(1.0);
     }
     let n = probs.len().max(dnf.num_vars());
     let weights: Vec<f64> = dnf.clauses.iter().map(|c| c.prob(probs)).collect();
     let total_w: f64 = weights.iter().sum();
     if total_w == 0.0 {
-        return McEstimate {
-            estimate: 0.0,
-            std_error: 0.0,
-            samples,
-        };
+        return KlPrep::Constant(0.0);
     }
     // Cumulative distribution for clause sampling.
     let mut cum = Vec::with_capacity(weights.len());
@@ -101,7 +215,19 @@ pub fn karp_luby<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) ->
         acc += w / total_w;
         cum.push(acc);
     }
+    KlPrep::Ready { cum, n, total_w }
+}
 
+/// The Karp–Luby sampling kernel: `samples` draws, counting those where
+/// the sampled clause is the first satisfied one.
+fn karp_luby_hits<R: Rng>(
+    dnf: &Dnf,
+    probs: &[f64],
+    cum: &[f64],
+    n: usize,
+    samples: u64,
+    rng: &mut R,
+) -> u64 {
     let mut world = vec![false; n];
     let mut hits = 0u64;
     for _ in 0..samples {
@@ -129,6 +255,10 @@ pub fn karp_luby<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) ->
             hits += 1;
         }
     }
+    hits
+}
+
+fn karp_luby_estimate(hits: u64, samples: u64, total_w: f64) -> McEstimate {
     let frac = hits as f64 / samples as f64;
     let est = total_w * frac;
     let se = total_w * (frac * (1.0 - frac) / samples as f64).sqrt();
@@ -203,6 +333,49 @@ mod tests {
         assert_eq!(karp_luby(&Dnf::new(), &[], 10, &mut rng).estimate, 0.0);
         assert_eq!(karp_luby(&Dnf::truth(), &[], 10, &mut rng).estimate, 1.0);
         assert_eq!(naive_mc(&Dnf::new(), &[], 10, &mut rng).estimate, 0.0);
+    }
+
+    #[test]
+    fn parallel_estimators_are_deterministic_per_seed_and_thread_count() {
+        let (d, probs) = chain_dnf(6);
+        for threads in [1, 2, 4, 8] {
+            let (a, _) = karp_luby_par(&d, &probs, 20_000, threads, 99);
+            let (b, _) = karp_luby_par(&d, &probs, 20_000, threads, 99);
+            assert_eq!(a, b, "karp_luby_par threads={threads}");
+            let (a, _) = naive_mc_par(&d, &probs, 20_000, threads, 99);
+            let (b, _) = naive_mc_par(&d, &probs, 20_000, threads, 99);
+            assert_eq!(a, b, "naive_mc_par threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_estimators_converge() {
+        let (d, probs) = chain_dnf(6);
+        let exact = exact_probability(&d, &probs);
+        for threads in [2, 4] {
+            let (kl, stats) = karp_luby_par(&d, &probs, 100_000, threads, 5);
+            assert!(
+                (kl.estimate - exact).abs() < 5.0 * kl.std_error.max(1e-3),
+                "threads={threads}: exact={exact} est={kl:?}"
+            );
+            assert_eq!(stats.threads(), threads);
+            assert_eq!(stats.total_morsels(), threads as u64);
+            let (nv, _) = naive_mc_par(&d, &probs, 100_000, threads, 5);
+            assert!(
+                (nv.estimate - exact).abs() < 5.0 * nv.std_error.max(1e-3),
+                "threads={threads}: exact={exact} est={nv:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_constants_short_circuit() {
+        let (kl, _) = karp_luby_par(&Dnf::new(), &[], 10, 4, 0);
+        assert_eq!(kl.estimate, 0.0);
+        let (kl, _) = karp_luby_par(&Dnf::truth(), &[], 10, 4, 0);
+        assert_eq!(kl.estimate, 1.0);
+        let (nv, _) = naive_mc_par(&Dnf::new(), &[], 10, 4, 0);
+        assert_eq!(nv.estimate, 0.0);
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub struct ProbDb {
     by_rel: HashMap<RelId, Vec<TupleId>>,
 }
 
+// The morsel-driven parallel executor shares `&ProbDb` across scoped
+// worker threads; keep the structure free of interior mutability so these
+// bounds hold (a compile error here means a field broke that contract).
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<ProbDb>();
+    assert_shareable::<ProbTuple>();
+};
+
 impl ProbDb {
     pub fn new(voc: Vocabulary) -> Self {
         ProbDb {

@@ -5,7 +5,8 @@ use crate::relation::ProbRelation;
 use cq::{Atom, CompOp, Pred, Term, Value};
 use lineage::ProbValue;
 use numeric::QRat;
-use pdb::{ProbDb, RatProbs};
+use pdb::{ProbDb, RatProbs, TupleId};
+use std::ops::Range;
 
 /// Execute `plan` over `db`, with tuple probabilities supplied in
 /// [`pdb::TupleId`] order (so the same plan runs on `f64` and on exact
@@ -61,6 +62,19 @@ pub fn ranked_probabilities<P: ProbValue>(
     head: &[cq::Var],
 ) -> Vec<(Vec<Value>, P)> {
     let rel = execute(db, probs, plan);
+    project_head(&rel, head)
+}
+
+/// Read the `(head binding, probability)` pairs off a ranked plan's output
+/// relation, with the binding ordered as `head` — shared by the serial and
+/// parallel ranked paths so they cannot drift.
+///
+/// # Panics
+/// If some head variable is not an output column of `rel`.
+pub(crate) fn project_head<P: ProbValue>(
+    rel: &ProbRelation<P>,
+    head: &[cq::Var],
+) -> Vec<(Vec<Value>, P)> {
     let order: Vec<usize> = head
         .iter()
         .map(|&h| rel.col_index(h).expect("ranked plan carries head column"))
@@ -79,8 +93,23 @@ pub fn ranked_probabilities<P: ProbValue>(
 fn scan<P: ProbValue>(db: &ProbDb, probs: &[P], atom: &Atom) -> ProbRelation<P> {
     assert!(!atom.negated, "plans scan positive atoms only");
     let cols = atom.vars();
-    let mut out = ProbRelation::new(cols.clone());
-    'tuples: for &tid in db.tuples_of(atom.rel) {
+    let rows = scan_rows(db, probs, atom, &cols, db.tuples_of(atom.rel));
+    ProbRelation { cols, rows }
+}
+
+/// The scan kernel over an explicit tuple-id slice: the serial scan passes
+/// the whole relation, the parallel executor one morsel at a time. Rows
+/// come back in `ids` order, so stitching morsel outputs in morsel order
+/// reproduces the serial scan exactly.
+pub(crate) fn scan_rows<P: ProbValue>(
+    db: &ProbDb,
+    probs: &[P],
+    atom: &Atom,
+    cols: &[cq::Var],
+    ids: &[TupleId],
+) -> Vec<(Vec<Value>, P)> {
+    let mut out = Vec::new();
+    'tuples: for &tid in ids {
         let tuple = db.tuple(tid);
         // Match constants and repeated variables positionally.
         let mut bound: Vec<Option<Value>> = vec![None; cols.len()];
@@ -105,7 +134,7 @@ fn scan<P: ProbValue>(db: &ProbDb, probs: &[P], atom: &Atom) -> ProbRelation<P> 
             }
         }
         let row: Vec<Value> = bound.into_iter().map(|b| b.expect("all bound")).collect();
-        out.rows.push((row, probs[tid.0 as usize].clone()));
+        out.push((row, probs[tid.0 as usize].clone()));
     }
     out
 }
@@ -117,21 +146,58 @@ fn scan<P: ProbValue>(db: &ProbDb, probs: &[P], atom: &Atom) -> ProbRelation<P> 
 /// row count matches the bound the tuple-at-a-time recurrence pays.
 fn complement_scan<P: ProbValue>(db: &ProbDb, probs: &[P], atom: &Atom) -> ProbRelation<P> {
     let cols = atom.vars();
+    let domain = complement_domain(db, atom);
+    let total = complement_row_count(cols.len(), domain.len());
+    let rows = complement_rows(db, probs, atom, &cols, &domain, 0..total);
+    ProbRelation { cols, rows }
+}
+
+/// Evaluation domain of a complement scan: active domain plus the atom's
+/// constants, in a fixed order shared by the serial and parallel paths.
+pub(crate) fn complement_domain(db: &ProbDb, atom: &Atom) -> Vec<Value> {
     let mut domain: Vec<Value> = db.active_domain().into_iter().collect();
     for c in atom.constants() {
         if !domain.contains(&c) {
             domain.push(c);
         }
     }
-    let mut out = ProbRelation::new(cols.clone());
-    let k = cols.len();
-    if k > 0 && domain.is_empty() {
-        return out;
+    domain
+}
+
+/// Rows a complement scan over `k` variables produces: `|domain|^k`, with
+/// the `k == 0` ground atom contributing its single row.
+pub(crate) fn complement_row_count(k: usize, domain_len: usize) -> usize {
+    if k == 0 {
+        1
+    } else {
+        // A count that overflows usize could never be materialized anyway.
+        domain_len
+            .checked_pow(k as u32)
+            .expect("complement scan domain too large")
     }
-    // Odometer over domain^k bindings.
-    let mut idx = vec![0usize; k];
-    loop {
-        let binding: Vec<Value> = idx.iter().map(|&i| domain[i]).collect();
+}
+
+/// The complement-scan kernel over a range of linearized bindings. Binding
+/// `i` decodes base-`|domain|` with the *first* column most significant —
+/// exactly the order the old odometer emitted — so morsel outputs stitched
+/// in morsel order match the serial scan bit for bit.
+pub(crate) fn complement_rows<P: ProbValue>(
+    db: &ProbDb,
+    probs: &[P],
+    atom: &Atom,
+    cols: &[cq::Var],
+    domain: &[Value],
+    range: Range<usize>,
+) -> Vec<(Vec<Value>, P)> {
+    let k = cols.len();
+    let mut out = Vec::with_capacity(range.len());
+    for i in range {
+        let mut binding = vec![Value(0); k];
+        let mut rem = i;
+        for slot in binding.iter_mut().rev() {
+            *slot = domain[rem % domain.len()];
+            rem /= domain.len();
+        }
         let args: Vec<Value> = atom
             .args
             .iter()
@@ -144,24 +210,12 @@ fn complement_scan<P: ProbValue>(db: &ProbDb, probs: &[P], atom: &Atom) -> ProbR
             Some(id) => probs[id.0 as usize].complement(),
             None => P::one(),
         };
-        out.rows.push((binding, p));
-        // Advance the odometer; k == 0 yields the single ground row.
-        let mut pos = k;
-        loop {
-            if pos == 0 {
-                return out;
-            }
-            pos -= 1;
-            idx[pos] += 1;
-            if idx[pos] < domain.len() {
-                break;
-            }
-            idx[pos] = 0;
-        }
+        out.push((binding, p));
     }
+    out
 }
 
-fn eval_pred(pred: &Pred, cols: &[cq::Var], row: &[Value]) -> bool {
+pub(crate) fn eval_pred(pred: &Pred, cols: &[cq::Var], row: &[Value]) -> bool {
     let resolve = |t: &Term| -> Value {
         match t {
             Term::Const(c) => *c,

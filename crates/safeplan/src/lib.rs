@@ -16,6 +16,10 @@
 //! real engine would run it — and measurably faster at scale; the
 //! `plan_vs_recurrence` bench quantifies the gap.
 //!
+//! The [`par`] module executes the same plans on a morsel-driven
+//! scoped-thread worker pool ([`par_execute`]), bit-for-bit identical to
+//! the serial executor at every thread count.
+//!
 //! ```
 //! use cq::{parse_query, Vocabulary, Value};
 //! use pdb::ProbDb;
@@ -36,10 +40,15 @@ pub mod build;
 pub mod exec;
 pub mod node;
 pub mod optimize;
+pub mod par;
 pub mod relation;
 
 pub use build::{build_plan, build_ranked_plan, PlanError};
 pub use exec::{execute, query_probability, query_probability_exact, ranked_probabilities};
 pub use node::PlanNode;
 pub use optimize::{columns, estimate_rows, optimize, optimize_with_stats};
+pub use par::{par_execute, par_query_probability, par_ranked_probabilities, ParOptions};
+// Re-exported so downstream crates and tests can drive the parallel
+// executor without a direct `exec-parallel` dependency.
+pub use exec_parallel::{ExecStats, Pool, ThreadStats};
 pub use relation::ProbRelation;

@@ -1,0 +1,461 @@
+//! Morsel-driven parallel execution of safe plans.
+//!
+//! [`par_execute`] runs the same [`PlanNode`] language as [`crate::execute`]
+//! on a scoped-thread worker [`Pool`] (see the `exec-parallel` crate), one
+//! operator at a time, parallel *within* each operator:
+//!
+//! * **scans** and **complement scans** partition their input (tuple ids,
+//!   linearized bindings) into morsels pulled from a shared cursor;
+//! * **joins** hash-partition the build side across workers (each key ends
+//!   up wholly in one partition, preserving per-key insertion order), then
+//!   probe in parallel over morsels of the probe side;
+//! * **independent projects** — the `1 − Π(1−p)` aggregation at the core of
+//!   the extensional operators — hash-partition *groups* across workers and
+//!   combine the per-partition partial products, so every group is folded
+//!   by exactly one worker in row order.
+//!
+//! The invariant throughout (and the property the agreement tests pin
+//! down): for any plan, database, and thread count, `par_execute` returns
+//! **bit-for-bit** the relation the serial executor returns — same row
+//! order, same `f64` values. Morsel outputs are stitched in morsel order,
+//! group folds keep the serial multiplication order, and worker scheduling
+//! never leaks into results. Parallelism changes wall time, not answers.
+
+use crate::exec::{complement_domain, complement_row_count, complement_rows, eval_pred, scan_rows};
+use crate::node::PlanNode;
+use crate::relation::{build_join_index, join_spec, probe_join_rows, ProbRelation};
+use cq::{Atom, Pred, Value, Var};
+use exec_parallel::{ExecStats, Pool, DEFAULT_GRAIN};
+use lineage::ProbValue;
+use pdb::ProbDb;
+use std::collections::BTreeMap;
+
+/// Tuning for one parallel execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParOptions {
+    /// Worker threads (1 = inline serial dispatch, no spawning).
+    pub threads: usize,
+    /// Morsel size in rows; tests shrink it to force multi-morsel
+    /// schedules on small inputs.
+    pub grain: usize,
+}
+
+impl ParOptions {
+    pub fn new(threads: usize) -> Self {
+        ParOptions {
+            threads,
+            grain: DEFAULT_GRAIN,
+        }
+    }
+
+    pub fn with_grain(threads: usize, grain: usize) -> Self {
+        ParOptions { threads, grain }
+    }
+
+    /// The pool this configuration describes.
+    pub fn pool(&self) -> Pool {
+        Pool::with_grain(self.threads, self.grain)
+    }
+}
+
+impl Default for ParOptions {
+    fn default() -> Self {
+        ParOptions::new(1)
+    }
+}
+
+/// Execute `plan` over `db` on `pool`, with tuple probabilities in
+/// [`pdb::TupleId`] order. Returns exactly what [`crate::execute`] returns
+/// — same rows, same order, same bits — for every thread count.
+pub fn par_execute<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    pool: &Pool,
+) -> ProbRelation<P> {
+    assert_eq!(probs.len(), db.num_tuples(), "probability vector length");
+    match plan {
+        PlanNode::Certain => ProbRelation::certain(),
+        PlanNode::Never => ProbRelation::never(),
+        PlanNode::Scan { atom } => par_scan(db, probs, atom, pool),
+        PlanNode::ComplementScan { atom } => par_complement_scan(db, probs, atom, pool),
+        PlanNode::Select { pred, input } => {
+            let rel = par_execute(db, probs, input, pool);
+            par_select(&rel, pred, pool)
+        }
+        PlanNode::IndependentJoin { inputs } => {
+            let mut acc = ProbRelation::certain();
+            for i in inputs {
+                let right = par_execute(db, probs, i, pool);
+                acc = par_join(&acc, &right, pool);
+            }
+            acc
+        }
+        PlanNode::IndependentProject { keep, input } => {
+            let rel = par_execute(db, probs, input, pool);
+            par_project(&rel, keep, pool)
+        }
+    }
+}
+
+/// `p(q)` of a Boolean plan in `f64` arithmetic, executed in parallel;
+/// also reports how the work spread over the workers.
+pub fn par_query_probability(db: &ProbDb, plan: &PlanNode, opts: ParOptions) -> (f64, ExecStats) {
+    let pool = opts.pool();
+    let p = par_execute(db, &db.prob_vector(), plan, &pool).scalar();
+    (p, pool.stats())
+}
+
+/// Parallel counterpart of [`crate::ranked_probabilities`]: execute a
+/// ranked plan with the answer set partitioned across workers and return
+/// one `(head binding, marginal probability)` pair per candidate, in the
+/// serial path's exact order. Callers wanting per-thread counters can run
+/// [`par_execute`] on their own [`Pool`] and read its stats.
+///
+/// # Panics
+/// If `plan` does not carry every variable of `head` as an output column.
+pub fn par_ranked_probabilities<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    head: &[Var],
+    opts: ParOptions,
+) -> Vec<(Vec<Value>, P)> {
+    let pool = opts.pool();
+    let rel = par_execute(db, probs, plan, &pool);
+    crate::exec::project_head(&rel, head)
+}
+
+/// Partitioned relation scan: morsels over the relation's tuple ids.
+fn par_scan<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    atom: &Atom,
+    pool: &Pool,
+) -> ProbRelation<P> {
+    assert!(!atom.negated, "plans scan positive atoms only");
+    let cols = atom.vars();
+    let ids = db.tuples_of(atom.rel);
+    let chunks = pool.map_morsels(ids.len(), |r| scan_rows(db, probs, atom, &cols, &ids[r]));
+    ProbRelation {
+        cols,
+        rows: stitch(chunks),
+    }
+}
+
+/// Partitioned complement scan: morsels over the linearized binding space.
+fn par_complement_scan<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    atom: &Atom,
+    pool: &Pool,
+) -> ProbRelation<P> {
+    let cols = atom.vars();
+    let domain = complement_domain(db, atom);
+    let total = complement_row_count(cols.len(), domain.len());
+    let chunks = pool.map_morsels(total, |r| {
+        complement_rows(db, probs, atom, &cols, &domain, r)
+    });
+    ProbRelation {
+        cols,
+        rows: stitch(chunks),
+    }
+}
+
+/// Partitioned filter: morsels over the input rows.
+fn par_select<P: ProbValue + Send + Sync>(
+    rel: &ProbRelation<P>,
+    pred: &Pred,
+    pool: &Pool,
+) -> ProbRelation<P> {
+    let chunks = pool.map_morsels(rel.rows.len(), |r| {
+        rel.rows[r]
+            .iter()
+            .filter(|(row, _)| eval_pred(pred, &rel.cols, row))
+            .cloned()
+            .collect::<Vec<_>>()
+    });
+    ProbRelation {
+        cols: rel.cols.clone(),
+        rows: stitch(chunks),
+    }
+}
+
+/// Hash-partitioned independent join: the build side is partitioned by key
+/// hash across workers (each key lands wholly in one partition with its
+/// row order intact), the probe side streams through in morsels.
+fn par_join<P: ProbValue + Send + Sync>(
+    left: &ProbRelation<P>,
+    right: &ProbRelation<P>,
+    pool: &Pool,
+) -> ProbRelation<P> {
+    let spec = join_spec(&left.cols, &right.cols);
+    // Build. Partitioning pays only when the build side is large; the
+    // serial build produces the identical index either way.
+    let index = if right.rows.len() > pool.grain() && pool.threads() > 1 {
+        let parts = pool.threads();
+        // Hash rows in parallel morsels, bucket their indices, then let
+        // each worker index only its own rows (not a full scan each).
+        let hash_chunks = pool.map_morsels(right.rows.len(), |r| {
+            right.rows[r]
+                .iter()
+                .map(|(row, _)| hash_key(row, &spec.other_key))
+                .collect::<Vec<u64>>()
+        });
+        let owners = partition_rows(&stitch(hash_chunks), parts);
+        let maps = pool.map_partitions(parts, |p| {
+            let mut m: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+            // `owners[p]` is in ascending row order, so per-key index
+            // vectors keep the serial build's insertion order.
+            for &i in &owners[p] {
+                let i = i as usize;
+                let row = &right.rows[i].0;
+                let key: Vec<Value> = spec.other_key.iter().map(|&k| row[k]).collect();
+                m.entry(key).or_default().push(i);
+            }
+            m
+        });
+        // Partitions hold disjoint keys: merging is a plain union.
+        let mut index: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+        for m in maps {
+            index.extend(m);
+        }
+        index
+    } else {
+        build_join_index(&right.rows, &spec.other_key)
+    };
+    // Probe.
+    let chunks = pool.map_morsels(left.rows.len(), |r| {
+        probe_join_rows(&spec, &left.rows[r], &index, &right.rows)
+    });
+    ProbRelation {
+        cols: spec.out_cols,
+        rows: stitch(chunks),
+    }
+}
+
+/// Parallel independent project: groups are hash-partitioned across
+/// workers; each worker folds its groups' rows **in row order** (the
+/// serial multiplication order), and the per-partition partial results are
+/// combined by first-seen row index — disjoint groups, so combining is
+/// concatenation, not re-multiplication, and `f64` bits are preserved.
+fn par_project<P: ProbValue + Send + Sync>(
+    rel: &ProbRelation<P>,
+    keep: &[Var],
+    pool: &Pool,
+) -> ProbRelation<P> {
+    // Sub-morsel inputs are not worth a fan-out; the serial fold is the
+    // same computation (bit for bit), minus the partition scaffolding.
+    if pool.threads() == 1 || rel.rows.len() <= pool.grain() {
+        return rel.independent_project(keep);
+    }
+    let key_idx: Vec<usize> = keep
+        .iter()
+        .map(|&v| rel.col_index(v).expect("projection column missing"))
+        .collect();
+    // Phase 1: group hashes, one pass in parallel morsels (order-stable).
+    let hash_chunks = pool.map_morsels(rel.rows.len(), |r| {
+        rel.rows[r]
+            .iter()
+            .map(|(row, _)| hash_key(row, &key_idx))
+            .collect::<Vec<u64>>()
+    });
+    let owners = partition_rows(&stitch(hash_chunks), pool.threads());
+    // Phase 2: each worker owns the groups hashing to its partitions and
+    // folds `Π(1−p)` over their rows in row order, touching only its own
+    // rows (`owners[part]` ascends, preserving the serial fold order).
+    let parts = pool.threads();
+    let partials = pool.map_partitions(parts, |part| {
+        let mut none: std::collections::HashMap<Vec<Value>, (usize, P)> =
+            std::collections::HashMap::new();
+        for &i in &owners[part] {
+            let i = i as usize;
+            let (row, p) = &rel.rows[i];
+            let key: Vec<Value> = key_idx.iter().map(|&k| row[k]).collect();
+            match none.get_mut(&key) {
+                Some((_, acc)) => *acc = acc.mul(&p.complement()),
+                None => {
+                    none.insert(key, (i, p.complement()));
+                }
+            }
+        }
+        let mut entries: Vec<(usize, Vec<Value>, P)> = none
+            .into_iter()
+            .map(|(key, (first, acc))| (first, key, acc))
+            .collect();
+        entries.sort_by_key(|(first, _, _)| *first);
+        entries
+    });
+    // Phase 3: merge partitions by first-seen row index — the serial
+    // executor's group emission order.
+    let mut entries: Vec<(usize, Vec<Value>, P)> = partials.into_iter().flatten().collect();
+    entries.sort_by_key(|(first, _, _)| *first);
+    let mut out = ProbRelation::new(keep.to_vec());
+    out.rows = entries
+        .into_iter()
+        .map(|(_, key, acc)| (key, acc.complement()))
+        .collect();
+    out
+}
+
+/// Concatenate morsel outputs in morsel order.
+fn stitch<T>(chunks: Vec<Vec<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Bucket row indices by hash partition; each bucket ascends, so workers
+/// iterating a bucket visit rows in the serial pass's order.
+fn partition_rows(hashes: &[u64], parts: usize) -> Vec<Vec<u32>> {
+    let mut owners: Vec<Vec<u32>> = vec![Vec::new(); parts];
+    for (i, &h) in hashes.iter().enumerate() {
+        let i = u32::try_from(i).expect("partitioned input exceeds u32 rows");
+        owners[h as usize % parts].push(i);
+    }
+    owners
+}
+
+/// FNV-1a-style hash of the key columns of a row. Only used to spread
+/// groups over partitions; never reaches results.
+fn hash_key(row: &[Value], idx: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &i in idx {
+        h ^= row[i].0;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_plan;
+    use crate::exec::execute;
+    use cq::{parse_query, Vocabulary};
+    use pdb::generators::{random_db_for_query, RandomDbOptions};
+    use pdb::RatProbs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Safe shapes from the serial executor's suite, plus negation.
+    const QUERIES: &[&str] = &[
+        "R(x)",
+        "R(x), S(x,y)",
+        "R(x), S(x,y), U(x,y,z)",
+        "R(x), T(z,w)",
+        "R(1), S(1,y)",
+        "S(x,y), x < y",
+        "S(x,x)",
+        "R(x), S(x,y), U(x,y,z), V(x,w)",
+        "R(x), not T(x)",
+        "R(x), S(x,y), not U(x,y,z)",
+    ];
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(0x9A9);
+        for (i, text) in QUERIES.iter().enumerate() {
+            let mut voc = Vocabulary::new();
+            let q = parse_query(&mut voc, text).unwrap();
+            let plan = build_plan(&q).unwrap();
+            let opts = RandomDbOptions {
+                domain: 3,
+                tuples_per_relation: 12,
+                prob_range: (0.1, 0.9),
+            };
+            let db = random_db_for_query(&q, &voc, opts, &mut rng);
+            let probs = db.prob_vector();
+            let serial = execute(&db, &probs, &plan);
+            for threads in [1, 2, 4, 8] {
+                // grain 2: force many morsels even on the tiny test dbs.
+                let pool = Pool::with_grain(threads, 2);
+                let par = par_execute(&db, &probs, &plan, &pool);
+                assert_eq!(
+                    serial, par,
+                    "query {i} ({text}) diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_exact_rationals() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let plan = build_plan(&q).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let opts = RandomDbOptions {
+            domain: 3,
+            tuples_per_relation: 8,
+            prob_range: (0.1, 0.9),
+        };
+        let db = random_db_for_query(&q, &voc, opts, &mut rng);
+        let probs = RatProbs::from_db(&db);
+        let serial = execute(&db, probs.as_slice(), &plan);
+        let pool = Pool::with_grain(4, 2);
+        let par = par_execute(&db, probs.as_slice(), &plan, &pool);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn stats_report_the_fan_out() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let plan = build_plan(&q).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let opts = RandomDbOptions {
+            domain: 5,
+            tuples_per_relation: 40,
+            prob_range: (0.1, 0.9),
+        };
+        let db = random_db_for_query(&q, &voc, opts, &mut rng);
+        let (p, stats) = par_query_probability(&db, &plan, ParOptions::with_grain(4, 4));
+        let serial = crate::exec::query_probability(&db, &plan);
+        assert_eq!(p, serial);
+        assert_eq!(stats.threads(), 4);
+        assert!(stats.total_morsels() > 0, "{stats:?}");
+        assert!(stats.total_rows() > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn ranked_parallel_matches_serial() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "Director(d), Credit(d,m)").unwrap();
+        let d = q.vars()[0];
+        let plan = crate::build::build_ranked_plan(&q, &[d]).unwrap();
+        let director = voc.find_relation("Director").unwrap();
+        let credit = voc.find_relation("Credit").unwrap();
+        let mut db = ProbDb::new(voc);
+        for i in 0..20u64 {
+            db.insert(director, vec![Value(i)], 0.02 + 0.04 * i as f64);
+            db.insert(credit, vec![Value(i), Value(100 + i)], 0.9);
+            db.insert(credit, vec![Value(i), Value(200 + i)], 0.4);
+        }
+        let probs = db.prob_vector();
+        let serial = crate::exec::ranked_probabilities(&db, &probs, &plan, &[d]);
+        for threads in [1, 2, 4] {
+            let par = par_ranked_probabilities(
+                &db,
+                &probs,
+                &plan,
+                &[d],
+                ParOptions::with_grain(threads, 2),
+            );
+            assert_eq!(serial, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_database_scalar_is_zero() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let db = ProbDb::new(voc);
+        let plan = build_plan(&q).unwrap();
+        let (p, _) = par_query_probability(&db, &plan, ParOptions::new(4));
+        assert_eq!(p, 0.0);
+    }
+}

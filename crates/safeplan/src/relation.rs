@@ -64,45 +64,14 @@ impl<P: ProbValue> ProbRelation<P> {
     /// relations' row events are independent (disjoint relation symbols —
     /// guaranteed for self-join-free plans).
     pub fn independent_join(&self, other: &ProbRelation<P>) -> ProbRelation<P> {
-        let common: Vec<Var> = self
-            .cols
-            .iter()
-            .copied()
-            .filter(|&c| other.col_index(c).is_some())
-            .collect();
-        let self_key: Vec<usize> = common.iter().map(|&c| self.col_index(c).unwrap()).collect();
-        let other_key: Vec<usize> = common
-            .iter()
-            .map(|&c| other.col_index(c).unwrap())
-            .collect();
-        let other_extra: Vec<usize> = (0..other.cols.len())
-            .filter(|&i| !common.contains(&other.cols[i]))
-            .collect();
-
-        let mut out_cols = self.cols.clone();
-        out_cols.extend(other_extra.iter().map(|&i| other.cols[i]));
-
+        let spec = join_spec(&self.cols, &other.cols);
         // Hash the smaller side in a real engine; here: hash `other`.
-        let mut index: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
-        for (i, (row, _)) in other.rows.iter().enumerate() {
-            let key: Vec<Value> = other_key.iter().map(|&k| row[k]).collect();
-            index.entry(key).or_default().push(i);
+        let index = build_join_index(&other.rows, &spec.other_key);
+        let rows = probe_join_rows(&spec, &self.rows, &index, &other.rows);
+        ProbRelation {
+            cols: spec.out_cols,
+            rows,
         }
-
-        let mut out = ProbRelation::new(out_cols);
-        for (row, p) in &self.rows {
-            let key: Vec<Value> = self_key.iter().map(|&k| row[k]).collect();
-            let Some(matches) = index.get(&key) else {
-                continue;
-            };
-            for &j in matches {
-                let (orow, op) = &other.rows[j];
-                let mut values = row.clone();
-                values.extend(other_extra.iter().map(|&i| orow[i]));
-                out.rows.push((values, p.mul(op)));
-            }
-        }
-        out
     }
 
     /// Independent project: keep columns `keep`, combining collapsing rows
@@ -150,6 +119,81 @@ impl<P: ProbValue> ProbRelation<P> {
                 .collect(),
         }
     }
+}
+
+/// Column bookkeeping of a natural join, shared between the serial
+/// [`ProbRelation::independent_join`] and the parallel probe so both
+/// produce identical schemas and row layouts.
+pub(crate) struct JoinSpec {
+    /// Key positions of the join columns in the probe (left) side.
+    pub left_key: Vec<usize>,
+    /// Key positions of the join columns in the build (right) side.
+    pub other_key: Vec<usize>,
+    /// Right-side columns that are not join columns, in schema order.
+    pub other_extra: Vec<usize>,
+    /// Output schema: left columns, then the right extras.
+    pub out_cols: Vec<Var>,
+}
+
+pub(crate) fn join_spec(left: &[Var], right: &[Var]) -> JoinSpec {
+    let common: Vec<Var> = left.iter().copied().filter(|c| right.contains(c)).collect();
+    let left_key: Vec<usize> = common
+        .iter()
+        .map(|c| left.iter().position(|l| l == c).unwrap())
+        .collect();
+    let other_key: Vec<usize> = common
+        .iter()
+        .map(|c| right.iter().position(|r| r == c).unwrap())
+        .collect();
+    let other_extra: Vec<usize> = (0..right.len())
+        .filter(|&i| !common.contains(&right[i]))
+        .collect();
+    let mut out_cols = left.to_vec();
+    out_cols.extend(other_extra.iter().map(|&i| right[i]));
+    JoinSpec {
+        left_key,
+        other_key,
+        other_extra,
+        out_cols,
+    }
+}
+
+/// Build-side hash index: join key → row indices in insertion order.
+pub(crate) fn build_join_index<P>(
+    rows: &[(Vec<Value>, P)],
+    key: &[usize],
+) -> BTreeMap<Vec<Value>, Vec<usize>> {
+    let mut index: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+    for (i, (row, _)) in rows.iter().enumerate() {
+        let k: Vec<Value> = key.iter().map(|&ki| row[ki]).collect();
+        index.entry(k).or_default().push(i);
+    }
+    index
+}
+
+/// Probe `left_rows` against the build index, emitting matches in probe-row
+/// order (and, per key, in build insertion order) — the serial join's exact
+/// output order, so parallel probes stitched by morsel agree bit for bit.
+pub(crate) fn probe_join_rows<P: ProbValue>(
+    spec: &JoinSpec,
+    left_rows: &[(Vec<Value>, P)],
+    index: &BTreeMap<Vec<Value>, Vec<usize>>,
+    other_rows: &[(Vec<Value>, P)],
+) -> Vec<(Vec<Value>, P)> {
+    let mut out = Vec::new();
+    for (row, p) in left_rows {
+        let key: Vec<Value> = spec.left_key.iter().map(|&k| row[k]).collect();
+        let Some(matches) = index.get(&key) else {
+            continue;
+        };
+        for &j in matches {
+            let (orow, op) = &other_rows[j];
+            let mut values = row.clone();
+            values.extend(spec.other_extra.iter().map(|&i| orow[i]));
+            out.push((values, p.mul(op)));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -5,15 +5,21 @@
 //! ```text
 //! probdb classify "R(x), S(x,y), T(y)"
 //! probdb explain  "R(x), S(x,y), S(u,v), T(v)"
-//! probdb eval db.txt "R(x), S(x,y)" [--mc-samples 100000] [--exact]
+//! probdb eval db.txt "R(x), S(x,y)" [--mc-samples 100000] [--exact] [--threads N]
 //! probdb count db.txt "R(x), S(x,y)"        # satisfying substructures
 //! probdb plan "R(x), S(x,y)"                # the planner's physical plan
-//! probdb rank db.txt "Director(d), Credit(d,m)" x0 [--top K]
+//! probdb rank db.txt "Director(d), Credit(d,m)" x0 [--top K] [--threads N]
 //!                                   # head variables are x0, x1, … in
 //!                                   # first-occurrence order
 //! ```
+//!
+//! `--threads N` runs the morsel-driven parallel executor on N workers
+//! (results are bit-for-bit the serial answers; sampling stays
+//! deterministic per seed and thread count). The `ENGINE_THREADS`
+//! environment variable sets the default. The `--exact` rational path is
+//! serial-only and ignores `--threads`.
 
-use dichotomy::engine::{Engine, Strategy};
+use dichotomy::engine::{Engine, ExecOptions, Strategy};
 use dichotomy::{classify, count_substructures_recurrence, explain, ranked_answers};
 use pdb::{count_satisfying_worlds_exact, load_db};
 use probdb::prelude::*;
@@ -26,10 +32,29 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K]"
+                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N]"
             );
             ExitCode::from(2)
         }
+    }
+}
+
+/// Parse an optional `--threads N` flag into execution options; without
+/// the flag, [`ExecOptions::default`] honors `ENGINE_THREADS`.
+fn exec_options(args: &[String]) -> Result<ExecOptions, String> {
+    match args.iter().position(|a| a == "--threads") {
+        Some(i) => {
+            let n = args
+                .get(i + 1)
+                .ok_or("--threads needs a value")?
+                .parse::<usize>()
+                .map_err(|e| e.to_string())?;
+            if n == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            Ok(ExecOptions::with_threads(n))
+        }
+        None => Ok(ExecOptions::default()),
     }
 }
 
@@ -84,7 +109,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             let db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
             let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
-            let engine = Engine::with_samples_and_seed(samples, 0xDA151);
+            let engine = Engine::with_options(samples, 0xDA151, exec_options(args)?);
             let ev = engine
                 .evaluate(&db, &q, Strategy::Auto)
                 .map_err(|e| e.to_string())?;
@@ -149,7 +174,8 @@ fn run(args: &[String]) -> Result<(), String> {
             if !q.vars().contains(&head[0]) {
                 return Err(format!("{head_name} does not occur in the query"));
             }
-            let engine = Engine::new();
+            let mut engine = Engine::new();
+            engine.exec = exec_options(args)?;
             let mut answers = ranked_answers(&engine, &db, &q, &head, Strategy::Auto)
                 .map_err(|e| e.to_string())?;
             if let Some(k) = k {

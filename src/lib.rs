@@ -68,7 +68,7 @@ pub use safeplan;
 /// Everything a typical user needs.
 pub mod prelude {
     pub use cq::{parse_query, Query, RelId, Term, Value, Var, Vocabulary};
-    pub use dichotomy::engine::{Engine, Evaluation, Method, Strategy};
+    pub use dichotomy::engine::{Engine, Evaluation, ExecOptions, Method, Strategy};
     pub use dichotomy::{
         classify, count_substructures_recurrence, eval_inversion_free, eval_recurrence,
         eval_recurrence_exact, explain_evaluation, multisim_top_k, ranked_answers, top_k,
@@ -82,7 +82,10 @@ pub mod prelude {
         TupleId,
     };
     pub use reductions::{count_via_hk, count_via_pattern, Bipartite2Dnf};
-    pub use safeplan::{build_plan, query_probability, query_probability_exact, PlanNode};
+    pub use safeplan::{
+        build_plan, par_execute, par_query_probability, query_probability, query_probability_exact,
+        ParOptions, PlanNode, Pool,
+    };
 }
 
 #[cfg(test)]
