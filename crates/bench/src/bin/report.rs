@@ -7,7 +7,8 @@
 //! ```
 
 use bench_harness::{
-    deep_workload, h0_workload, loglog_slope, selfjoin_workload, star_workload, time,
+    deep_workload, h0_workload, loglog_slope, measure_columnar, selfjoin_workload, star_workload,
+    time,
 };
 use cq::{parse_query, Query, Vocabulary};
 use dichotomy::engine::{Engine, Strategy};
@@ -21,6 +22,7 @@ use rand::SeedableRng;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
+    let smoke = args.iter().any(|a| a == "--smoke");
     match which {
         "table1" => table1(),
         "mystiq" => mystiq(),
@@ -32,6 +34,7 @@ fn main() {
         "plans" => plans(),
         "counting" => counting(),
         "multisim" => multisim(),
+        "columnar" => columnar(smoke),
         "all" => {
             table1();
             mystiq();
@@ -43,11 +46,12 @@ fn main() {
             plans();
             counting();
             multisim();
+            columnar(smoke);
         }
         other => {
             eprintln!("unknown report: {other}");
             eprintln!(
-                "available: table1 mystiq scaling hardness blowup mc ablation plans counting multisim all"
+                "available: table1 mystiq scaling hardness blowup mc ablation plans counting multisim columnar all (columnar takes --smoke)"
             );
             std::process::exit(2);
         }
@@ -59,6 +63,62 @@ fn header(title: &str) {
         "\n=== {title} {}",
         "=".repeat(76usize.saturating_sub(title.len()))
     );
+}
+
+/// Row vs. columnar data plane on the star workload, with the measurement
+/// also emitted as machine-readable `BENCH_columnar.json` (written to the
+/// working directory) so future PRs can track the perf trajectory.
+/// `--smoke` shrinks the workload for CI: same gates and JSON shape, a few
+/// seconds of wall time.
+fn columnar(smoke: bool) {
+    header("columnar data plane: row vs flat-buffer executor");
+    let roots: u64 = if smoke { 2_000 } else { 20_000 };
+    let runs = if smoke { 3 } else { 5 };
+    // Gates (bit-for-bit row/columnar agreement) and timing configurations
+    // are shared with the `columnar_exec` bench via `measure_columnar`.
+    let m = measure_columnar(roots, 4, 7, runs);
+
+    println!(
+        "workload: star, {} roots x fanout {} = {} tuples{}",
+        m.roots,
+        m.fanout,
+        m.tuples,
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!("  row      serial: {:>8.2} ms", m.row_serial_s * 1e3);
+    println!(
+        "  columnar serial: {:>8.2} ms   speedup {:.2}x",
+        m.columnar_serial_s * 1e3,
+        m.speedup_serial()
+    );
+    println!("  row      par/4 : {:>8.2} ms", m.row_par4_s * 1e3);
+    println!(
+        "  columnar par/4 : {:>8.2} ms   speedup {:.2}x",
+        m.columnar_par4_s * 1e3,
+        m.speedup_par4()
+    );
+    println!("  (hardware threads available: {})", m.hardware_threads);
+
+    let json = format!(
+        "{{\n  \"workload\": \"star\",\n  \"roots\": {roots},\n  \"fanout\": {fanout},\n  \
+         \"tuples\": {tuples},\n  \"smoke\": {smoke},\n  \"hardware_threads\": {hw},\n  \
+         \"row_serial_s\": {t_row:.6},\n  \"columnar_serial_s\": {t_col:.6},\n  \
+         \"row_par4_s\": {t_row4:.6},\n  \"columnar_par4_s\": {t_col4:.6},\n  \
+         \"speedup_serial\": {su:.3},\n  \"speedup_par4\": {su4:.3},\n  \
+         \"bit_for_bit_agreement\": true\n}}\n",
+        roots = m.roots,
+        fanout = m.fanout,
+        tuples = m.tuples,
+        hw = m.hardware_threads,
+        t_row = m.row_serial_s,
+        t_col = m.columnar_serial_s,
+        t_row4 = m.row_par4_s,
+        t_col4 = m.columnar_par4_s,
+        su = m.speedup_serial(),
+        su4 = m.speedup_par4(),
+    );
+    std::fs::write("BENCH_columnar.json", &json).expect("write BENCH_columnar.json");
+    println!("-> wrote BENCH_columnar.json");
 }
 
 /// E1 + E2 + E3: the classification table over the full paper catalog

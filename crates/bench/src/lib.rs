@@ -118,6 +118,79 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (start.elapsed().as_secs_f64(), out)
 }
 
+/// Median of `runs` timings of `f` (seconds).
+pub fn median_time(runs: usize, f: &dyn Fn() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..runs).map(|_| time(f).0).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// One row-vs-columnar data-plane comparison on the star workload — the
+/// shared substance of the `columnar_exec` bench and `report -- columnar`
+/// (which serializes it to `BENCH_columnar.json`), so the gates and
+/// configurations cannot drift between the two.
+#[derive(Clone, Copy, Debug)]
+pub struct ColumnarMeasurement {
+    pub roots: u64,
+    pub fanout: u64,
+    pub tuples: usize,
+    pub hardware_threads: usize,
+    /// Median seconds per configuration.
+    pub row_serial_s: f64,
+    pub columnar_serial_s: f64,
+    pub row_par4_s: f64,
+    pub columnar_par4_s: f64,
+}
+
+impl ColumnarMeasurement {
+    pub fn speedup_serial(&self) -> f64 {
+        self.row_serial_s / self.columnar_serial_s
+    }
+
+    pub fn speedup_par4(&self) -> f64 {
+        self.row_par4_s / self.columnar_par4_s
+    }
+}
+
+/// Build the `roots × fanout` star workload, assert the columnar executor
+/// reproduces the row-reference executor's scalar **bit for bit** (serial
+/// and at 2/4/8 threads), and time row/columnar serial and 4-thread
+/// (median of `runs` each).
+///
+/// # Panics
+/// If any configuration's probability diverges from the row reference.
+pub fn measure_columnar(roots: u64, fanout: u64, seed: u64, runs: usize) -> ColumnarMeasurement {
+    use safeplan::rowref::{row_execute, row_par_execute, row_query_probability};
+    use safeplan::{par_query_probability, query_probability, ParOptions, Pool};
+
+    let (db, q) = star_workload(roots, fanout, seed);
+    let plan = safeplan::optimize(&safeplan::build_plan(&q).unwrap());
+    let probs = db.prob_vector();
+
+    let row_p = row_query_probability(&db, &plan);
+    assert_eq!(query_probability(&db, &plan), row_p, "columnar serial");
+    for t in [2usize, 4, 8] {
+        let (p, _) = par_query_probability(&db, &plan, ParOptions::new(t));
+        assert_eq!(p, row_p, "columnar diverged at {t} threads");
+    }
+
+    ColumnarMeasurement {
+        roots,
+        fanout,
+        tuples: db.num_tuples(),
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        row_serial_s: median_time(runs, &|| row_execute(&db, &probs, &plan).scalar()),
+        columnar_serial_s: median_time(runs, &|| query_probability(&db, &plan)),
+        row_par4_s: median_time(runs, &|| {
+            let pool = Pool::new(4);
+            row_par_execute(&db, &probs, &plan, &pool).scalar()
+        }),
+        columnar_par4_s: median_time(runs, &|| {
+            par_query_probability(&db, &plan, ParOptions::new(4)).0
+        }),
+    }
+}
+
 /// Least-squares slope of `log(y)` against `log(x)` — the polynomial degree
 /// estimate for scaling figures.
 pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {

@@ -108,6 +108,10 @@ pub struct Evaluation {
     /// Per-thread timing counters when the plan ran on the parallel
     /// executor (`ExecOptions::threads > 1`); `None` for serial runs.
     pub parallel: Option<ExecStats>,
+    /// Operator counters when the plan ran on the extensional columnar
+    /// data plane (scans vs index scans, rows pruned by constant
+    /// pushdown, join build sides, groups). Thread-count invariant.
+    pub extensional: Option<safeplan::OpCounters>,
 }
 
 /// Engine errors.
@@ -271,6 +275,7 @@ impl Engine {
             wall_time: planning + execution,
             cache_hit,
             parallel: outcome.parallel,
+            extensional: outcome.extensional,
         })
     }
 

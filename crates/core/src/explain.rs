@@ -36,6 +36,25 @@ pub fn explain_evaluation(ev: &Evaluation) -> String {
         }
     );
     let _ = writeln!(out, "execution : {:?}", ev.execution);
+    if let Some(ops) = &ev.extensional {
+        let _ = write!(
+            out,
+            "operators : {} scan(s) ({} index-served, {} rows read, {} pruned)",
+            ops.scans, ops.index_scans, ops.rows_scanned, ops.rows_pruned
+        );
+        if ops.complement_scans > 0 {
+            let _ = write!(
+                out,
+                ", {} complement scan(s) ({} bindings)",
+                ops.complement_scans, ops.complement_rows
+            );
+        }
+        let _ = writeln!(
+            out,
+            ", {} join(s) ({} built left), {} group(s)",
+            ops.joins, ops.joins_build_left, ops.groups
+        );
+    }
     if let Some(par) = &ev.parallel {
         let _ = writeln!(
             out,

@@ -14,7 +14,7 @@
 //! usual i.i.d.-sampling caveats).
 
 use cq::{Query, Value, Var};
-use lineage::Dnf;
+use lineage::{Dnf, McScratch};
 use pdb::{lineages_by_head, ProbDb};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -129,6 +129,9 @@ pub fn multisim_top_k(
     }
     let probs = db.prob_vector();
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // One world bitmap reused across every sample of every candidate
+    // (sampling used to allocate a fresh world per draw).
+    let mut scratch = McScratch::new();
 
     // Candidates and their lineages, extracted in one shared pass over the
     // valuations (earlier revisions re-enumerated the join once per
@@ -205,12 +208,8 @@ pub fn multisim_top_k(
             }
             for i in samplable {
                 let c = &mut cands[i];
-                for _ in 0..config.batch {
-                    if sample_world_satisfies(&c.dnf, &probs, &mut rng) {
-                        c.hits += 1;
-                    }
-                    c.samples += 1;
-                }
+                c.hits += sample_batch(&c.dnf, &probs, &mut rng, config.batch, &mut scratch);
+                c.samples += config.batch;
             }
         }
     }
@@ -243,13 +242,30 @@ pub fn multisim_top_k(
     }
 }
 
-fn sample_world_satisfies(dnf: &Dnf, probs: &[f64], rng: &mut StdRng) -> bool {
-    // Sample only the variables the lineage mentions.
-    let mut world = vec![false; probs.len().max(dnf.num_vars())];
-    for v in dnf.vars() {
-        world[v as usize] = rng.gen_bool(probs[v as usize]);
+/// Draw `batch` worlds for one candidate's lineage and count the
+/// satisfying ones. Samples only the variables the lineage mentions (the
+/// same ascending order — and hence RNG stream — as the per-sample loop it
+/// replaces); the scratch world is cleared once per batch and the sampled
+/// positions are overwritten on every draw.
+fn sample_batch(
+    dnf: &Dnf,
+    probs: &[f64],
+    rng: &mut StdRng,
+    batch: u64,
+    scratch: &mut McScratch,
+) -> u64 {
+    let vars: Vec<u32> = dnf.vars().into_iter().collect();
+    let world = scratch.world(probs.len().max(dnf.num_vars()));
+    let mut hits = 0;
+    for _ in 0..batch {
+        for &v in &vars {
+            world[v as usize] = rng.gen_bool(probs[v as usize]);
+        }
+        if dnf.satisfied_by(world) {
+            hits += 1;
+        }
     }
-    dnf.satisfied_by(&world)
+    hits
 }
 
 #[cfg(test)]

@@ -131,6 +131,11 @@ pub struct ExecOutcome {
     /// Per-thread timing counters when the plan ran on the parallel
     /// executor (extensional plans and sampling plans at `threads > 1`).
     pub parallel: Option<ExecStats>,
+    /// Operator counters when the plan ran on the extensional columnar
+    /// data plane: scans (and how many were served by constant-pushdown
+    /// posting lists), rows visited vs pruned, join build-side choices,
+    /// groups aggregated. Identical for serial and parallel runs.
+    pub extensional: Option<safeplan::OpCounters>,
 }
 
 /// The executor: runs a [`PhysicalPlan`] against a database. Holds only
@@ -173,20 +178,30 @@ impl Executor {
         match plan {
             PhysicalPlan::Trivial { probability } => Ok(exact(*probability, Method::Recurrence)),
             PhysicalPlan::Extensional { plan } => {
+                let mut counters = safeplan::OpCounters::default();
                 if self.threads > 1 {
-                    let (p, stats) =
-                        safeplan::par_query_probability(db, plan, ParOptions::new(self.threads));
+                    let (p, stats) = safeplan::par_query_probability_counted(
+                        db,
+                        plan,
+                        ParOptions::new(self.threads),
+                        &mut counters,
+                    );
                     Ok(ExecOutcome {
                         probability: p,
                         std_error: 0.0,
                         method: Method::Extensional,
                         parallel: Some(stats),
+                        extensional: Some(counters),
                     })
                 } else {
-                    Ok(exact(
-                        safeplan::query_probability(db, plan),
-                        Method::Extensional,
-                    ))
+                    let p = safeplan::query_probability_counted(db, plan, &mut counters);
+                    Ok(ExecOutcome {
+                        probability: p,
+                        std_error: 0.0,
+                        method: Method::Extensional,
+                        parallel: None,
+                        extensional: Some(counters),
+                    })
                 }
             }
             PhysicalPlan::Recurrence { query } => match eval_recurrence(db, query) {
@@ -221,6 +236,7 @@ impl Executor {
                     std_error: se,
                     method: Method::KarpLuby,
                     parallel: stats,
+                    extensional: None,
                 })
             }
         }
@@ -302,6 +318,7 @@ fn exact(p: f64, method: Method) -> ExecOutcome {
         std_error: 0.0,
         method,
         parallel: None,
+        extensional: None,
     }
 }
 

@@ -30,4 +30,7 @@ pub use exact::{
     exact_probability, exact_probability_generic, model_count, model_count_exact, ExactStats,
 };
 pub use field::ProbValue;
-pub use mc::{karp_luby, karp_luby_par, naive_mc, naive_mc_par, McEstimate};
+pub use mc::{
+    karp_luby, karp_luby_par, karp_luby_with_scratch, naive_mc, naive_mc_par,
+    naive_mc_with_scratch, McEstimate, McScratch,
+};

@@ -36,6 +36,31 @@ pub struct McEstimate {
     pub samples: u64,
 }
 
+/// Reusable sampling scratch: the world bitmap the estimators fill on
+/// every draw. One scratch per (worker) thread, reused across samples
+/// *and* across calls — per-candidate ranking loops used to pay one heap
+/// allocation per estimator invocation; carrying a scratch across the
+/// loop drops that to zero. Purely an allocation cache: it never affects
+/// which random numbers are drawn, so estimates stay byte-identical per
+/// `(seed, threads)` with or without reuse.
+#[derive(Default)]
+pub struct McScratch {
+    world: Vec<bool>,
+}
+
+impl McScratch {
+    pub fn new() -> Self {
+        McScratch::default()
+    }
+
+    /// A cleared world bitmap of (at least) `n` events.
+    pub fn world(&mut self, n: usize) -> &mut Vec<bool> {
+        self.world.clear();
+        self.world.resize(n, false);
+        &mut self.world
+    }
+}
+
 impl McEstimate {
     /// Half-width of the 95% normal confidence interval.
     pub fn ci95(&self) -> f64 {
@@ -45,6 +70,18 @@ impl McEstimate {
 
 /// Naive Monte Carlo: sample independent worlds, average DNF truth.
 pub fn naive_mc<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> McEstimate {
+    naive_mc_with_scratch(dnf, probs, samples, rng, &mut McScratch::new())
+}
+
+/// [`naive_mc`] reusing a caller-held [`McScratch`] — for hot loops that
+/// estimate many lineages back to back.
+pub fn naive_mc_with_scratch<R: Rng>(
+    dnf: &Dnf,
+    probs: &[f64],
+    samples: u64,
+    rng: &mut R,
+    scratch: &mut McScratch,
+) -> McEstimate {
     if dnf.is_false() {
         return McEstimate {
             estimate: 0.0,
@@ -52,7 +89,7 @@ pub fn naive_mc<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> 
             samples,
         };
     }
-    let hits = naive_hits(dnf, probs, samples, rng);
+    let hits = naive_hits(dnf, probs, samples, rng, scratch);
     naive_estimate(hits, samples)
 }
 
@@ -78,22 +115,31 @@ pub fn naive_mc_par(
         );
     }
     let (hits, stats) = pooled_hits(samples, threads, seed, |budget, rng| {
-        naive_hits(dnf, probs, budget, rng)
+        // One scratch per worker, reused across that worker's samples.
+        naive_hits(dnf, probs, budget, rng, &mut McScratch::new())
     });
     (naive_estimate(hits, samples), stats)
 }
 
-/// The naive sampling kernel: draw `samples` worlds, count satisfying ones.
-fn naive_hits<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> u64 {
+/// The naive sampling kernel: draw `samples` worlds, count satisfying
+/// ones. The world bitmap comes from `scratch` and every position is
+/// overwritten per draw, so reuse across samples (and calls) is free.
+fn naive_hits<R: Rng>(
+    dnf: &Dnf,
+    probs: &[f64],
+    samples: u64,
+    rng: &mut R,
+    scratch: &mut McScratch,
+) -> u64 {
     let n = probs.len().max(dnf.num_vars());
-    let mut world = vec![false; n];
+    let world = scratch.world(n);
     let mut hits = 0u64;
     for _ in 0..samples {
         for (i, w) in world.iter_mut().enumerate() {
             let p = probs.get(i).copied().unwrap_or(0.0);
             *w = rng.gen::<f64>() < p;
         }
-        if dnf.satisfied_by(&world) {
+        if dnf.satisfied_by(world) {
             hits += 1;
         }
     }
@@ -142,6 +188,18 @@ fn pooled_hits(
 /// clause_j }]`. The score is an unbiased estimator of `P(⋁ clauses)` with
 /// variance at most `W²/4 ≤ (m·P)²/4`, giving an FPRAS.
 pub fn karp_luby<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) -> McEstimate {
+    karp_luby_with_scratch(dnf, probs, samples, rng, &mut McScratch::new())
+}
+
+/// [`karp_luby`] reusing a caller-held [`McScratch`] — for hot loops that
+/// estimate many lineages back to back.
+pub fn karp_luby_with_scratch<R: Rng>(
+    dnf: &Dnf,
+    probs: &[f64],
+    samples: u64,
+    rng: &mut R,
+    scratch: &mut McScratch,
+) -> McEstimate {
     match karp_luby_prepare(dnf, probs) {
         KlPrep::Constant(p) => McEstimate {
             estimate: p,
@@ -149,7 +207,7 @@ pub fn karp_luby<R: Rng>(dnf: &Dnf, probs: &[f64], samples: u64, rng: &mut R) ->
             samples,
         },
         KlPrep::Ready { cum, n, total_w } => {
-            let hits = karp_luby_hits(dnf, probs, &cum, n, samples, rng);
+            let hits = karp_luby_hits(dnf, probs, &cum, n, samples, rng, scratch);
             karp_luby_estimate(hits, samples, total_w)
         }
     }
@@ -177,7 +235,8 @@ pub fn karp_luby_par(
         ),
         KlPrep::Ready { cum, n, total_w } => {
             let (hits, stats) = pooled_hits(samples, threads, seed, |budget, rng| {
-                karp_luby_hits(dnf, probs, &cum, n, budget, rng)
+                // One scratch per worker, reused across its samples.
+                karp_luby_hits(dnf, probs, &cum, n, budget, rng, &mut McScratch::new())
             });
             (karp_luby_estimate(hits, samples, total_w), stats)
         }
@@ -219,7 +278,9 @@ fn karp_luby_prepare(dnf: &Dnf, probs: &[f64]) -> KlPrep {
 }
 
 /// The Karp–Luby sampling kernel: `samples` draws, counting those where
-/// the sampled clause is the first satisfied one.
+/// the sampled clause is the first satisfied one. The world bitmap comes
+/// from `scratch`; every position is overwritten per draw.
+#[allow(clippy::too_many_arguments)]
 fn karp_luby_hits<R: Rng>(
     dnf: &Dnf,
     probs: &[f64],
@@ -227,8 +288,9 @@ fn karp_luby_hits<R: Rng>(
     n: usize,
     samples: u64,
     rng: &mut R,
+    scratch: &mut McScratch,
 ) -> u64 {
-    let mut world = vec![false; n];
+    let world = scratch.world(n);
     let mut hits = 0u64;
     for _ in 0..samples {
         // Pick a clause proportionally to its weight.
@@ -249,7 +311,7 @@ fn karp_luby_hits<R: Rng>(
         let first = dnf
             .clauses
             .iter()
-            .position(|c| c.satisfied_by(&world))
+            .position(|c| c.satisfied_by(world))
             .expect("sampled clause is satisfied");
         if first == idx {
             hits += 1;
@@ -376,6 +438,28 @@ mod tests {
         assert_eq!(kl.estimate, 1.0);
         let (nv, _) = naive_mc_par(&Dnf::new(), &[], 10, 4, 0);
         assert_eq!(nv.estimate, 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_and_deterministic() {
+        let (d, probs) = chain_dnf(6);
+        // Fresh-scratch and reused-scratch runs draw the same RNG stream
+        // and must produce the same bits — including when the scratch was
+        // dirtied by a *different* (larger) DNF first.
+        let (d_big, probs_big) = chain_dnf(9);
+        let mut scratch = McScratch::new();
+        let mut rng = StdRng::seed_from_u64(123);
+        let _ = karp_luby_with_scratch(&d_big, &probs_big, 500, &mut rng, &mut scratch);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let fresh = karp_luby(&d, &probs, 5_000, &mut rng_a);
+        let reused = karp_luby_with_scratch(&d, &probs, 5_000, &mut rng_b, &mut scratch);
+        assert_eq!(fresh, reused);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let fresh = naive_mc(&d, &probs, 5_000, &mut rng_a);
+        let reused = naive_mc_with_scratch(&d, &probs, 5_000, &mut rng_b, &mut scratch);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

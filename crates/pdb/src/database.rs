@@ -23,8 +23,33 @@ pub struct ProbTuple {
 pub struct ProbDb {
     pub voc: Vocabulary,
     tuples: Vec<ProbTuple>,
-    index: HashMap<(RelId, Vec<Value>), TupleId>,
+    /// Content lookup, keyed by a 64-bit hash of `(rel, args)` with the
+    /// candidate ids verified against tuple storage — the tuple's own
+    /// `args` allocation is the only copy of the key (bulk loads used to
+    /// clone every `args` twice into a `(RelId, Vec<Value>)` map key).
+    index: HashMap<u64, Vec<TupleId>>,
     by_rel: HashMap<RelId, Vec<TupleId>>,
+    /// Secondary indexes: `(relation, column, value)` → ids of the tuples
+    /// holding `value` in that column, **ascending** (insertion appends
+    /// monotonically increasing ids). The extensional executor's
+    /// constant-pushdown scans read these posting lists so `R(x, 'c')`
+    /// atoms stop filtering full relations; ascending order keeps a
+    /// pushed-down scan's output bit-identical to a filtered full scan.
+    cols: HashMap<(RelId, u32, Value), Vec<TupleId>>,
+}
+
+/// FNV-1a content hash of a tuple key. Collisions are handled (candidates
+/// are verified against tuple storage), so this only affects probe cost.
+fn content_hash(rel: RelId, args: &[Value]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h ^= u64::from(rel.0);
+    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    for v in args {
+        h ^= v.0;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
 }
 
 // The morsel-driven parallel executor shares `&ProbDb` across scoped
@@ -43,10 +68,13 @@ impl ProbDb {
             tuples: Vec::new(),
             index: HashMap::new(),
             by_rel: HashMap::new(),
+            cols: HashMap::new(),
         }
     }
 
-    /// Insert (or overwrite) a tuple with probability `prob`.
+    /// Insert (or overwrite) a tuple with probability `prob`. `args` is
+    /// moved into tuple storage — the content and column indexes key by
+    /// hash and tuple id, so a bulk load performs no key cloning.
     ///
     /// # Panics
     /// If the arity disagrees with the vocabulary or `prob ∉ [0,1]`.
@@ -61,15 +89,30 @@ impl ProbDb {
             (0.0..=1.0).contains(&prob),
             "tuple probability {prob} outside [0,1]"
         );
-        if let Some(&id) = self.index.get(&(rel, args.clone())) {
+        let h = content_hash(rel, &args);
+        if let Some(id) = self.lookup_hashed(h, rel, &args) {
             self.tuples[id.0 as usize].prob = prob;
             return id;
         }
         let id = TupleId(self.tuples.len() as u32);
-        self.index.insert((rel, args.clone()), id);
+        self.index.entry(h).or_default().push(id);
         self.by_rel.entry(rel).or_default().push(id);
+        for (pos, &v) in args.iter().enumerate() {
+            self.cols.entry((rel, pos as u32, v)).or_default().push(id);
+        }
         self.tuples.push(ProbTuple { rel, args, prob });
         id
+    }
+
+    fn lookup(&self, rel: RelId, args: &[Value]) -> Option<TupleId> {
+        self.lookup_hashed(content_hash(rel, args), rel, args)
+    }
+
+    fn lookup_hashed(&self, h: u64, rel: RelId, args: &[Value]) -> Option<TupleId> {
+        self.index.get(&h)?.iter().copied().find(|&id| {
+            let t = &self.tuples[id.0 as usize];
+            t.rel == rel && t.args == args
+        })
     }
 
     /// Convenience: insert resolving the relation by name.
@@ -98,9 +141,18 @@ impl ProbDb {
         self.by_rel.get(&rel).map_or(&[], |v| v.as_slice())
     }
 
+    /// Ids of the tuples of `rel` whose column `col` holds `value`, in
+    /// ascending id order — the constant-pushdown posting list. Empty when
+    /// no tuple matches.
+    pub fn tuples_with(&self, rel: RelId, col: usize, value: Value) -> &[TupleId] {
+        self.cols
+            .get(&(rel, col as u32, value))
+            .map_or(&[], |v| v.as_slice())
+    }
+
     /// Look up a tuple id by content.
     pub fn find(&self, rel: RelId, args: &[Value]) -> Option<TupleId> {
-        self.index.get(&(rel, args.to_vec())).copied()
+        self.lookup(rel, args)
     }
 
     /// Marginal probability of a (possibly absent) tuple.
@@ -215,6 +267,36 @@ mod tests {
         let cond = db.conditioned(r, &[Value(1), Value(2)], 1.0);
         assert_eq!(cond.prob_of(r, &[Value(1), Value(2)]), 1.0);
         assert_eq!(db.prob_of(r, &[Value(1), Value(2)]), 0.5);
+    }
+
+    #[test]
+    fn column_posting_lists_ascend_and_track_inserts() {
+        let (mut db, r) = setup();
+        let a = db.insert(r, vec![Value(1), Value(9)], 0.5);
+        let b = db.insert(r, vec![Value(2), Value(9)], 0.5);
+        let c = db.insert(r, vec![Value(1), Value(7)], 0.5);
+        assert_eq!(db.tuples_with(r, 0, Value(1)), &[a, c]);
+        assert_eq!(db.tuples_with(r, 1, Value(9)), &[a, b]);
+        assert_eq!(db.tuples_with(r, 1, Value(7)), &[c]);
+        assert_eq!(db.tuples_with(r, 0, Value(42)), &[] as &[TupleId]);
+        // Overwrites change probabilities, not posting lists.
+        db.insert(r, vec![Value(1), Value(9)], 0.9);
+        assert_eq!(db.tuples_with(r, 0, Value(1)), &[a, c]);
+        assert_eq!(db.prob_of(r, &[Value(1), Value(9)]), 0.9);
+    }
+
+    #[test]
+    fn hash_keyed_content_index_distinguishes_relations() {
+        let (mut db, r) = setup();
+        let mut voc2 = db.voc.clone();
+        let s = voc2.relation("S", 2).unwrap();
+        db.voc = voc2;
+        let a = db.insert(r, vec![Value(1), Value(2)], 0.25);
+        let b = db.insert(s, vec![Value(1), Value(2)], 0.75);
+        assert_ne!(a, b);
+        assert_eq!(db.find(r, &[Value(1), Value(2)]), Some(a));
+        assert_eq!(db.find(s, &[Value(1), Value(2)]), Some(b));
+        assert_eq!(db.find(s, &[Value(2), Value(1)]), None);
     }
 
     #[test]

@@ -1,45 +1,153 @@
 //! Executing safe plans over a probabilistic database.
+//!
+//! The operator kernels in this module are **columnar and
+//! allocation-free per row**: they read and write the flat-buffer layout
+//! of [`ProbRelation`] (see `relation.rs` for the stride/alignment
+//! invariants), scans push constants down to the `(column, value)`
+//! posting lists [`pdb::ProbDb`] maintains, and joins hash whichever
+//! input is smaller. Every kernel takes an explicit row range so the
+//! serial executor (whole range) and the morsel-parallel executor
+//! ([`crate::par`], one morsel at a time) run literally the same code —
+//! the foundation of the bit-for-bit serial/parallel agreement invariant.
+//!
+//! The pre-columnar row-at-a-time executor survives in [`crate::rowref`]
+//! as the correctness oracle and bench baseline.
 
 use crate::node::PlanNode;
-use crate::relation::ProbRelation;
-use cq::{Atom, CompOp, Pred, Term, Value};
+use crate::relation::{
+    choose_build_side, emit_pairs, filter_rows, join_spec, pairs_by_left, probe_emit, probe_pairs,
+    BuildSide, JoinIndex, ProbRelation,
+};
+use cq::{Atom, CompOp, Pred, Term, Value, Var};
 use lineage::ProbValue;
 use numeric::QRat;
 use pdb::{ProbDb, RatProbs, TupleId};
 use std::ops::Range;
 
+/// Operator-level counters of one extensional execution — what the data
+/// plane actually did (as opposed to the per-thread timing counters the
+/// worker pool reports). Deterministic for a fixed plan and database:
+/// counts are taken at operator granularity, never inside morsels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Relation scans executed.
+    pub scans: u64,
+    /// Scans served from a constant-pushdown `(column, value)` posting
+    /// list instead of the full relation.
+    pub index_scans: u64,
+    /// Tuple ids visited by scans (after pushdown).
+    pub rows_scanned: u64,
+    /// Tuples a full scan would have visited that pushdown skipped.
+    pub rows_pruned: u64,
+    /// Complement scans executed (negated sub-goals, Theorem 3.11).
+    pub complement_scans: u64,
+    /// Domain bindings enumerated by complement scans (kept separate from
+    /// `rows_scanned` — they are generated, not read).
+    pub complement_rows: u64,
+    /// Independent joins executed (per pair of inputs).
+    pub joins: u64,
+    /// Joins whose build side was the left input (smaller than the right).
+    pub joins_build_left: u64,
+    /// Rows emitted by joins.
+    pub join_rows: u64,
+    /// Distinct groups across all independent-project aggregations.
+    pub groups: u64,
+}
+
 /// Execute `plan` over `db`, with tuple probabilities supplied in
 /// [`pdb::TupleId`] order (so the same plan runs on `f64` and on exact
 /// rationals).
 pub fn execute<P: ProbValue>(db: &ProbDb, probs: &[P], plan: &PlanNode) -> ProbRelation<P> {
+    execute_counted(db, probs, plan, &mut OpCounters::default())
+}
+
+/// [`execute`], accumulating [`OpCounters`] along the way.
+pub fn execute_counted<P: ProbValue>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    counters: &mut OpCounters,
+) -> ProbRelation<P> {
     assert_eq!(probs.len(), db.num_tuples(), "probability vector length");
+    exec_node(db, probs, plan, counters)
+}
+
+fn exec_node<P: ProbValue>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    counters: &mut OpCounters,
+) -> ProbRelation<P> {
     match plan {
         PlanNode::Certain => ProbRelation::certain(),
         PlanNode::Never => ProbRelation::never(),
-        PlanNode::Scan { atom } => scan(db, probs, atom),
-        PlanNode::ComplementScan { atom } => complement_scan(db, probs, atom),
+        PlanNode::Scan { atom } => {
+            let scan = ScanSpec::new(db, atom, counters);
+            let (data, probs) = scan_rows(db, probs, &scan.plan, scan.ids);
+            ProbRelation::from_parts(scan.cols, data, probs)
+        }
+        PlanNode::ComplementScan { atom } => {
+            let spec = ComplementSpec::new(db, atom, counters);
+            let (data, probs) = complement_rows(db, probs, &spec, 0..spec.total);
+            ProbRelation::from_parts(spec.cols.clone(), data, probs)
+        }
         PlanNode::Select { pred, input } => {
-            let rel = execute(db, probs, input);
-            let pred = *pred;
-            let cols = rel.cols.clone();
-            rel.select(|row| eval_pred(&pred, &cols, row))
+            let rel = exec_node(db, probs, input, counters);
+            let cols = rel.cols().to_vec();
+            let (data, probs) = filter_rows(&rel, 0..rel.len(), |row| eval_pred(pred, &cols, row));
+            ProbRelation::from_parts(cols, data, probs)
         }
         PlanNode::IndependentJoin { inputs } => {
             let mut acc = ProbRelation::certain();
             for i in inputs {
-                acc = acc.independent_join(&execute(db, probs, i));
+                let right = exec_node(db, probs, i, counters);
+                acc = join_counted(&acc, &right, counters);
             }
             acc
         }
         PlanNode::IndependentProject { keep, input } => {
-            execute(db, probs, input).independent_project(keep)
+            let rel = exec_node(db, probs, input, counters);
+            let out = rel.independent_project(keep);
+            counters.groups += out.len() as u64;
+            out
         }
     }
+}
+
+/// The serial join with build-side accounting; the relation-level
+/// [`ProbRelation::independent_join`] is this without the counters.
+fn join_counted<P: ProbValue>(
+    left: &ProbRelation<P>,
+    right: &ProbRelation<P>,
+    counters: &mut OpCounters,
+) -> ProbRelation<P> {
+    counters.joins += 1;
+    let spec = join_spec(left.cols(), right.cols());
+    let (data, probs) = match choose_build_side(left.len(), right.len()) {
+        BuildSide::Right => {
+            let index = JoinIndex::build(right, &spec.other_key);
+            probe_emit(&spec, left, right, &index, 0..left.len())
+        }
+        BuildSide::Left => {
+            counters.joins_build_left += 1;
+            let index = JoinIndex::build(left, &spec.left_key);
+            let pairs = probe_pairs(&index, right, &spec.other_key, 0..right.len());
+            let pairs = pairs_by_left(&pairs, left.len());
+            emit_pairs(&spec, left, right, &pairs)
+        }
+    };
+    counters.join_rows += probs.len() as u64;
+    ProbRelation::from_parts(spec.out_cols, data, probs)
 }
 
 /// `p(q)` of a Boolean plan in `f64` arithmetic.
 pub fn query_probability(db: &ProbDb, plan: &PlanNode) -> f64 {
     execute(db, &db.prob_vector(), plan).scalar()
+}
+
+/// [`query_probability`] with operator counters.
+pub fn query_probability_counted(db: &ProbDb, plan: &PlanNode, counters: &mut OpCounters) -> f64 {
+    execute_counted(db, &db.prob_vector(), plan, counters).scalar()
 }
 
 /// `p(q)` of a Boolean plan in exact rational arithmetic.
@@ -59,7 +167,7 @@ pub fn ranked_probabilities<P: ProbValue>(
     db: &ProbDb,
     probs: &[P],
     plan: &PlanNode,
-    head: &[cq::Var],
+    head: &[Var],
 ) -> Vec<(Vec<Value>, P)> {
     let rel = execute(db, probs, plan);
     project_head(&rel, head)
@@ -73,14 +181,13 @@ pub fn ranked_probabilities<P: ProbValue>(
 /// If some head variable is not an output column of `rel`.
 pub(crate) fn project_head<P: ProbValue>(
     rel: &ProbRelation<P>,
-    head: &[cq::Var],
+    head: &[Var],
 ) -> Vec<(Vec<Value>, P)> {
     let order: Vec<usize> = head
         .iter()
         .map(|&h| rel.col_index(h).expect("ranked plan carries head column"))
         .collect();
-    rel.rows
-        .iter()
+    rel.iter()
         .map(|(row, p)| {
             (
                 order.iter().map(|&i| row[i]).collect::<Vec<Value>>(),
@@ -90,66 +197,182 @@ pub(crate) fn project_head<P: ProbValue>(
         .collect()
 }
 
-fn scan<P: ProbValue>(db: &ProbDb, probs: &[P], atom: &Atom) -> ProbRelation<P> {
-    assert!(!atom.negated, "plans scan positive atoms only");
-    let cols = atom.vars();
-    let rows = scan_rows(db, probs, atom, &cols, db.tuples_of(atom.rel));
-    ProbRelation { cols, rows }
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+/// What one argument position of a scanned atom demands of a tuple, with
+/// the per-tuple `position()` searches of the old row kernel hoisted out.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// Position must equal this constant.
+    Const(Value),
+    /// First occurrence of a variable: bind output column `col`.
+    Bind(usize),
+    /// Repeated variable: position must equal the value already bound to
+    /// output column `col` (its first occurrence is at an earlier
+    /// position, so the column is always bound before the check runs).
+    Check(usize),
+}
+
+/// A compiled scan: per-position slots plus the output arity.
+pub(crate) struct ScanPlan {
+    slots: Vec<Slot>,
+    arity: usize,
+}
+
+pub(crate) fn scan_plan(atom: &Atom, cols: &[Var]) -> ScanPlan {
+    let mut seen = vec![false; cols.len()];
+    let slots = atom
+        .args
+        .iter()
+        .map(|term| match term {
+            Term::Const(c) => Slot::Const(*c),
+            Term::Var(v) => {
+                let ci = cols.iter().position(|c| c == v).expect("own var");
+                if seen[ci] {
+                    Slot::Check(ci)
+                } else {
+                    seen[ci] = true;
+                    Slot::Bind(ci)
+                }
+            }
+        })
+        .collect();
+    ScanPlan {
+        slots,
+        arity: cols.len(),
+    }
+}
+
+/// A scan's resolved inputs: output schema, compiled per-position slots,
+/// and the tuple-id list to visit — the smallest constant-pushdown posting
+/// list when the atom has constants, the full relation otherwise. The id
+/// choice is a pure function of the atom and database, so the serial and
+/// parallel executors always visit the same ids in the same order.
+pub(crate) struct ScanSpec<'a> {
+    pub cols: Vec<Var>,
+    pub plan: ScanPlan,
+    pub ids: &'a [TupleId],
+}
+
+impl<'a> ScanSpec<'a> {
+    pub fn new(db: &'a ProbDb, atom: &Atom, counters: &mut OpCounters) -> Self {
+        assert!(!atom.negated, "plans scan positive atoms only");
+        let cols = atom.vars();
+        let plan = scan_plan(atom, &cols);
+        let all = db.tuples_of(atom.rel);
+        // Constant pushdown: visit the smallest `(column, value)` posting
+        // list. Posting lists ascend in tuple id, so the surviving rows
+        // come out in exactly the order a filtered full scan emits them.
+        let mut best: Option<&[TupleId]> = None;
+        for (pos, term) in atom.args.iter().enumerate() {
+            if let Term::Const(c) = term {
+                let list = db.tuples_with(atom.rel, pos, *c);
+                if best.is_none_or(|b| list.len() < b.len()) {
+                    best = Some(list);
+                }
+            }
+        }
+        counters.scans += 1;
+        let ids = match best {
+            Some(list) => {
+                counters.index_scans += 1;
+                counters.rows_pruned += (all.len() - list.len()) as u64;
+                list
+            }
+            None => all,
+        };
+        counters.rows_scanned += ids.len() as u64;
+        ScanSpec { cols, plan, ids }
+    }
 }
 
 /// The scan kernel over an explicit tuple-id slice: the serial scan passes
-/// the whole relation, the parallel executor one morsel at a time. Rows
-/// come back in `ids` order, so stitching morsel outputs in morsel order
-/// reproduces the serial scan exactly.
+/// the whole id list, the parallel executor one morsel at a time. Rows
+/// come back in `ids` order as columnar buffers, so stitching morsel
+/// outputs in morsel order reproduces the serial scan exactly. The only
+/// allocations are the output buffers and one scratch row.
 pub(crate) fn scan_rows<P: ProbValue>(
     db: &ProbDb,
     probs: &[P],
-    atom: &Atom,
-    cols: &[cq::Var],
+    plan: &ScanPlan,
     ids: &[TupleId],
-) -> Vec<(Vec<Value>, P)> {
-    let mut out = Vec::new();
+) -> (Vec<Value>, Vec<P>) {
+    let mut data: Vec<Value> = Vec::new();
+    let mut out_probs: Vec<P> = Vec::new();
+    let mut rowbuf = vec![Value(0); plan.arity];
     'tuples: for &tid in ids {
         let tuple = db.tuple(tid);
-        // Match constants and repeated variables positionally.
-        let mut bound: Vec<Option<Value>> = vec![None; cols.len()];
-        for (pos, term) in atom.args.iter().enumerate() {
-            match term {
-                Term::Const(c) => {
-                    if tuple.args[pos] != *c {
+        for (pos, slot) in plan.slots.iter().enumerate() {
+            let got = tuple.args[pos];
+            match *slot {
+                Slot::Const(c) => {
+                    if got != c {
                         continue 'tuples;
                     }
                 }
-                Term::Var(v) => {
-                    let ci = cols.iter().position(|c| c == v).expect("own var");
-                    match bound[ci] {
-                        None => bound[ci] = Some(tuple.args[pos]),
-                        Some(prev) => {
-                            if prev != tuple.args[pos] {
-                                continue 'tuples;
-                            }
-                        }
+                Slot::Bind(ci) => rowbuf[ci] = got,
+                Slot::Check(ci) => {
+                    if rowbuf[ci] != got {
+                        continue 'tuples;
                     }
                 }
             }
         }
-        let row: Vec<Value> = bound.into_iter().map(|b| b.expect("all bound")).collect();
-        out.push((row, probs[tid.0 as usize].clone()));
+        data.extend_from_slice(&rowbuf);
+        out_probs.push(probs[tid.0 as usize].clone());
     }
-    out
+    (data, out_probs)
 }
+
+// ---------------------------------------------------------------------------
+// Complement scan
+// ---------------------------------------------------------------------------
 
 /// One row per binding of the atom's distinct variables over the evaluation
 /// domain (active domain plus the atom's constants), with probability
 /// `1 − p(tuple)` — absent tuples contribute certainty. This is the Theorem
 /// 3.11 treatment of negated sub-goals, set-at-a-time; the `O(|domain|^k)`
 /// row count matches the bound the tuple-at-a-time recurrence pays.
-fn complement_scan<P: ProbValue>(db: &ProbDb, probs: &[P], atom: &Atom) -> ProbRelation<P> {
-    let cols = atom.vars();
-    let domain = complement_domain(db, atom);
-    let total = complement_row_count(cols.len(), domain.len());
-    let rows = complement_rows(db, probs, atom, &cols, &domain, 0..total);
-    ProbRelation { cols, rows }
+pub(crate) struct ComplementSpec {
+    pub cols: Vec<Var>,
+    pub domain: Vec<Value>,
+    pub total: usize,
+    rel: cq::RelId,
+    /// Per argument position: the constant, or the binding column to read.
+    arg_src: Vec<ArgSrc>,
+}
+
+#[derive(Clone, Copy)]
+enum ArgSrc {
+    Const(Value),
+    Col(usize),
+}
+
+impl ComplementSpec {
+    pub fn new(db: &ProbDb, atom: &Atom, counters: &mut OpCounters) -> Self {
+        let cols = atom.vars();
+        let domain = complement_domain(db, atom);
+        let total = complement_row_count(cols.len(), domain.len());
+        counters.complement_scans += 1;
+        counters.complement_rows += total as u64;
+        let arg_src = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => ArgSrc::Const(*c),
+                Term::Var(v) => ArgSrc::Col(cols.iter().position(|c| c == v).expect("own var")),
+            })
+            .collect();
+        ComplementSpec {
+            cols,
+            domain,
+            total,
+            rel: atom.rel,
+            arg_src,
+        }
+    }
 }
 
 /// Evaluation domain of a complement scan: active domain plus the atom's
@@ -180,42 +403,42 @@ pub(crate) fn complement_row_count(k: usize, domain_len: usize) -> usize {
 /// The complement-scan kernel over a range of linearized bindings. Binding
 /// `i` decodes base-`|domain|` with the *first* column most significant —
 /// exactly the order the old odometer emitted — so morsel outputs stitched
-/// in morsel order match the serial scan bit for bit.
+/// in morsel order match the serial scan bit for bit. Scratch binding and
+/// argument rows are reused across the whole range.
 pub(crate) fn complement_rows<P: ProbValue>(
     db: &ProbDb,
     probs: &[P],
-    atom: &Atom,
-    cols: &[cq::Var],
-    domain: &[Value],
+    spec: &ComplementSpec,
     range: Range<usize>,
-) -> Vec<(Vec<Value>, P)> {
-    let k = cols.len();
-    let mut out = Vec::with_capacity(range.len());
+) -> (Vec<Value>, Vec<P>) {
+    let k = spec.cols.len();
+    let mut data: Vec<Value> = Vec::with_capacity(range.len() * k);
+    let mut out_probs: Vec<P> = Vec::with_capacity(range.len());
+    let mut binding = vec![Value(0); k];
+    let mut args = vec![Value(0); spec.arg_src.len()];
     for i in range {
-        let mut binding = vec![Value(0); k];
         let mut rem = i;
         for slot in binding.iter_mut().rev() {
-            *slot = domain[rem % domain.len()];
-            rem /= domain.len();
+            *slot = spec.domain[rem % spec.domain.len()];
+            rem /= spec.domain.len();
         }
-        let args: Vec<Value> = atom
-            .args
-            .iter()
-            .map(|t| match t {
-                Term::Const(c) => *c,
-                Term::Var(v) => binding[cols.iter().position(|c| c == v).expect("own var")],
-            })
-            .collect();
-        let p = match db.find(atom.rel, &args) {
+        for (a, src) in args.iter_mut().zip(&spec.arg_src) {
+            *a = match *src {
+                ArgSrc::Const(c) => c,
+                ArgSrc::Col(ci) => binding[ci],
+            };
+        }
+        let p = match db.find(spec.rel, &args) {
             Some(id) => probs[id.0 as usize].complement(),
             None => P::one(),
         };
-        out.push((binding, p));
+        data.extend_from_slice(&binding);
+        out_probs.push(p);
     }
-    out
+    (data, out_probs)
 }
 
-pub(crate) fn eval_pred(pred: &Pred, cols: &[cq::Var], row: &[Value]) -> bool {
+pub(crate) fn eval_pred(pred: &Pred, cols: &[Var], row: &[Value]) -> bool {
     let resolve = |t: &Term| -> Value {
         match t {
             Term::Const(c) => *c,
@@ -295,6 +518,33 @@ mod tests {
     fn plans_match_recurrence_and_brute_force() {
         for (i, q) in SAFE_QUERIES.iter().enumerate() {
             check(q, 100 + i as u64);
+        }
+    }
+
+    /// The columnar executor is bit-for-bit the row-at-a-time reference
+    /// executor on every safe shape in the suite.
+    #[test]
+    fn columnar_matches_row_reference_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(0xC01);
+        for text in SAFE_QUERIES {
+            let mut voc = Vocabulary::new();
+            let q = parse_query(&mut voc, text).unwrap();
+            let plan = build_plan(&q).unwrap();
+            let opts = RandomDbOptions {
+                domain: 3,
+                tuples_per_relation: 8,
+                prob_range: (0.1, 0.9),
+            };
+            let db = random_db_for_query(&q, &voc, opts, &mut rng);
+            let probs = db.prob_vector();
+            let col = execute(&db, &probs, &plan);
+            let row = crate::rowref::row_execute(&db, &probs, &plan);
+            assert_eq!(col.cols(), row.cols.as_slice(), "{text}");
+            assert_eq!(col.len(), row.rows.len(), "{text}");
+            for (i, (vals, p)) in row.rows.iter().enumerate() {
+                assert_eq!(col.row(i), vals.as_slice(), "{text} row {i}");
+                assert_eq!(col.prob(i), p, "{text} prob {i} (must be bit-identical)");
+            }
         }
     }
 
@@ -399,6 +649,81 @@ mod tests {
         db.insert(r, vec![Value(2)], 0.75);
         let plan = build_plan(&q).unwrap();
         assert!((query_probability(&db, &plan) - 0.25).abs() < 1e-12);
+    }
+
+    /// A constant atom must be served from the pushdown posting list —
+    /// visiting only the matching ids — and still agree with the filtered
+    /// full scan the row reference performs.
+    #[test]
+    fn constant_pushdown_prunes_and_agrees() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "S(x, 7)").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        for i in 0..50u64 {
+            // Second column is 7 for i ∈ {0, 7, 10, 20, 30, 40}: six hits.
+            db.insert(
+                s,
+                vec![Value(i), Value(if i % 10 == 0 { 7 } else { i })],
+                0.3,
+            );
+        }
+        let plan = build_plan(&q).unwrap();
+        let mut counters = OpCounters::default();
+        let p = query_probability_counted(&db, &plan, &mut counters);
+        assert_eq!(counters.index_scans, 1, "{counters:?}");
+        assert_eq!(counters.rows_scanned, 6, "{counters:?}");
+        assert_eq!(counters.rows_pruned, 44, "{counters:?}");
+        let row_p = crate::rowref::row_query_probability(&db, &plan);
+        assert_eq!(p, row_p, "pushdown must not change the result bits");
+    }
+
+    /// Multiple constants: the scan picks the smallest posting list but
+    /// still verifies every constant position.
+    #[test]
+    fn pushdown_picks_smallest_posting_list_and_verifies_rest() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "U(1, y, 5)").unwrap();
+        let u = voc.find_relation("U").unwrap();
+        let mut db = ProbDb::new(voc);
+        // Column 0 = 1 matches 20 tuples, column 2 = 5 matches 2 tuples,
+        // both constraints together match exactly 1.
+        for i in 0..20u64 {
+            db.insert(u, vec![Value(1), Value(i), Value(100 + i)], 0.5);
+        }
+        db.insert(u, vec![Value(1), Value(50), Value(5)], 0.25);
+        db.insert(u, vec![Value(2), Value(51), Value(5)], 0.5);
+        let plan = build_plan(&q).unwrap();
+        let mut counters = OpCounters::default();
+        let p = query_probability_counted(&db, &plan, &mut counters);
+        assert_eq!(counters.rows_scanned, 2, "smallest list: {counters:?}");
+        assert!((p - 0.25).abs() < 1e-12);
+        assert_eq!(p, crate::rowref::row_query_probability(&db, &plan));
+    }
+
+    #[test]
+    fn join_counters_report_build_side_selection() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        // R is tiny, the projected S is big: after the independent-project
+        // of S down to [x] both sides reach the join, and the accumulator
+        // (certain, 1 row) always builds left first.
+        for i in 0..3u64 {
+            db.insert(r, vec![Value(i)], 0.5);
+        }
+        for i in 0..30u64 {
+            db.insert(s, vec![Value(i % 3), Value(100 + i)], 0.2);
+        }
+        let plan = build_plan(&q).unwrap();
+        let mut counters = OpCounters::default();
+        let p = query_probability_counted(&db, &plan, &mut counters);
+        assert!(counters.joins >= 1, "{counters:?}");
+        assert!(counters.joins_build_left >= 1, "{counters:?}");
+        assert!(counters.groups >= 1, "{counters:?}");
+        assert_eq!(p, crate::rowref::row_query_probability(&db, &plan));
     }
 
     #[test]

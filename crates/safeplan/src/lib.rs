@@ -16,9 +16,16 @@
 //! real engine would run it — and measurably faster at scale; the
 //! `plan_vs_recurrence` bench quantifies the gap.
 //!
-//! The [`par`] module executes the same plans on a morsel-driven
-//! scoped-thread worker pool ([`par_execute`]), bit-for-bit identical to
-//! the serial executor at every thread count.
+//! The data plane is **columnar**: relations are flat buffers (one
+//! contiguous value vector with arity stride plus a probability column —
+//! see [`relation`] for the invariants), operator kernels touch no per-row
+//! heap allocations, grouping runs on packed `u64`/`u128` keys, joins hash
+//! the smaller input, and scans push constants down to per-relation
+//! `(column, value)` posting lists in [`pdb::ProbDb`]. The [`par`] module
+//! executes the same plans on a morsel-driven scoped-thread worker pool
+//! ([`par_execute`]), bit-for-bit identical to the serial executor at
+//! every thread count. The pre-columnar row executor survives in
+//! [`rowref`] as the correctness oracle and bench baseline.
 //!
 //! ```
 //! use cq::{parse_query, Vocabulary, Value};
@@ -42,12 +49,19 @@ pub mod node;
 pub mod optimize;
 pub mod par;
 pub mod relation;
+pub mod rowref;
 
 pub use build::{build_plan, build_ranked_plan, PlanError};
-pub use exec::{execute, query_probability, query_probability_exact, ranked_probabilities};
+pub use exec::{
+    execute, execute_counted, query_probability, query_probability_counted,
+    query_probability_exact, ranked_probabilities, OpCounters,
+};
 pub use node::PlanNode;
 pub use optimize::{columns, estimate_rows, optimize, optimize_with_stats};
-pub use par::{par_execute, par_query_probability, par_ranked_probabilities, ParOptions};
+pub use par::{
+    par_execute, par_execute_counted, par_query_probability, par_query_probability_counted,
+    par_ranked_probabilities, ParOptions,
+};
 // Re-exported so downstream crates and tests can drive the parallel
 // executor without a direct `exec-parallel` dependency.
 pub use exec_parallel::{ExecStats, Pool, ThreadStats};

@@ -2,33 +2,43 @@
 //!
 //! [`par_execute`] runs the same [`PlanNode`] language as [`crate::execute`]
 //! on a scoped-thread worker [`Pool`] (see the `exec-parallel` crate), one
-//! operator at a time, parallel *within* each operator:
+//! operator at a time, parallel *within* each operator — and on the same
+//! **columnar flat-buffer kernels** as the serial executor:
 //!
-//! * **scans** and **complement scans** partition their input (tuple ids,
-//!   linearized bindings) into morsels pulled from a shared cursor;
-//! * **joins** hash-partition the build side across workers (each key ends
-//!   up wholly in one partition, preserving per-key insertion order), then
-//!   probe in parallel over morsels of the probe side;
+//! * **scans** and **complement scans** partition their input (pushed-down
+//!   tuple ids, linearized bindings) into morsels pulled from a shared
+//!   cursor; each morsel emits a columnar chunk of whole rows;
+//! * **joins** hash the **smaller** input once (build-side selection —
+//!   identical to the serial choice, a pure function of the row counts),
+//!   then probe the larger side in parallel morsels. When the build side
+//!   is the left input, probing yields `(left, right)` id pairs that a
+//!   stable counting sort restores to the serial output order before a
+//!   morsel-parallel emission pass materializes them;
 //! * **independent projects** — the `1 − Π(1−p)` aggregation at the core of
-//!   the extensional operators — hash-partition *groups* across workers and
-//!   combine the per-partition partial products, so every group is folded
-//!   by exactly one worker in row order.
+//!   the extensional operators — hash-partition *groups* across workers
+//!   (packed-key [`Grouper`](crate::relation) folds, no per-row keys) and
+//!   merge the per-partition results by first-seen row index, so every
+//!   group is folded by exactly one worker in row order.
 //!
 //! The invariant throughout (and the property the agreement tests pin
 //! down): for any plan, database, and thread count, `par_execute` returns
 //! **bit-for-bit** the relation the serial executor returns — same row
-//! order, same `f64` values. Morsel outputs are stitched in morsel order,
-//! group folds keep the serial multiplication order, and worker scheduling
-//! never leaks into results. Parallelism changes wall time, not answers.
+//! order, same `f64` values. Morsel outputs are stitched in morsel order
+//! (the stride invariant makes that plain buffer concatenation), group
+//! folds keep the serial multiplication order, and worker scheduling never
+//! leaks into results. Parallelism changes wall time, not answers.
 
-use crate::exec::{complement_domain, complement_row_count, complement_rows, eval_pred, scan_rows};
+use crate::exec::{complement_rows, eval_pred, scan_rows, ComplementSpec, OpCounters, ScanSpec};
 use crate::node::PlanNode;
-use crate::relation::{build_join_index, join_spec, probe_join_rows, ProbRelation};
-use cq::{Atom, Pred, Value, Var};
+use crate::relation::{
+    choose_build_side, emit_pairs, filter_rows, group_fold_rows, hash_row_key, join_spec,
+    pairs_by_left, probe_emit, probe_pairs, stitch_columnar, BuildSide, GroupFold, JoinIndex,
+    ProbRelation,
+};
+use cq::{Pred, Value, Var};
 use exec_parallel::{ExecStats, Pool, DEFAULT_GRAIN};
 use lineage::ProbValue;
 use pdb::ProbDb;
-use std::collections::BTreeMap;
 
 /// Tuning for one parallel execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,27 +83,64 @@ pub fn par_execute<P: ProbValue + Send + Sync>(
     plan: &PlanNode,
     pool: &Pool,
 ) -> ProbRelation<P> {
+    par_execute_counted(db, probs, plan, pool, &mut OpCounters::default())
+}
+
+/// [`par_execute`] accumulating [`OpCounters`]. Counters are taken at
+/// operator granularity on the coordinating thread, never inside morsels,
+/// so they equal the serial execution's counters exactly.
+pub fn par_execute_counted<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    pool: &Pool,
+    counters: &mut OpCounters,
+) -> ProbRelation<P> {
     assert_eq!(probs.len(), db.num_tuples(), "probability vector length");
+    par_node(db, probs, plan, pool, counters)
+}
+
+fn par_node<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    pool: &Pool,
+    counters: &mut OpCounters,
+) -> ProbRelation<P> {
     match plan {
         PlanNode::Certain => ProbRelation::certain(),
         PlanNode::Never => ProbRelation::never(),
-        PlanNode::Scan { atom } => par_scan(db, probs, atom, pool),
-        PlanNode::ComplementScan { atom } => par_complement_scan(db, probs, atom, pool),
+        PlanNode::Scan { atom } => {
+            let scan = ScanSpec::new(db, atom, counters);
+            let chunks = pool.map_morsels(scan.ids.len(), |r| {
+                scan_rows(db, probs, &scan.plan, &scan.ids[r])
+            });
+            let (data, out) = stitch_columnar(chunks);
+            ProbRelation::from_parts(scan.cols, data, out)
+        }
+        PlanNode::ComplementScan { atom } => {
+            let spec = ComplementSpec::new(db, atom, counters);
+            let chunks = pool.map_morsels(spec.total, |r| complement_rows(db, probs, &spec, r));
+            let (data, out) = stitch_columnar(chunks);
+            ProbRelation::from_parts(spec.cols.clone(), data, out)
+        }
         PlanNode::Select { pred, input } => {
-            let rel = par_execute(db, probs, input, pool);
+            let rel = par_node(db, probs, input, pool, counters);
             par_select(&rel, pred, pool)
         }
         PlanNode::IndependentJoin { inputs } => {
             let mut acc = ProbRelation::certain();
             for i in inputs {
-                let right = par_execute(db, probs, i, pool);
-                acc = par_join(&acc, &right, pool);
+                let right = par_node(db, probs, i, pool, counters);
+                acc = par_join(&acc, &right, pool, counters);
             }
             acc
         }
         PlanNode::IndependentProject { keep, input } => {
-            let rel = par_execute(db, probs, input, pool);
-            par_project(&rel, keep, pool)
+            let rel = par_node(db, probs, input, pool, counters);
+            let out = par_project(&rel, keep, pool);
+            counters.groups += out.len() as u64;
+            out
         }
     }
 }
@@ -103,6 +150,19 @@ pub fn par_execute<P: ProbValue + Send + Sync>(
 pub fn par_query_probability(db: &ProbDb, plan: &PlanNode, opts: ParOptions) -> (f64, ExecStats) {
     let pool = opts.pool();
     let p = par_execute(db, &db.prob_vector(), plan, &pool).scalar();
+    (p, pool.stats())
+}
+
+/// [`par_query_probability`] with operator counters alongside the
+/// per-thread timing counters.
+pub fn par_query_probability_counted(
+    db: &ProbDb,
+    plan: &PlanNode,
+    opts: ParOptions,
+    counters: &mut OpCounters,
+) -> (f64, ExecStats) {
+    let pool = opts.pool();
+    let p = par_execute_counted(db, &db.prob_vector(), plan, &pool, counters).scalar();
     (p, pool.stats())
 }
 
@@ -126,119 +186,71 @@ pub fn par_ranked_probabilities<P: ProbValue + Send + Sync>(
     crate::exec::project_head(&rel, head)
 }
 
-/// Partitioned relation scan: morsels over the relation's tuple ids.
-fn par_scan<P: ProbValue + Send + Sync>(
-    db: &ProbDb,
-    probs: &[P],
-    atom: &Atom,
-    pool: &Pool,
-) -> ProbRelation<P> {
-    assert!(!atom.negated, "plans scan positive atoms only");
-    let cols = atom.vars();
-    let ids = db.tuples_of(atom.rel);
-    let chunks = pool.map_morsels(ids.len(), |r| scan_rows(db, probs, atom, &cols, &ids[r]));
-    ProbRelation {
-        cols,
-        rows: stitch(chunks),
-    }
-}
-
-/// Partitioned complement scan: morsels over the linearized binding space.
-fn par_complement_scan<P: ProbValue + Send + Sync>(
-    db: &ProbDb,
-    probs: &[P],
-    atom: &Atom,
-    pool: &Pool,
-) -> ProbRelation<P> {
-    let cols = atom.vars();
-    let domain = complement_domain(db, atom);
-    let total = complement_row_count(cols.len(), domain.len());
-    let chunks = pool.map_morsels(total, |r| {
-        complement_rows(db, probs, atom, &cols, &domain, r)
-    });
-    ProbRelation {
-        cols,
-        rows: stitch(chunks),
-    }
-}
-
-/// Partitioned filter: morsels over the input rows.
+/// Partitioned filter: morsels over the input rows, each emitting a
+/// columnar chunk of whole rows.
 fn par_select<P: ProbValue + Send + Sync>(
     rel: &ProbRelation<P>,
     pred: &Pred,
     pool: &Pool,
 ) -> ProbRelation<P> {
-    let chunks = pool.map_morsels(rel.rows.len(), |r| {
-        rel.rows[r]
-            .iter()
-            .filter(|(row, _)| eval_pred(pred, &rel.cols, row))
-            .cloned()
-            .collect::<Vec<_>>()
+    let cols = rel.cols().to_vec();
+    let chunks = pool.map_morsels(rel.len(), |rows| {
+        filter_rows(rel, rows, |row| eval_pred(pred, &cols, row))
     });
-    ProbRelation {
-        cols: rel.cols.clone(),
-        rows: stitch(chunks),
-    }
+    let (data, probs) = stitch_columnar(chunks);
+    ProbRelation::from_parts(cols, data, probs)
 }
 
-/// Hash-partitioned independent join: the build side is partitioned by key
-/// hash across workers (each key lands wholly in one partition with its
-/// row order intact), the probe side streams through in morsels.
+/// Parallel independent join with build-side selection. The build side —
+/// the smaller input, same deterministic choice as the serial join — is
+/// indexed once on the coordinating thread; the probe side streams through
+/// in morsels. A left-side build probes into id pairs, counting-sorts them
+/// back to the serial output order, and materializes in parallel over
+/// stride-aligned pair ranges.
 fn par_join<P: ProbValue + Send + Sync>(
     left: &ProbRelation<P>,
     right: &ProbRelation<P>,
     pool: &Pool,
+    counters: &mut OpCounters,
 ) -> ProbRelation<P> {
-    let spec = join_spec(&left.cols, &right.cols);
-    // Build. Partitioning pays only when the build side is large; the
-    // serial build produces the identical index either way.
-    let index = if right.rows.len() > pool.grain() && pool.threads() > 1 {
-        let parts = pool.threads();
-        // Hash rows in parallel morsels, bucket their indices, then let
-        // each worker index only its own rows (not a full scan each).
-        let hash_chunks = pool.map_morsels(right.rows.len(), |r| {
-            right.rows[r]
-                .iter()
-                .map(|(row, _)| hash_key(row, &spec.other_key))
-                .collect::<Vec<u64>>()
-        });
-        let owners = partition_rows(&stitch(hash_chunks), parts);
-        let maps = pool.map_partitions(parts, |p| {
-            let mut m: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
-            // `owners[p]` is in ascending row order, so per-key index
-            // vectors keep the serial build's insertion order.
-            for &i in &owners[p] {
-                let i = i as usize;
-                let row = &right.rows[i].0;
-                let key: Vec<Value> = spec.other_key.iter().map(|&k| row[k]).collect();
-                m.entry(key).or_default().push(i);
-            }
-            m
-        });
-        // Partitions hold disjoint keys: merging is a plain union.
-        let mut index: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
-        for m in maps {
-            index.extend(m);
+    counters.joins += 1;
+    let spec = join_spec(left.cols(), right.cols());
+    let (data, probs) = match choose_build_side(left.len(), right.len()) {
+        BuildSide::Right => {
+            let index = JoinIndex::build(right, &spec.other_key);
+            let chunks =
+                pool.map_morsels(left.len(), |r| probe_emit(&spec, left, right, &index, r));
+            stitch_columnar(chunks)
         }
-        index
-    } else {
-        build_join_index(&right.rows, &spec.other_key)
+        BuildSide::Left => {
+            counters.joins_build_left += 1;
+            let index = JoinIndex::build(left, &spec.left_key);
+            let pair_chunks = pool.map_morsels(right.len(), |r| {
+                probe_pairs(&index, right, &spec.other_key, r)
+            });
+            // Chunks concatenate right-ascending (morsel order), exactly
+            // the serial probe sequence; the counting sort then restores
+            // left-major output order.
+            let mut pairs = Vec::with_capacity(pair_chunks.iter().map(Vec::len).sum());
+            for c in pair_chunks {
+                pairs.extend(c);
+            }
+            let pairs = pairs_by_left(&pairs, left.len());
+            let chunks =
+                pool.map_morsels(pairs.len(), |r| emit_pairs(&spec, left, right, &pairs[r]));
+            stitch_columnar(chunks)
+        }
     };
-    // Probe.
-    let chunks = pool.map_morsels(left.rows.len(), |r| {
-        probe_join_rows(&spec, &left.rows[r], &index, &right.rows)
-    });
-    ProbRelation {
-        cols: spec.out_cols,
-        rows: stitch(chunks),
-    }
+    counters.join_rows += probs.len() as u64;
+    ProbRelation::from_parts(spec.out_cols, data, probs)
 }
 
 /// Parallel independent project: groups are hash-partitioned across
 /// workers; each worker folds its groups' rows **in row order** (the
-/// serial multiplication order), and the per-partition partial results are
-/// combined by first-seen row index — disjoint groups, so combining is
-/// concatenation, not re-multiplication, and `f64` bits are preserved.
+/// serial multiplication order) through the packed-key grouper, and the
+/// per-partition results merge by first-seen row index — disjoint groups,
+/// so merging is concatenation, not re-multiplication, and `f64` bits are
+/// preserved.
 fn par_project<P: ProbValue + Send + Sync>(
     rel: &ProbRelation<P>,
     keep: &[Var],
@@ -246,55 +258,52 @@ fn par_project<P: ProbValue + Send + Sync>(
 ) -> ProbRelation<P> {
     // Sub-morsel inputs are not worth a fan-out; the serial fold is the
     // same computation (bit for bit), minus the partition scaffolding.
-    if pool.threads() == 1 || rel.rows.len() <= pool.grain() {
+    if pool.threads() == 1 || rel.len() <= pool.grain() {
         return rel.independent_project(keep);
     }
     let key_idx: Vec<usize> = keep
         .iter()
         .map(|&v| rel.col_index(v).expect("projection column missing"))
         .collect();
-    // Phase 1: group hashes, one pass in parallel morsels (order-stable).
-    let hash_chunks = pool.map_morsels(rel.rows.len(), |r| {
-        rel.rows[r]
-            .iter()
-            .map(|(row, _)| hash_key(row, &key_idx))
-            .collect::<Vec<u64>>()
+    // Phase 1: group hashes, one pass in parallel stride-aligned morsels
+    // (order-stable). Each morsel walks its slice of the flat value buffer
+    // directly — the element range is row-aligned by construction.
+    let arity = rel.arity();
+    let hash_chunks = pool.map_morsels_strided(rel.len(), arity, |rows, elems| {
+        if arity == 0 {
+            // Zero-column relation: every row has the empty key.
+            vec![hash_row_key(&[], &key_idx); rows.len()]
+        } else {
+            rel.values()[elems]
+                .chunks_exact(arity)
+                .map(|row| hash_row_key(row, &key_idx))
+                .collect::<Vec<u64>>()
+        }
     });
     let owners = partition_rows(&stitch(hash_chunks), pool.threads());
     // Phase 2: each worker owns the groups hashing to its partitions and
     // folds `Π(1−p)` over their rows in row order, touching only its own
     // rows (`owners[part]` ascends, preserving the serial fold order).
     let parts = pool.threads();
-    let partials = pool.map_partitions(parts, |part| {
-        let mut none: std::collections::HashMap<Vec<Value>, (usize, P)> =
-            std::collections::HashMap::new();
-        for &i in &owners[part] {
-            let i = i as usize;
-            let (row, p) = &rel.rows[i];
-            let key: Vec<Value> = key_idx.iter().map(|&k| row[k]).collect();
-            match none.get_mut(&key) {
-                Some((_, acc)) => *acc = acc.mul(&p.complement()),
-                None => {
-                    none.insert(key, (i, p.complement()));
-                }
-            }
-        }
-        let mut entries: Vec<(usize, Vec<Value>, P)> = none
-            .into_iter()
-            .map(|(key, (first, acc))| (first, key, acc))
-            .collect();
-        entries.sort_by_key(|(first, _, _)| *first);
-        entries
+    let partials: Vec<GroupFold<P>> = pool.map_partitions(parts, |part| {
+        group_fold_rows(rel, &key_idx, owners[part].iter().copied())
     });
     // Phase 3: merge partitions by first-seen row index — the serial
     // executor's group emission order.
-    let mut entries: Vec<(usize, Vec<Value>, P)> = partials.into_iter().flatten().collect();
-    entries.sort_by_key(|(first, _, _)| *first);
-    let mut out = ProbRelation::new(keep.to_vec());
-    out.rows = entries
-        .into_iter()
-        .map(|(_, key, acc)| (key, acc.complement()))
-        .collect();
+    let mut entries: Vec<(u32, usize, usize)> = Vec::new();
+    for (pi, fold) in partials.iter().enumerate() {
+        for s in 0..fold.grouper.len() {
+            entries.push((fold.first_row[s], pi, s));
+        }
+    }
+    entries.sort_unstable_by_key(|&(first, _, _)| first);
+    let mut out = ProbRelation::with_capacity(keep.to_vec(), entries.len());
+    for (_, pi, s) in entries {
+        out.push(
+            partials[pi].grouper.key(s),
+            partials[pi].none[s].complement(),
+        );
+    }
     out
 }
 
@@ -318,18 +327,6 @@ fn partition_rows(hashes: &[u64], parts: usize) -> Vec<Vec<u32>> {
     owners
 }
 
-/// FNV-1a-style hash of the key columns of a row. Only used to spread
-/// groups over partitions; never reaches results.
-fn hash_key(row: &[Value], idx: &[usize]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &i in idx {
-        h ^= row[i].0;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        h ^= h >> 29;
-    }
-    h
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,7 +338,8 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    /// Safe shapes from the serial executor's suite, plus negation.
+    /// Safe shapes from the serial executor's suite, plus negation and
+    /// constants (pushdown scans must partition identically).
     const QUERIES: &[&str] = &[
         "R(x)",
         "R(x), S(x,y)",
@@ -380,6 +378,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_counters_equal_serial_counters() {
+        let mut rng = StdRng::seed_from_u64(0xC0C0);
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(1), S(1,y)").unwrap();
+        let plan = build_plan(&q).unwrap();
+        let opts = RandomDbOptions {
+            domain: 3,
+            tuples_per_relation: 12,
+            prob_range: (0.1, 0.9),
+        };
+        let db = random_db_for_query(&q, &voc, opts, &mut rng);
+        let probs = db.prob_vector();
+        let mut serial = OpCounters::default();
+        let _ = crate::exec::execute_counted(&db, &probs, &plan, &mut serial);
+        for threads in [1, 2, 4] {
+            let pool = Pool::with_grain(threads, 2);
+            let mut par = OpCounters::default();
+            let _ = par_execute_counted(&db, &probs, &plan, &pool, &mut par);
+            assert_eq!(serial, par, "{threads} threads");
+        }
+        assert!(serial.index_scans > 0, "{serial:?}");
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub mod prelude {
     pub use reductions::{count_via_hk, count_via_pattern, Bipartite2Dnf};
     pub use safeplan::{
         build_plan, par_execute, par_query_probability, query_probability, query_probability_exact,
-        ParOptions, PlanNode, Pool,
+        OpCounters, ParOptions, PlanNode, Pool,
     };
 }
 
