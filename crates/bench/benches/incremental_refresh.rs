@@ -1,0 +1,110 @@
+//! Incremental view refresh vs full re-execution on the 100k-tuple star
+//! workload under churn.
+//!
+//! The workload is the `q_hier = R(x), S(x,y)` star family at 20_000 roots
+//! × fanout 4 (100k tuples). Each round applies a ~1%-of-database
+//! `DeltaBatch` (probability updates, fresh inserts, deletes) and then
+//! answers the query two ways:
+//!
+//! * `full/reexec` — cold columnar execution of the cached plan (what the
+//!   engine did for every repeated query before the incremental
+//!   subsystem);
+//! * `view/apply+refresh` — apply one churn batch and replay it through
+//!   the materialized operator state (`IncrementalView::refresh`: scan
+//!   rows, join-value indexes, per-group row sets — refold only what was
+//!   touched).
+//!
+//! The bit-for-bit gate (refresh == cold execution, every round) and the
+//! median per-round speedup come from `bench_harness::measure_incremental`
+//! — the same code path `report -- incremental` serializes to
+//! `BENCH_incremental.json`, so the bench and the trend-tracking JSON
+//! cannot drift. The PR-5 acceptance bar is refresh ≥ 5× full
+//! re-execution at 1% churn.
+
+use bench_harness::measure_incremental;
+use criterion::{criterion_group, criterion_main, Criterion};
+use incremental::{IncrementalView, RefreshOptions};
+use pdb::DeltaBatch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safeplan::{build_plan, optimize, query_probability};
+use std::cell::RefCell;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Gates + per-round medians, shared with `report -- incremental`.
+    let m = measure_incremental(20_000, 4, 5, 11);
+    assert!(m.tuples >= 100_000, "{}", m.tuples);
+
+    // Standalone criterion loops over a live database: each refresh
+    // iteration applies one fresh 1k-update churn batch and replays it.
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut voc = cq::Vocabulary::new();
+    let q = cq::parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+    let r = voc.find_relation("R").unwrap();
+    let s = voc.find_relation("S").unwrap();
+    let plan = optimize(&build_plan(&q).unwrap());
+    let mut db = pdb::ProbDb::new(voc);
+    let mut load = DeltaBatch::new();
+    for i in 0..20_000u64 {
+        load.insert(r, vec![cq::Value(i)], rng.gen_range(0.02..0.2));
+        for j in 0..4 {
+            load.insert(
+                s,
+                vec![cq::Value(i), cq::Value(20_000 + i * 4 + j)],
+                rng.gen_range(0.02..0.3),
+            );
+        }
+    }
+    db.apply(&load);
+    let view = IncrementalView::new(&db, &plan).unwrap();
+    let live = RefCell::new((db, view, rng));
+
+    let mut group = c.benchmark_group("incremental_refresh");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("full/reexec", |b| {
+        b.iter(|| {
+            let state = live.borrow();
+            query_probability(&state.0, &plan)
+        })
+    });
+    group.bench_function("view/apply+refresh", |b| {
+        b.iter(|| {
+            let mut state = live.borrow_mut();
+            let (db, view, rng) = &mut *state;
+            let mut churn = DeltaBatch::new();
+            for _ in 0..1_000 {
+                let root = rng.gen_range(0..20_000u64);
+                churn.update(r, vec![cq::Value(root)], rng.gen_range(0.02..0.2));
+            }
+            db.apply(&churn);
+            view.refresh(db, RefreshOptions::serial());
+            view.probability()
+        })
+    });
+    group.finish();
+
+    println!(
+        "\nincremental_refresh: {} tuples, {} ops/round over {} rounds:",
+        m.tuples, m.churn_per_round, m.rounds
+    );
+    println!(
+        "  full re-execution : {:.3} ms / round",
+        m.full_reexec_s * 1e3
+    );
+    println!(
+        "  incremental refresh: {:.3} ms / round  ({:.1}x)",
+        m.refresh_s * 1e3,
+        m.speedup()
+    );
+    println!(
+        "  rows re-touched {} vs avoided {}",
+        m.rows_retouched, m.rows_avoided
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

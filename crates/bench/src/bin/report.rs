@@ -7,8 +7,8 @@
 //! ```
 
 use bench_harness::{
-    deep_workload, h0_workload, loglog_slope, measure_columnar, selfjoin_workload, star_workload,
-    time,
+    deep_workload, h0_workload, loglog_slope, measure_columnar, measure_incremental,
+    selfjoin_workload, star_workload, time,
 };
 use cq::{parse_query, Query, Vocabulary};
 use dichotomy::engine::{Engine, Strategy};
@@ -35,6 +35,7 @@ fn main() {
         "counting" => counting(),
         "multisim" => multisim(),
         "columnar" => columnar(smoke),
+        "incremental" => incremental(smoke),
         "all" => {
             table1();
             mystiq();
@@ -47,11 +48,12 @@ fn main() {
             counting();
             multisim();
             columnar(smoke);
+            incremental(smoke);
         }
         other => {
             eprintln!("unknown report: {other}");
             eprintln!(
-                "available: table1 mystiq scaling hardness blowup mc ablation plans counting multisim columnar all (columnar takes --smoke)"
+                "available: table1 mystiq scaling hardness blowup mc ablation plans counting multisim columnar incremental all (columnar/incremental take --smoke)"
             );
             std::process::exit(2);
         }
@@ -119,6 +121,68 @@ fn columnar(smoke: bool) {
     );
     std::fs::write("BENCH_columnar.json", &json).expect("write BENCH_columnar.json");
     println!("-> wrote BENCH_columnar.json");
+}
+
+/// Incremental view refresh vs full re-execution on the star workload
+/// under 1% churn per round, with the measurement also emitted as
+/// machine-readable `BENCH_incremental.json`. `--smoke` shrinks the
+/// workload for CI: same bit-for-bit gates and JSON shape.
+fn incremental(smoke: bool) {
+    header("incremental views: delta refresh vs full re-execution (1% churn)");
+    let roots: u64 = if smoke { 2_000 } else { 20_000 };
+    let rounds = if smoke { 3 } else { 5 };
+    // Bit-for-bit gates (refresh == cold execution every round) and the
+    // timing rounds are shared with the `incremental_refresh` bench via
+    // `measure_incremental`.
+    let m = measure_incremental(roots, 4, rounds, 11);
+
+    println!(
+        "workload: star, {} roots x fanout {} = {} tuples, {} ops/round ({} rounds){}",
+        m.roots,
+        m.fanout,
+        m.tuples,
+        m.churn_per_round,
+        m.rounds,
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "  full re-execution : {:>9.3} ms / round",
+        m.full_reexec_s * 1e3
+    );
+    println!(
+        "  incremental refresh: {:>9.3} ms / round   speedup {:.1}x",
+        m.refresh_s * 1e3,
+        m.speedup()
+    );
+    println!(
+        "  rows re-touched: {}  avoided: {}  groups refolded: {}",
+        m.rows_retouched, m.rows_avoided, m.groups_refolded
+    );
+    println!("  (hardware threads available: {})", m.hardware_threads);
+
+    let json = format!(
+        "{{\n  \"workload\": \"star\",\n  \"roots\": {roots},\n  \"fanout\": {fanout},\n  \
+         \"tuples\": {tuples},\n  \"smoke\": {smoke},\n  \"rounds\": {rounds},\n  \
+         \"churn_per_round\": {churn},\n  \"hardware_threads\": {hw},\n  \
+         \"full_reexec_s\": {t_full:.9},\n  \"refresh_s\": {t_ref:.9},\n  \
+         \"speedup\": {su:.3},\n  \"rows_retouched\": {touched},\n  \
+         \"rows_avoided\": {avoided},\n  \"groups_refolded\": {groups},\n  \
+         \"bit_for_bit_agreement\": true\n}}\n",
+        roots = m.roots,
+        fanout = m.fanout,
+        tuples = m.tuples,
+        rounds = m.rounds,
+        churn = m.churn_per_round,
+        hw = m.hardware_threads,
+        t_full = m.full_reexec_s,
+        t_ref = m.refresh_s,
+        su = m.speedup(),
+        touched = m.rows_retouched,
+        avoided = m.rows_avoided,
+        groups = m.groups_refolded,
+    );
+    std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+    println!("-> wrote BENCH_incremental.json");
 }
 
 /// E1 + E2 + E3: the classification table over the full paper catalog

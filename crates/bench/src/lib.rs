@@ -191,6 +191,139 @@ pub fn measure_columnar(roots: u64, fanout: u64, seed: u64, runs: usize) -> Colu
     }
 }
 
+/// One incremental-refresh vs full-re-execution comparison on the star
+/// workload under churn — the shared substance of the `incremental_refresh`
+/// bench and `report -- incremental` (which serializes it to
+/// `BENCH_incremental.json`), so the gates and configurations cannot drift.
+#[derive(Clone, Copy, Debug)]
+pub struct IncrementalMeasurement {
+    pub roots: u64,
+    pub fanout: u64,
+    pub tuples: usize,
+    pub rounds: usize,
+    /// Tuple-level operations per round (~1% of the database).
+    pub churn_per_round: usize,
+    pub hardware_threads: usize,
+    /// Median seconds per round.
+    pub full_reexec_s: f64,
+    pub refresh_s: f64,
+    /// View counters accumulated over all rounds.
+    pub rows_retouched: u64,
+    pub rows_avoided: u64,
+    pub groups_refolded: u64,
+}
+
+impl IncrementalMeasurement {
+    pub fn speedup(&self) -> f64 {
+        self.full_reexec_s / self.refresh_s
+    }
+}
+
+/// Build the `roots × fanout` star workload through the delta log,
+/// subscribe an incremental view, then run `rounds` rounds of ~1% churn
+/// (probability updates, fresh inserts, and deletes of existing tuples).
+/// Every round asserts the refreshed probability is **bit-for-bit** the
+/// cold columnar execution's, and times refresh vs full re-execution
+/// (median over rounds).
+///
+/// # Panics
+/// If any round's refreshed probability diverges from cold execution.
+pub fn measure_incremental(
+    roots: u64,
+    fanout: u64,
+    rounds: usize,
+    seed: u64,
+) -> IncrementalMeasurement {
+    use incremental::{IncrementalView, RefreshOptions};
+    use pdb::DeltaBatch;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut voc = Vocabulary::new();
+    let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+    let r = voc.find_relation("R").unwrap();
+    let s = voc.find_relation("S").unwrap();
+    let plan = safeplan::optimize(&safeplan::build_plan(&q).unwrap());
+    let mut db = ProbDb::new(voc);
+    let mut load = DeltaBatch::new();
+    for i in 0..roots {
+        load.insert(r, vec![Value(i)], rng.gen_range(0.02..0.2));
+        for j in 0..fanout {
+            load.insert(
+                s,
+                vec![Value(i), Value(roots + i * fanout + j)],
+                rng.gen_range(0.02..0.3),
+            );
+        }
+    }
+    db.apply(&load);
+    let tuples = db.num_tuples();
+    let churn = (tuples / 100).max(1);
+
+    let mut view = IncrementalView::new(&db, &plan).unwrap();
+    let mut next_y = roots * (fanout + 1) + 1; // fresh S children
+    let mut refresh_times: Vec<f64> = Vec::with_capacity(rounds);
+    let mut full_times: Vec<f64> = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let mut batch = DeltaBatch::new();
+        for c in 0..churn {
+            match c % 10 {
+                // 10% fresh inserts under a random existing root.
+                0 => {
+                    let root = rng.gen_range(0..roots);
+                    batch.insert(
+                        s,
+                        vec![Value(root), Value(next_y)],
+                        rng.gen_range(0.02..0.3),
+                    );
+                    next_y += 1;
+                }
+                // 10% deletes of random live S tuples.
+                5 => {
+                    let ids = db.tuples_of(s);
+                    let id = ids[rng.gen_range(0..ids.len())];
+                    batch.delete(s, db.tuple(id).args.clone());
+                }
+                // 80% probability updates (R and S, the canonical
+                // probabilistic-DB churn: extractor confidences drift).
+                k => {
+                    let rel = if k < 3 { r } else { s };
+                    let ids = db.tuples_of(rel);
+                    let id = ids[rng.gen_range(0..ids.len())];
+                    batch.update(rel, db.tuple(id).args.clone(), rng.gen_range(0.02..0.3));
+                }
+            }
+        }
+        db.apply(&batch);
+        let (t_refresh, _) = time(|| view.refresh(&db, RefreshOptions::serial()));
+        refresh_times.push(t_refresh);
+        let (t_full, p_cold) = time(|| safeplan::query_probability(&db, &plan));
+        full_times.push(t_full);
+        assert_eq!(
+            view.probability().to_bits(),
+            p_cold.to_bits(),
+            "round {round}: refresh must be bit-for-bit a cold execution"
+        );
+    }
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    let counters = view.counters();
+    IncrementalMeasurement {
+        roots,
+        fanout,
+        tuples,
+        rounds,
+        churn_per_round: churn,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        full_reexec_s: median(full_times),
+        refresh_s: median(refresh_times),
+        rows_retouched: counters.rows_retouched,
+        rows_avoided: counters.rows_avoided,
+        groups_refolded: counters.groups_refolded,
+    }
+}
+
 /// Least-squares slope of `log(y)` against `log(x)` — the polynomial degree
 /// estimate for scaling figures.
 pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {

@@ -30,12 +30,13 @@
 
 use crate::classify::{Classification, ClassifyError};
 use crate::plan::{Executor, PhysicalPlan};
-use crate::planner::{Planner, PlannerStats};
+use crate::planner::{PlannedQuery, Planner, PlannerStats};
 use cq::Query;
 use exec_parallel::ExecStats;
+use incremental::{IncrementalView, RefreshCounters, RefreshOptions};
 use pdb::ProbDb;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 pub use crate::plan::Method;
@@ -112,6 +113,11 @@ pub struct Evaluation {
     /// data plane (scans vs index scans, rows pruned by constant
     /// pushdown, join build sides, groups). Thread-count invariant.
     pub extensional: Option<safeplan::OpCounters>,
+    /// Refresh counters when this evaluation was served by an incremental
+    /// view ([`Engine::subscribe`]): rows re-touched by delta propagation
+    /// vs rows a full re-execution would have recomputed. `None` for
+    /// plain (re-)executions.
+    pub incremental: Option<RefreshCounters>,
 }
 
 /// Engine errors.
@@ -276,6 +282,38 @@ impl Engine {
             cache_hit,
             parallel: outcome.parallel,
             extensional: outcome.extensional,
+            incremental: None,
+        })
+    }
+
+    /// Subscribe to `q` over `db`: plan through the shared cache, then pin
+    /// the plan together with per-operator materialized state as an
+    /// incremental view. The returned handle has **refresh-on-read**
+    /// semantics — [`ViewHandle::read`] replays whatever delta batches were
+    /// applied since the last read and serves the refreshed answer, so a
+    /// reader can never observe a stale probability.
+    ///
+    /// Plans the incremental subsystem cannot maintain (non-extensional
+    /// substrates, complement scans) degrade to version-checked
+    /// re-execution behind the same handle: every read still reflects the
+    /// database's current version, just without delta savings.
+    pub fn subscribe(&self, db: &ProbDb, q: &Query) -> Result<ViewHandle, EngineError> {
+        let (planned, _) = self
+            .planner
+            .plan_tracked(q)
+            .map_err(EngineError::Classify)?;
+        let inner = match &planned.plan {
+            PhysicalPlan::Extensional { plan } => match IncrementalView::new(db, plan) {
+                Ok(view) => ViewInner::Incremental(Box::new(view)),
+                Err(_) => ViewInner::Reexec { cached: None },
+            },
+            _ => ViewInner::Reexec { cached: None },
+        };
+        Ok(ViewHandle {
+            planned,
+            seed: self.seed,
+            exec: self.exec,
+            inner: Mutex::new(inner),
         })
     }
 
@@ -297,6 +335,138 @@ impl Engine {
                 pdb::exact_query_probability(db, probs, q),
                 Method::ExactLineage,
             ),
+        }
+    }
+}
+
+/// How a [`ViewHandle`] stays current.
+enum ViewInner {
+    /// Delta-driven: materialized operator state refreshed from the
+    /// database's delta log.
+    Incremental(Box<IncrementalView>),
+    /// Fallback: re-execute when the version moved; `cached` remembers the
+    /// last outcome and the version it was computed at.
+    Reexec {
+        cached: Option<(u64, crate::plan::ExecOutcome)>,
+    },
+}
+
+/// A subscription to one query: the cached plan pinned together with
+/// whatever state keeps reads cheap. Obtained from [`Engine::subscribe`];
+/// thread-safe (reads serialize on an internal lock).
+pub struct ViewHandle {
+    planned: Arc<PlannedQuery>,
+    seed: u64,
+    exec: ExecOptions,
+    inner: Mutex<ViewInner>,
+}
+
+/// One [`ViewHandle::read`]: the refreshed evaluation plus the version
+/// stamp it reflects.
+#[derive(Clone, Debug)]
+pub struct ViewReading {
+    /// The evaluation, with [`Evaluation::incremental`] carrying this
+    /// read's refresh counters when the view is delta-maintained.
+    pub evaluation: Evaluation,
+    /// The database version this reading reflects — always the database's
+    /// current version at read time (the stale-read guard tests pin this).
+    pub version: u64,
+    /// Did this read have to refresh (replay deltas or re-execute)?
+    pub refreshed: bool,
+}
+
+impl fmt::Debug for ViewHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ViewHandle")
+            .field("plan", &self.planned.plan.method())
+            .finish()
+    }
+}
+
+impl ViewHandle {
+    /// The compiled plan behind the view.
+    pub fn plan(&self) -> &PhysicalPlan {
+        &self.planned.plan
+    }
+
+    /// Is the view delta-maintained (as opposed to re-executing on
+    /// version changes)?
+    pub fn is_incremental(&self) -> bool {
+        matches!(
+            &*self.inner.lock().expect("view poisoned"),
+            ViewInner::Incremental(_)
+        )
+    }
+
+    /// Lifetime refresh counters of a delta-maintained view.
+    pub fn counters(&self) -> Option<RefreshCounters> {
+        match &*self.inner.lock().expect("view poisoned") {
+            ViewInner::Incremental(view) => Some(view.counters()),
+            ViewInner::Reexec { .. } => None,
+        }
+    }
+
+    /// Refresh-on-read: bring the view up to `db`'s current version (no-op
+    /// when nothing changed), then serve the answer. The refreshed
+    /// probability is bit-for-bit what a cold execution of the cached plan
+    /// returns against the current database.
+    pub fn read(&self, db: &ProbDb) -> Result<ViewReading, EngineError> {
+        let start = Instant::now();
+        let mut inner = self.inner.lock().expect("view poisoned");
+        match &mut *inner {
+            ViewInner::Incremental(view) => {
+                let refreshed = view.synced_version() != db.version();
+                let counters = view.refresh(db, RefreshOptions::with_threads(self.exec.threads));
+                let execution = start.elapsed();
+                Ok(ViewReading {
+                    evaluation: Evaluation {
+                        probability: view.probability(),
+                        method: Method::Extensional,
+                        classification: Some(Arc::clone(&self.planned.classification)),
+                        std_error: 0.0,
+                        planning: Duration::ZERO,
+                        execution,
+                        wall_time: execution,
+                        cache_hit: !refreshed,
+                        parallel: None,
+                        extensional: None,
+                        incremental: Some(counters),
+                    },
+                    version: db.version(),
+                    refreshed,
+                })
+            }
+            ViewInner::Reexec { cached } => {
+                let version = db.version();
+                let (refreshed, outcome) = match cached {
+                    Some((v, outcome)) if *v == version => (false, outcome.clone()),
+                    _ => {
+                        let outcome = Executor::with_threads(self.seed, self.exec.threads)
+                            .execute(db, &self.planned.plan)
+                            .map_err(EngineError::Eval)?;
+                        *cached = Some((version, outcome.clone()));
+                        (true, outcome)
+                    }
+                };
+                let execution = start.elapsed();
+                Ok(ViewReading {
+                    evaluation: Evaluation {
+                        probability: outcome.probability,
+                        method: outcome.method,
+                        classification: Some(Arc::clone(&self.planned.classification)),
+                        std_error: outcome.std_error,
+                        planning: Duration::ZERO,
+                        execution,
+                        wall_time: execution,
+                        cache_hit: !refreshed,
+                        parallel: outcome.parallel,
+                        extensional: outcome.extensional,
+                        incremental: None,
+                    },
+                    version,
+                    refreshed,
+                })
+            }
         }
     }
 }
@@ -481,6 +651,77 @@ mod tests {
             "estimate {} vs exact {bf}",
             a.probability
         );
+    }
+
+    #[test]
+    fn subscribed_view_refreshes_on_read() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        let mut seed = pdb::DeltaBatch::new();
+        for i in 0..5u64 {
+            seed.insert(r, vec![Value(i)], 0.3)
+                .insert(s, vec![Value(i), Value(100 + i)], 0.5);
+        }
+        db.apply(&seed);
+        let engine = Engine::new();
+        let view = engine.subscribe(&db, &q).unwrap();
+        assert!(view.is_incremental());
+        let first = view.read(&db).unwrap();
+        assert!(!first.refreshed, "freshly built view is already synced");
+        assert_eq!(first.version, db.version());
+        // Mutate through the log: the next read must reflect it, bit-for-
+        // bit with a cold evaluation of the same (cached) plan.
+        let mut batch = pdb::DeltaBatch::new();
+        batch
+            .update(r, vec![Value(0)], 0.9)
+            .delete(s, vec![Value(1), Value(101)])
+            .insert(s, vec![Value(2), Value(777)], 0.25);
+        db.apply(&batch);
+        let second = view.read(&db).unwrap();
+        assert!(second.refreshed);
+        assert_eq!(second.version, db.version());
+        let cold = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert_eq!(
+            second.evaluation.probability.to_bits(),
+            cold.probability.to_bits(),
+            "refresh must be bit-for-bit a cold execution"
+        );
+        let counters = second.evaluation.incremental.expect("incremental view");
+        assert!(counters.rows_retouched > 0);
+        assert_eq!(counters.incremental_refreshes, 1);
+        // Third read without mutation: served from state, no refresh.
+        let third = view.read(&db).unwrap();
+        assert!(!third.refreshed);
+        assert!(third.evaluation.cache_hit);
+    }
+
+    #[test]
+    fn subscribed_view_falls_back_to_reexecution_for_unsupported_plans() {
+        // Hard query: Karp–Luby plan, no delta maintenance — the handle
+        // re-executes when the version moves and caches otherwise.
+        let (mut db, q) = setup("R(x), S(x,y), S(x2,y2), T(y2)", 3);
+        let engine = Engine::with_samples_and_seed(5_000, 7);
+        let view = engine.subscribe(&db, &q).unwrap();
+        assert!(!view.is_incremental());
+        assert!(view.counters().is_none());
+        let first = view.read(&db).unwrap();
+        assert!(first.refreshed, "first read executes");
+        let again = view.read(&db).unwrap();
+        assert!(!again.refreshed, "unchanged version served from cache");
+        assert_eq!(
+            again.evaluation.probability.to_bits(),
+            first.evaluation.probability.to_bits()
+        );
+        let rel = db.voc.find_relation("R").unwrap();
+        let mut batch = pdb::DeltaBatch::new();
+        batch.insert(rel, vec![Value(9_999)], 0.5);
+        db.apply(&batch);
+        let refreshed = view.read(&db).unwrap();
+        assert!(refreshed.refreshed, "version moved: must re-execute");
+        assert_eq!(refreshed.version, db.version());
     }
 
     #[test]

@@ -55,6 +55,21 @@ pub fn explain_evaluation(ev: &Evaluation) -> String {
             ops.joins, ops.joins_build_left, ops.groups
         );
     }
+    if let Some(inc) = &ev.incremental {
+        if inc.full_rebuilds > 0 {
+            let _ = writeln!(
+                out,
+                "incremental: full rebuild ({} rows re-materialized; view fell behind the delta log)",
+                inc.rows_retouched
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "incremental: {} row(s) re-touched, {} avoided ({} group(s) refolded, {} batch(es) replayed)",
+                inc.rows_retouched, inc.rows_avoided, inc.groups_refolded, inc.batches_replayed
+            );
+        }
+    }
     if let Some(par) = &ev.parallel {
         let _ = writeln!(
             out,

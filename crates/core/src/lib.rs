@@ -77,11 +77,12 @@ pub use coverage::{
     rooted_coverage, strict_coverage, strict_coverage_with, Coverage, CoverageError,
     CoverageOptions,
 };
-pub use engine::{Engine, Evaluation, ExecOptions, Method};
+pub use engine::{Engine, Evaluation, ExecOptions, Method, ViewHandle, ViewReading};
 pub use exact_recurrence::{count_substructures_recurrence, eval_recurrence_exact};
 pub use exec_parallel::{ExecStats, ThreadStats};
 pub use explain::{explain, explain_evaluation};
 pub use hierarchy::{check_hierarchical, is_hierarchical};
+pub use incremental::{RefreshCounters, RefreshOptions};
 pub use inversion::{find_inversion, InversionWitness};
 pub use multisim::{multisim_top_k, MultiSimAnswer, MultiSimConfig, MultiSimResult};
 pub use plan::{ExecOutcome, Executor, PhysicalPlan};

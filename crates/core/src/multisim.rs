@@ -12,8 +12,15 @@
 //! all candidates, so when the procedure reports convergence the returned
 //! set is the true top-k with probability at least `1 − delta` (under the
 //! usual i.i.d.-sampling caveats).
+//!
+//! Sampling is **candidate-parallel**: every candidate owns its own RNG
+//! stream, seed-split from the master seed at creation, so each round's
+//! batches fan out over the morsel-driven worker pool with estimates that
+//! are *byte-identical for a fixed seed at every thread count* — worker
+//! scheduling never reaches the numbers.
 
 use cq::{Query, Value, Var};
+use exec_parallel::Pool;
 use lineage::{Dnf, McScratch};
 use pdb::{lineages_by_head, ProbDb};
 use rand::rngs::StdRng;
@@ -31,6 +38,10 @@ pub struct MultiSimConfig {
     pub max_samples_per_candidate: u64,
     /// RNG seed (reproducible runs).
     pub seed: u64,
+    /// Worker threads for candidate sampling (1 = serial). Candidates draw
+    /// from per-candidate seed-split streams, so estimates are
+    /// byte-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for MultiSimConfig {
@@ -40,6 +51,7 @@ impl Default for MultiSimConfig {
             delta: 0.05,
             max_samples_per_candidate: 1 << 20,
             seed: 0x7075,
+            threads: 1,
         }
     }
 }
@@ -74,6 +86,12 @@ pub struct MultiSimResult {
 struct Candidate {
     tuple: Vec<Value>,
     dnf: Dnf,
+    /// The lineage's variables, hoisted out of the sampling loop.
+    vars: Vec<u32>,
+    /// This candidate's own RNG stream (seed-split from the master seed),
+    /// which is what makes sampling order — and thread count — irrelevant
+    /// to the estimates.
+    rng: StdRng,
     hits: u64,
     samples: u64,
     /// Constant-probability shortcut for trivially true/false lineages.
@@ -128,17 +146,21 @@ pub fn multisim_top_k(
         );
     }
     let probs = db.prob_vector();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    // One world bitmap reused across every sample of every candidate
-    // (sampling used to allocate a fresh world per draw).
-    let mut scratch = McScratch::new();
 
     // Candidates and their lineages, extracted in one shared pass over the
     // valuations (earlier revisions re-enumerated the join once per
     // candidate).
-    let mut cands: Vec<Candidate> = lineages_by_head(db, q, head)
+    let lineages = lineages_by_head(db, q, head);
+    // One RNG stream per candidate, split off the master seed. A
+    // candidate's draws depend only on (seed, its index, its own batch
+    // history) — not on which other candidates sampled or on the worker
+    // pool's schedule.
+    let mut master = StdRng::seed_from_u64(config.seed);
+    let streams = master.split(lineages.len());
+    let mut cands: Vec<Candidate> = lineages
         .into_iter()
-        .map(|(tuple, dnf)| {
+        .zip(streams)
+        .map(|((tuple, dnf), rng)| {
             let fixed = if dnf.is_false() {
                 Some(0.0)
             } else if dnf.is_true() {
@@ -146,9 +168,12 @@ pub fn multisim_top_k(
             } else {
                 None
             };
+            let vars: Vec<u32> = dnf.vars().into_iter().collect();
             Candidate {
                 tuple,
                 dnf,
+                vars,
+                rng,
                 hits: 0,
                 samples: 0,
                 fixed,
@@ -162,6 +187,9 @@ pub fn multisim_top_k(
     let delta_each = if m == 0 { 1.0 } else { config.delta / m as f64 };
     let mut converged = m <= k;
 
+    // One world bitmap reused across every serial sample of every
+    // candidate; parallel workers carry their own.
+    let mut scratch = McScratch::new();
     if m > k {
         loop {
             // Tentative top-k by estimate.
@@ -206,10 +234,52 @@ pub fn multisim_top_k(
                 converged = false;
                 break;
             }
-            for i in samplable {
-                let c = &mut cands[i];
-                c.hits += sample_batch(&c.dnf, &probs, &mut rng, config.batch, &mut scratch);
-                c.samples += config.batch;
+            // Fan the round's batches over the worker pool, one candidate
+            // per work item: each worker samples with a clone of the
+            // candidate's stream (and its own scratch world) and hands the
+            // advanced state back — byte-identical to the serial loop.
+            if config.threads > 1 {
+                let cands_ref = &cands;
+                let samplable_ref = &samplable;
+                let pool = Pool::with_grain(config.threads, 1);
+                let results: Vec<Vec<(usize, u64, StdRng)>> =
+                    pool.map_morsels(samplable.len(), |r| {
+                        let mut scratch = McScratch::new();
+                        let mut out = Vec::with_capacity(r.len());
+                        for si in r {
+                            let c = &cands_ref[samplable_ref[si]];
+                            let mut rng = c.rng.clone();
+                            let hits = sample_batch(
+                                &c.dnf,
+                                &c.vars,
+                                &probs,
+                                &mut rng,
+                                config.batch,
+                                &mut scratch,
+                            );
+                            out.push((samplable_ref[si], hits, rng));
+                        }
+                        out
+                    });
+                for (i, hits, rng) in results.into_iter().flatten() {
+                    let c = &mut cands[i];
+                    c.hits += hits;
+                    c.samples += config.batch;
+                    c.rng = rng;
+                }
+            } else {
+                for i in samplable {
+                    let c = &mut cands[i];
+                    c.hits += sample_batch(
+                        &c.dnf,
+                        &c.vars,
+                        &probs,
+                        &mut c.rng,
+                        config.batch,
+                        &mut scratch,
+                    );
+                    c.samples += config.batch;
+                }
             }
         }
     }
@@ -243,22 +313,22 @@ pub fn multisim_top_k(
 }
 
 /// Draw `batch` worlds for one candidate's lineage and count the
-/// satisfying ones. Samples only the variables the lineage mentions (the
-/// same ascending order — and hence RNG stream — as the per-sample loop it
-/// replaces); the scratch world is cleared once per batch and the sampled
-/// positions are overwritten on every draw.
+/// satisfying ones. Samples only the variables the lineage mentions (in
+/// ascending order, from the candidate's own stream); the scratch world is
+/// cleared once per batch and the sampled positions are overwritten on
+/// every draw.
 fn sample_batch(
     dnf: &Dnf,
+    vars: &[u32],
     probs: &[f64],
     rng: &mut StdRng,
     batch: u64,
     scratch: &mut McScratch,
 ) -> u64 {
-    let vars: Vec<u32> = dnf.vars().into_iter().collect();
     let world = scratch.world(probs.len().max(dnf.num_vars()));
     let mut hits = 0;
     for _ in 0..batch {
-        for &v in &vars {
+        for &v in vars {
             world[v as usize] = rng.gen_bool(probs[v as usize]);
         }
         if dnf.satisfied_by(world) {
@@ -342,6 +412,51 @@ mod tests {
             "expected adaptive allocation; loser spent {} of max {max}",
             loser.samples
         );
+    }
+
+    /// The satellite invariant: candidate-parallel sampling draws from
+    /// per-candidate seed-split streams, so for a fixed seed the estimates
+    /// — every point estimate, interval bound, and sample count — are
+    /// byte-identical at every thread count.
+    #[test]
+    fn parallel_sampling_is_byte_identical_across_thread_counts() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "Director(d), Credit(d,m)").unwrap();
+        let d = q.vars()[0];
+        let director = voc.find_relation("Director").unwrap();
+        let credit = voc.find_relation("Credit").unwrap();
+        let mut db = ProbDb::new(voc);
+        // A crowded field with close pairs: several rounds of sampling
+        // with a changing critical set.
+        for i in 0..8u64 {
+            db.insert(director, vec![Value(i)], 0.2 + 0.08 * i as f64);
+            db.insert(credit, vec![Value(i), Value(100 + i)], 0.9);
+            db.insert(credit, vec![Value(i), Value(200 + i)], 0.5);
+        }
+        let run = |threads: usize| {
+            let config = MultiSimConfig {
+                batch: 128,
+                max_samples_per_candidate: 1 << 14,
+                threads,
+                ..Default::default()
+            };
+            multisim_top_k(&db, &q, &[d], 3, config)
+        };
+        let serial = run(1);
+        assert!(serial.total_samples > 0, "sampling must actually happen");
+        for threads in [2, 4, 8] {
+            let par = run(threads);
+            assert_eq!(par.converged, serial.converged, "threads {threads}");
+            assert_eq!(par.total_samples, serial.total_samples);
+            assert_eq!(par.all.len(), serial.all.len());
+            for (a, b) in par.all.iter().zip(&serial.all) {
+                assert_eq!(a.tuple, b.tuple, "threads {threads}");
+                assert_eq!(a.samples, b.samples);
+                assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+                assert_eq!(a.low.to_bits(), b.low.to_bits());
+                assert_eq!(a.high.to_bits(), b.high.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Tuple-level deltas: the change language of the incremental subsystem.
+//!
+//! A [`DeltaBatch`] describes one atomic mutation of a [`ProbDb`](crate::ProbDb)
+//! — tuple inserts, deletes, and probability updates. Applying a batch
+//! ([`crate::ProbDb::apply`]) bumps the database's monotonically increasing
+//! **version stamp** and appends an [`AppliedDelta`] — the batch resolved to
+//! [`TupleId`]-level [`TupleChange`]s — to the database's bounded delta log.
+//! Incremental views replay that log to catch up from their last synced
+//! version without rescanning the database; a view that has fallen behind
+//! the log's retention window (or that raced an out-of-band mutation, which
+//! invalidates the log) rebuilds from scratch instead — slower, never wrong.
+
+use crate::database::TupleId;
+use cq::{RelId, Value};
+
+/// One tuple-level mutation, addressed by content (relation + arguments),
+/// the way clients see tuples.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaOp {
+    /// Insert a tuple with probability `prob`. Inserting content that is
+    /// already present overwrites its probability (recorded as an update).
+    Insert {
+        rel: RelId,
+        args: Vec<Value>,
+        prob: f64,
+    },
+    /// Delete a tuple by content. Deleting an absent tuple is a no-op.
+    Delete { rel: RelId, args: Vec<Value> },
+    /// Set the probability of a tuple by content. Updating an absent tuple
+    /// inserts it (upsert — same semantics as `Insert`).
+    Update {
+        rel: RelId,
+        args: Vec<Value>,
+        prob: f64,
+    },
+}
+
+/// An ordered batch of mutations applied atomically under one version stamp.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeltaBatch {
+    pub ops: Vec<DeltaOp>,
+}
+
+impl DeltaBatch {
+    pub fn new() -> Self {
+        DeltaBatch { ops: Vec::new() }
+    }
+
+    pub fn insert(&mut self, rel: RelId, args: Vec<Value>, prob: f64) -> &mut Self {
+        self.ops.push(DeltaOp::Insert { rel, args, prob });
+        self
+    }
+
+    pub fn delete(&mut self, rel: RelId, args: Vec<Value>) -> &mut Self {
+        self.ops.push(DeltaOp::Delete { rel, args });
+        self
+    }
+
+    pub fn update(&mut self, rel: RelId, args: Vec<Value>, prob: f64) -> &mut Self {
+        self.ops.push(DeltaOp::Update { rel, args, prob });
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// What happened to one tuple, resolved to its [`TupleId`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChangeKind {
+    /// A fresh tuple id was allocated (new content).
+    Inserted,
+    /// The tuple became a tombstone: its id stays allocated (so ids never
+    /// shift) but every index forgot it and its probability is 0.
+    Deleted { old_prob: f64 },
+    /// The probability changed in place; indexes are untouched.
+    Updated { old_prob: f64, new_prob: f64 },
+}
+
+/// One tuple-level change of an applied batch, in application order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TupleChange {
+    pub id: TupleId,
+    pub rel: RelId,
+    pub kind: ChangeKind,
+}
+
+/// A batch resolved to tuple-level changes, stamped with the database
+/// version it produced — the delta log's entry type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppliedDelta {
+    /// The database version *after* this batch.
+    pub version: u64,
+    /// Tuple-level changes in application order. No-op operations (deleting
+    /// an absent tuple, re-writing an identical probability) are omitted.
+    pub changes: Vec<TupleChange>,
+}

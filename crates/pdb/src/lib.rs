@@ -24,6 +24,7 @@
 pub mod bid;
 pub mod bid_exact;
 pub mod database;
+pub mod delta;
 pub mod eval;
 pub mod exact;
 pub mod generators;
@@ -32,11 +33,14 @@ pub mod text;
 pub mod worlds;
 
 pub use bid::{BidDb, Block};
-pub use database::{ProbDb, ProbTuple, TupleId};
+pub use database::{ProbDb, ProbTuple, TupleId, MAX_DELTA_LOG};
+pub use delta::{AppliedDelta, ChangeKind, DeltaBatch, DeltaOp, TupleChange};
 pub use eval::{all_valuations, satisfies, Valuation};
 pub use exact::{
     brute_force_probability_exact, count_satisfying_worlds_exact, exact_query_probability, RatProbs,
 };
 pub use lineage_ext::{lineage_of, lineages_by_head};
-pub use text::{dump_db, dump_db_exact, load_db, load_db_exact, parse_rational};
+pub use text::{
+    dump_db, dump_db_exact, load_db, load_db_exact, parse_delta_batches, parse_rational,
+};
 pub use worlds::{brute_force_probability, count_satisfying_worlds, WorldIter};

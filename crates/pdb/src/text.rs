@@ -95,6 +95,122 @@ pub fn load_db(voc: &mut Vocabulary, text: &str) -> Result<ProbDb, TextError> {
     Ok(db)
 }
 
+/// Parse a delta script: one mutation per line, blank lines separating
+/// [`DeltaBatch`]es (each batch applies atomically under one version
+/// stamp). `#` comments are ignored.
+///
+/// ```text
+/// + R(1, 2) @ 0.5     # insert
+/// ~ R(1, 2) @ 0.9     # probability update (upsert)
+///
+/// - R(1, 2)           # delete — second batch
+/// ```
+pub fn parse_delta_batches(
+    voc: &mut Vocabulary,
+    text: &str,
+) -> Result<Vec<crate::DeltaBatch>, TextError> {
+    use crate::{DeltaBatch, DeltaOp};
+    let mut batches: Vec<DeltaBatch> = Vec::new();
+    let mut cur = DeltaBatch::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            if !cur.is_empty() {
+                batches.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        let op = line.chars().next().expect("line is non-empty");
+        let rest = line[op.len_utf8()..].trim();
+        let (head, prob_text) = match rest.split_once('@') {
+            Some((h, p)) => (h.trim(), Some(p.trim())),
+            None => (rest, None),
+        };
+        let q = cq::parse_query(voc, head).map_err(|e| TextError {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+        let atom = match q.atoms.as_slice() {
+            [atom] if q.preds.is_empty() && !atom.negated => atom,
+            _ => {
+                return Err(TextError {
+                    line: lineno,
+                    message: "expected exactly one positive atom per line".into(),
+                })
+            }
+        };
+        let args: Result<Vec<Value>, TextError> = atom
+            .args
+            .iter()
+            .map(|t| {
+                t.as_const().ok_or(TextError {
+                    line: lineno,
+                    message: "tuple arguments must be constants".into(),
+                })
+            })
+            .collect();
+        let args = args?;
+        let prob = |default: Option<f64>| -> Result<f64, TextError> {
+            let text = match (prob_text, default) {
+                (Some(t), _) => t,
+                (None, Some(d)) => return Ok(d),
+                (None, None) => {
+                    return Err(TextError {
+                        line: lineno,
+                        message: "this operation needs `@ prob`".into(),
+                    })
+                }
+            };
+            let p: f64 = text.parse().map_err(|_| TextError {
+                line: lineno,
+                message: format!("invalid probability {text:?}"),
+            })?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(TextError {
+                    line: lineno,
+                    message: format!("probability {p} outside [0,1]"),
+                });
+            }
+            Ok(p)
+        };
+        match op {
+            '+' => cur.ops.push(DeltaOp::Insert {
+                rel: atom.rel,
+                args,
+                prob: prob(Some(1.0))?,
+            }),
+            '~' => cur.ops.push(DeltaOp::Update {
+                rel: atom.rel,
+                args,
+                prob: prob(None)?,
+            }),
+            '-' => {
+                if prob_text.is_some() {
+                    return Err(TextError {
+                        line: lineno,
+                        message: "delete takes no probability".into(),
+                    });
+                }
+                cur.ops.push(DeltaOp::Delete {
+                    rel: atom.rel,
+                    args,
+                });
+            }
+            other => {
+                return Err(TextError {
+                    line: lineno,
+                    message: format!("expected +, -, or ~, got {other:?}"),
+                })
+            }
+        }
+    }
+    if !cur.is_empty() {
+        batches.push(cur);
+    }
+    Ok(batches)
+}
+
 /// Parse a probability written as `n/d` (exact rational), a decimal like
 /// `0.25` (exact: `25/100`), or an integer `0`/`1`. Arbitrary precision —
 /// `1/3` and fifty-digit decimals survive exactly.
@@ -197,7 +313,10 @@ pub fn load_db_exact(voc: &mut Vocabulary, text: &str) -> Result<(ProbDb, RatPro
 /// through [`load_db_exact`]).
 pub fn dump_db_exact(db: &ProbDb, probs: &RatProbs) -> String {
     let mut out = String::new();
-    for (t, p) in db.tuples().iter().zip(probs.as_slice()) {
+    for (i, (t, p)) in db.tuples().iter().zip(probs.as_slice()).enumerate() {
+        if !db.is_live(crate::TupleId(i as u32)) {
+            continue; // tombstones left by deletions are not data
+        }
         let args: Vec<String> = t.args.iter().map(|&v| db.voc.value_name(v)).collect();
         out.push_str(&format!(
             "{}({}) @ {}\n",
@@ -212,7 +331,10 @@ pub fn dump_db_exact(db: &ProbDb, probs: &RatProbs) -> String {
 /// Render a database back to the text format (stable round trip).
 pub fn dump_db(db: &ProbDb) -> String {
     let mut out = String::new();
-    for t in db.tuples() {
+    for (i, t) in db.tuples().iter().enumerate() {
+        if !db.is_live(crate::TupleId(i as u32)) {
+            continue; // tombstones left by deletions are not data
+        }
         let args: Vec<String> = t.args.iter().map(|&v| db.voc.value_name(v)).collect();
         out.push_str(&format!(
             "{}({}) @ {}\n",
@@ -317,5 +439,60 @@ mod tests {
         assert!(load_db(&mut voc, "R(1), S(2) @ 0.5").is_err());
         assert!(load_db(&mut voc, "not R(1) @ 0.5").is_err());
         assert!(load_db(&mut voc, "R(1) @ nope").is_err());
+    }
+
+    #[test]
+    fn delta_batches_parse_and_apply() {
+        use crate::DeltaOp;
+        let mut voc = Vocabulary::new();
+        let db_text = "R(1) @ 0.5\nS(1, 2) @ 0.25\n";
+        let mut db = load_db(&mut voc, db_text).unwrap();
+        let script = "\
+# round one
++ R(2) @ 0.75
+~ S(1, 2) @ 0.9
+
+- R(1)
++ S(2, 'x') @ 0.1
+";
+        let batches = parse_delta_batches(&mut voc, script).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 2);
+        assert!(matches!(batches[0].ops[0], DeltaOp::Insert { prob, .. } if prob == 0.75));
+        assert!(matches!(batches[1].ops[0], DeltaOp::Delete { .. }));
+        db.voc = voc.clone();
+        let v0 = db.version();
+        for b in &batches {
+            db.apply(b);
+        }
+        assert_eq!(db.version(), v0 + 2);
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        assert_eq!(db.prob_of(r, &[Value(1)]), 0.0);
+        assert_eq!(db.prob_of(r, &[Value(2)]), 0.75);
+        assert_eq!(db.prob_of(s, &[Value(1), Value(2)]), 0.9);
+    }
+
+    #[test]
+    fn delta_parse_errors() {
+        let mut voc = Vocabulary::new();
+        assert!(parse_delta_batches(&mut voc, "* R(1) @ 0.5").is_err());
+        // A multi-byte leading character (editor-smartened minus) must be
+        // a parse error with a line number, not a char-boundary panic.
+        assert_eq!(
+            parse_delta_batches(&mut voc, "\u{2212} R(1)")
+                .unwrap_err()
+                .line,
+            1
+        );
+        assert!(parse_delta_batches(&mut voc, "- R(1) @ 0.5").is_err());
+        assert!(parse_delta_batches(&mut voc, "~ R(1)").is_err());
+        assert!(parse_delta_batches(&mut voc, "+ R(x) @ 0.5").is_err());
+        assert_eq!(
+            parse_delta_batches(&mut voc, "+ R(1) @ 2.0")
+                .unwrap_err()
+                .line,
+            1
+        );
     }
 }

@@ -65,4 +65,4 @@ pub use par::{
 // Re-exported so downstream crates and tests can drive the parallel
 // executor without a direct `exec-parallel` dependency.
 pub use exec_parallel::{ExecStats, Pool, ThreadStats};
-pub use relation::ProbRelation;
+pub use relation::{FnvHasher, ProbRelation};

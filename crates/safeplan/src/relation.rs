@@ -287,8 +287,10 @@ pub(crate) fn stitch_columnar<P>(chunks: Vec<(Vec<Value>, Vec<P>)>) -> (Vec<Valu
 /// FNV-1a over raw bytes — the workspace builds offline, so the `HashMap`s
 /// below swap SipHash for this cheap deterministic hasher (keys are
 /// machine-word packs of trusted in-process values, not attacker input).
+/// Public: the incremental view-maintenance crate keys its join-value
+/// indexes and group maps with the same hasher.
 #[derive(Default)]
-pub(crate) struct FnvHasher(u64);
+pub struct FnvHasher(u64);
 
 impl Hasher for FnvHasher {
     fn finish(&self) -> u64 {
@@ -526,7 +528,11 @@ pub(crate) fn group_fold_rows<P: ProbValue>(
         if new {
             none.push(c);
             first_row.push(i);
-        } else {
+        } else if !none[s].is_zero() {
+            // Zero short-circuit: once the running product is exactly
+            // zero it stays zero under every further complement multiply
+            // (complements are non-negative), so skipping changes no bits
+            // — and avoids the subnormal-arithmetic tail on long folds.
             none[s] = none[s].mul(&c);
         }
     }

@@ -11,7 +11,15 @@
 //! probdb rank db.txt "Director(d), Credit(d,m)" x0 [--top K] [--threads N]
 //!                                   # head variables are x0, x1, … in
 //!                                   # first-occurrence order
+//! probdb apply db.txt deltas.txt [-o out.txt]   # apply delta batches
+//! probdb watch db.txt "R(x), S(x,y)" deltas.txt [--threads N]
+//!                                   # subscribe an incremental view, then
+//!                                   # apply each batch and read through it
 //! ```
+//!
+//! Delta scripts hold one mutation per line — `+ R(1,2) @ 0.5` (insert),
+//! `~ R(1,2) @ 0.9` (probability update), `- R(1,2)` (delete) — with blank
+//! lines separating atomically-applied batches.
 //!
 //! `--threads N` runs the morsel-driven parallel executor on N workers
 //! (results are bit-for-bit the serial answers; sampling stays
@@ -32,7 +40,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N]"
+                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N] | apply <db.txt> <deltas.txt> [-o out.txt] | watch <db.txt> <query> <deltas.txt> [--threads N]"
             );
             ExitCode::from(2)
         }
@@ -200,6 +208,91 @@ fn run(args: &[String]) -> Result<(), String> {
                 "planned once: {} classification(s), {} cache hit(s)",
                 stats.classifications, stats.hits
             );
+            Ok(())
+        }
+        "apply" => {
+            let db_path = args.get(1).ok_or("missing database file")?;
+            let delta_path = args.get(2).ok_or("missing delta file")?;
+            let data = std::fs::read_to_string(db_path).map_err(|e| e.to_string())?;
+            let script = std::fs::read_to_string(delta_path).map_err(|e| e.to_string())?;
+            let mut voc = Vocabulary::new();
+            let mut db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
+            let batches = pdb::parse_delta_batches(&mut voc, &script).map_err(|e| e.to_string())?;
+            db.voc = voc;
+            let v0 = db.version();
+            let ops: usize = batches.iter().map(pdb::DeltaBatch::len).sum();
+            for batch in &batches {
+                db.apply(batch);
+            }
+            eprintln!(
+                "applied {} batch(es) / {ops} operation(s): version {v0} -> {}",
+                batches.len(),
+                db.version()
+            );
+            let dump = pdb::dump_db(&db);
+            match args.iter().position(|a| a == "-o") {
+                Some(i) => {
+                    let out = args.get(i + 1).ok_or("-o needs a path")?;
+                    std::fs::write(out, dump).map_err(|e| e.to_string())?;
+                    eprintln!("wrote {out}");
+                }
+                None => print!("{dump}"),
+            }
+            Ok(())
+        }
+        "watch" => {
+            let db_path = args.get(1).ok_or("missing database file")?;
+            let text = args.get(2).ok_or("missing query")?;
+            let delta_path = args.get(3).ok_or("missing delta file")?;
+            let data = std::fs::read_to_string(db_path).map_err(|e| e.to_string())?;
+            let script = std::fs::read_to_string(delta_path).map_err(|e| e.to_string())?;
+            let mut voc = Vocabulary::new();
+            let mut db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
+            let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
+            let batches = pdb::parse_delta_batches(&mut voc, &script).map_err(|e| e.to_string())?;
+            db.voc = voc;
+            let mut engine = Engine::new();
+            engine.exec = exec_options(args)?;
+            let view = engine.subscribe(&db, &q).map_err(|e| e.to_string())?;
+            let first = view.read(&db).map_err(|e| e.to_string())?;
+            println!(
+                "v{}  P(q) = {:.9}   [{}{}]",
+                first.version,
+                first.evaluation.probability,
+                first.evaluation.method,
+                if view.is_incremental() {
+                    ", incremental"
+                } else {
+                    ", re-executing"
+                }
+            );
+            for batch in &batches {
+                db.apply(batch);
+                let reading = view.read(&db).map_err(|e| e.to_string())?;
+                print!(
+                    "v{}  P(q) = {:.9}   ({} op(s)",
+                    reading.version,
+                    reading.evaluation.probability,
+                    batch.len()
+                );
+                if let Some(c) = &reading.evaluation.incremental {
+                    print!(
+                        "; {} row(s) re-touched, {} avoided",
+                        c.rows_retouched, c.rows_avoided
+                    );
+                }
+                println!(")");
+            }
+            if let Some(c) = view.counters() {
+                eprintln!(
+                    "totals: {} refresh(es), {} rebuild(s), {} row(s) re-touched vs {} avoided, {} group(s) refolded",
+                    c.incremental_refreshes,
+                    c.full_rebuilds,
+                    c.rows_retouched,
+                    c.rows_avoided,
+                    c.groups_refolded
+                );
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other:?}")),

@@ -59,6 +59,7 @@
 
 pub use cq;
 pub use dichotomy;
+pub use incremental;
 pub use lineage;
 pub use numeric;
 pub use pdb;
@@ -68,18 +69,21 @@ pub use safeplan;
 /// Everything a typical user needs.
 pub mod prelude {
     pub use cq::{parse_query, Query, RelId, Term, Value, Var, Vocabulary};
-    pub use dichotomy::engine::{Engine, Evaluation, ExecOptions, Method, Strategy};
+    pub use dichotomy::engine::{
+        Engine, Evaluation, ExecOptions, Method, Strategy, ViewHandle, ViewReading,
+    };
     pub use dichotomy::{
         classify, count_substructures_recurrence, eval_inversion_free, eval_recurrence,
         eval_recurrence_exact, explain_evaluation, multisim_top_k, ranked_answers, top_k,
         Classification, Complexity, Executor, MultiSimConfig, PhysicalPlan, Planner, PlannerStats,
         RankedAnswer, RankedPlan,
     };
+    pub use incremental::{IncrementalView, RefreshCounters, RefreshOptions};
     pub use lineage::{exact_probability, karp_luby, naive_mc, Dnf};
     pub use numeric::{BigInt, BigUint, QRat};
     pub use pdb::{
-        brute_force_probability, count_satisfying_worlds_exact, lineage_of, ProbDb, RatProbs,
-        TupleId,
+        brute_force_probability, count_satisfying_worlds_exact, lineage_of, DeltaBatch, DeltaOp,
+        ProbDb, RatProbs, TupleId,
     };
     pub use reductions::{count_via_hk, count_via_pattern, Bipartite2Dnf};
     pub use safeplan::{

@@ -1,0 +1,204 @@
+//! Incremental/cold agreement: after any sequence of delta batches
+//! (inserts, deletes, probability updates), an [`IncrementalView`]'s
+//! refreshed output must be **bit-for-bit** what a cold execution of the
+//! same plan returns against the current database — same rows, same
+//! order, same `f64` bits — at refresh thread counts 1/2/4/8, on random
+//! hierarchical self-join-free queries over random databases. The
+//! columnar executor is the oracle.
+
+use probdb::prelude::{
+    DeltaBatch, Engine, IncrementalView, ProbDb, Query, RefreshOptions, Strategy, Value, Var,
+    Vocabulary,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safeplan::{execute, optimize, ProbRelation};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Random hierarchical self-join-free query: a forest of hierarchy trees
+/// where every atom's variables are a root-to-node path, each atom over a
+/// fresh relation — exactly the fragment the extensional compiler accepts.
+fn random_hierarchical_query(rng: &mut StdRng, voc: &mut Vocabulary) -> Query {
+    fn grow(
+        rng: &mut StdRng,
+        voc: &mut Vocabulary,
+        atoms: &mut Vec<cq::Atom>,
+        path: &mut Vec<Var>,
+        next_var: &mut u32,
+        depth: u32,
+    ) {
+        for _ in 0..rng.gen_range(1..=2u32) {
+            let name = format!("P{}", atoms.len());
+            let rel = voc.relation(&name, path.len()).unwrap();
+            let args = path.iter().map(|&v| cq::Term::Var(v)).collect();
+            atoms.push(cq::Atom::new(rel, args));
+        }
+        if depth < 3 {
+            for _ in 0..rng.gen_range(0..=2u32) {
+                path.push(Var(*next_var));
+                *next_var += 1;
+                grow(rng, voc, atoms, path, next_var, depth + 1);
+                path.pop();
+            }
+        }
+    }
+    let mut atoms = Vec::new();
+    let mut next_var = 0u32;
+    for _ in 0..rng.gen_range(1..=2u32) {
+        let mut path = vec![Var(next_var)];
+        next_var += 1;
+        grow(rng, voc, &mut atoms, &mut path, &mut next_var, 1);
+    }
+    Query::new(atoms, vec![])
+}
+
+/// Seed a database for `q` through the delta log (so views can be built at
+/// any point of the mutation history).
+fn seed_db(q: &Query, voc: &Vocabulary, rng: &mut StdRng) -> ProbDb {
+    let mut db = ProbDb::new(voc.clone());
+    let mut batch = DeltaBatch::new();
+    for atom in &q.atoms {
+        let arity = voc.arity(atom.rel);
+        for _ in 0..rng.gen_range(8..=16usize) {
+            let args: Vec<Value> = (0..arity).map(|_| Value(rng.gen_range(0..4u64))).collect();
+            batch.insert(atom.rel, args, rng.gen_range(0.05..0.95));
+        }
+    }
+    db.apply(&batch);
+    db
+}
+
+/// One random delta batch over the query's relations: a mix of
+/// probability updates and deletes of existing tuples plus fresh inserts
+/// (some colliding with existing content — the upsert path).
+fn random_batch(q: &Query, db: &ProbDb, rng: &mut StdRng) -> DeltaBatch {
+    let mut batch = DeltaBatch::new();
+    for _ in 0..rng.gen_range(1..=6usize) {
+        let atom = &q.atoms[rng.gen_range(0..q.atoms.len())];
+        let rel = atom.rel;
+        let arity = db.voc.arity(rel);
+        match rng.gen_range(0..3u32) {
+            0 => {
+                let args: Vec<Value> = (0..arity).map(|_| Value(rng.gen_range(0..5u64))).collect();
+                batch.insert(rel, args, rng.gen_range(0.05..0.95));
+            }
+            1 => {
+                let ids = db.tuples_of(rel);
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[rng.gen_range(0..ids.len())];
+                batch.delete(rel, db.tuple(id).args.clone());
+            }
+            _ => {
+                let ids = db.tuples_of(rel);
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[rng.gen_range(0..ids.len())];
+                batch.update(rel, db.tuple(id).args.clone(), rng.gen_range(0.05..0.95));
+            }
+        }
+    }
+    batch
+}
+
+fn assert_bit_identical(got: &ProbRelation<f64>, want: &ProbRelation<f64>, ctx: &str) {
+    assert_eq!(got.cols(), want.cols(), "{ctx}: schema");
+    assert_eq!(got.len(), want.len(), "{ctx}: row count");
+    for i in 0..want.len() {
+        assert_eq!(got.row(i), want.row(i), "{ctx}: row {i} values");
+        assert_eq!(
+            got.prob(i).to_bits(),
+            want.prob(i).to_bits(),
+            "{ctx}: row {i} probability bits ({} vs {})",
+            got.prob(i),
+            want.prob(i)
+        );
+    }
+}
+
+/// The acceptance property: for random hierarchical SJF queries and random
+/// delta sequences, `IncrementalView::refresh` output is bit-for-bit
+/// identical to cold columnar execution at threads 1, 2, 4, and 8.
+#[test]
+fn refresh_is_bit_identical_to_cold_execution_on_random_deltas() {
+    let mut rng = StdRng::seed_from_u64(0x1ECE);
+    for case in 0..20 {
+        let mut voc = Vocabulary::new();
+        let q = random_hierarchical_query(&mut rng, &mut voc);
+        let plan = optimize(&safeplan::build_plan(&q).unwrap());
+        let mut db = seed_db(&q, &voc, &mut rng);
+        // One view per thread count, all tracking the same delta history
+        // (tiny grain forces multi-morsel parallel refresh schedules).
+        let mut views: Vec<(usize, IncrementalView)> = THREADS
+            .iter()
+            .map(|&t| (t, IncrementalView::new(&db, &plan).unwrap()))
+            .collect();
+        for round in 0..8 {
+            let batch = random_batch(&q, &db, &mut rng);
+            db.apply(&batch);
+            // Occasionally let a view lag a round (multi-batch catch-up).
+            let lag = round % 3 == 1;
+            let cold = execute(&db, &db.prob_vector(), &plan);
+            for (threads, view) in &mut views {
+                if lag && *threads == 4 {
+                    continue;
+                }
+                view.refresh(&db, RefreshOptions::with_grain(*threads, 2));
+                assert_bit_identical(
+                    &view.output(),
+                    &cold,
+                    &format!(
+                        "case {case} round {round} threads {threads}: {}",
+                        q.display(&voc)
+                    ),
+                );
+            }
+        }
+        // Views that lagged catch up on the final state.
+        let cold = execute(&db, &db.prob_vector(), &plan);
+        for (threads, view) in &mut views {
+            view.refresh(&db, RefreshOptions::with_grain(*threads, 2));
+            assert_bit_identical(
+                &view.output(),
+                &cold,
+                &format!("case {case} final threads {threads}"),
+            );
+            let c = view.counters();
+            assert!(
+                c.incremental_refreshes > 0,
+                "case {case}: refreshes should be incremental, got {c:?}"
+            );
+            assert_eq!(c.full_rebuilds, 0, "case {case}: no log gaps were created");
+        }
+    }
+}
+
+/// The engine-level wrap: `Engine::subscribe` + `ViewHandle::read` after
+/// `apply` agrees with a fresh evaluation, probability bits included.
+#[test]
+fn subscribed_views_agree_with_cold_engine_evaluations() {
+    let mut rng = StdRng::seed_from_u64(0x5_0B5C);
+    for case in 0..10 {
+        let mut voc = Vocabulary::new();
+        let q = random_hierarchical_query(&mut rng, &mut voc);
+        let mut db = seed_db(&q, &voc, &mut rng);
+        let engine = Engine::new();
+        let view = engine.subscribe(&db, &q).unwrap();
+        for round in 0..5 {
+            let batch = random_batch(&q, &db, &mut rng);
+            db.apply(&batch);
+            let reading = view.read(&db).unwrap();
+            let cold = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+            assert_eq!(
+                reading.evaluation.probability.to_bits(),
+                cold.probability.to_bits(),
+                "case {case} round {round}: {}",
+                q.display(&voc)
+            );
+            assert_eq!(reading.version, db.version());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Plan-cache / mutation interaction: a cached plan re-used after
+//! `ProbDb::apply(delta)` must never serve stale probabilities. Plans are
+//! database-independent (the cache key is the canonical query), so a cache
+//! hit after a mutation must re-execute against the *current* data — and
+//! subscribed views must report the current version stamp on every read.
+
+use probdb::prelude::{
+    brute_force_probability, parse_query, DeltaBatch, Engine, Method, ProbDb, Strategy, Value,
+    Vocabulary,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_db(seed: u64) -> (ProbDb, cq::Query, StdRng) {
+    let mut voc = Vocabulary::new();
+    let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+    let r = voc.find_relation("R").unwrap();
+    let s = voc.find_relation("S").unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = ProbDb::new(voc);
+    let mut batch = DeltaBatch::new();
+    for i in 0..4u64 {
+        batch.insert(r, vec![Value(i)], rng.gen_range(0.1..0.9));
+        batch.insert(s, vec![Value(i), Value(10 + i)], rng.gen_range(0.1..0.9));
+    }
+    db.apply(&batch);
+    (db, q, rng)
+}
+
+/// Randomized rounds: mutate through the delta log, then check that the
+/// (cache-hitting) engine evaluation, a cold fresh-engine evaluation, and
+/// the brute-force oracle all agree — the cached plan reflects the data,
+/// never the cache's age.
+#[test]
+fn cached_plans_never_serve_stale_probabilities() {
+    let (mut db, q, mut rng) = small_db(0x57A1E);
+    let engine = Engine::new();
+    let r = db.voc.find_relation("R").unwrap();
+    let s = db.voc.find_relation("S").unwrap();
+    let warm = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+    assert!(!warm.cache_hit);
+    assert_eq!(warm.method, Method::Extensional);
+    for round in 0..12 {
+        let mut batch = DeltaBatch::new();
+        match round % 3 {
+            0 => {
+                batch.update(r, vec![Value(round % 4)], rng.gen_range(0.05..0.95));
+            }
+            1 => {
+                batch.delete(s, vec![Value(round % 4), Value(10 + round % 4)]);
+                batch.insert(s, vec![Value(round % 4), Value(100 + round)], 0.5);
+            }
+            _ => {
+                batch.insert(r, vec![Value(100 + round)], rng.gen_range(0.05..0.95));
+            }
+        }
+        db.apply(&batch);
+        let cached = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert!(cached.cache_hit, "round {round}: plan must come from cache");
+        let fresh = Engine::new().evaluate(&db, &q, Strategy::Auto).unwrap();
+        assert_eq!(
+            cached.probability.to_bits(),
+            fresh.probability.to_bits(),
+            "round {round}: cached plan diverged from a fresh plan"
+        );
+        let bf = brute_force_probability(&db, &q);
+        assert!(
+            (cached.probability - bf).abs() < 1e-9,
+            "round {round}: cached {} vs brute force {bf}",
+            cached.probability
+        );
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.classifications, 1,
+        "one classification ever: {stats:?}"
+    );
+}
+
+/// The version-stamp check: every `ViewHandle::read` reflects the
+/// database's version at read time, whether or not deltas (or out-of-band
+/// mutations, which invalidate the log) happened in between.
+#[test]
+fn view_readings_carry_the_current_version_stamp() {
+    let (mut db, q, _) = small_db(0xBEE);
+    let engine = Engine::new();
+    let view = engine.subscribe(&db, &q).unwrap();
+    let r = db.voc.find_relation("R").unwrap();
+    let v0 = db.version();
+    let first = view.read(&db).unwrap();
+    assert_eq!(first.version, v0);
+    // Logged mutation.
+    let mut batch = DeltaBatch::new();
+    batch.update(r, vec![Value(0)], 0.42);
+    db.apply(&batch);
+    let second = view.read(&db).unwrap();
+    assert_eq!(second.version, v0 + 1);
+    assert!(second.refreshed);
+    // Out-of-band mutation: the log is invalidated; the view must rebuild
+    // rather than serve the pre-mutation answer.
+    db.insert(r, vec![Value(999)], 0.9);
+    let third = view.read(&db).unwrap();
+    assert_eq!(third.version, db.version());
+    assert!(third.refreshed);
+    let counters = third.evaluation.incremental.expect("incremental view");
+    assert_eq!(counters.full_rebuilds, 1, "log gap forces a rebuild");
+    let cold = Engine::new().evaluate(&db, &q, Strategy::Auto).unwrap();
+    assert_eq!(
+        third.evaluation.probability.to_bits(),
+        cold.probability.to_bits()
+    );
+}

@@ -180,6 +180,7 @@ fn multisim_matches_exact_ranking() {
         delta: 0.02,
         max_samples_per_candidate: 1 << 22,
         seed: 99,
+        threads: 1,
     };
     let ms = multisim_top_k(&db, &q, &[d], 2, config);
     if ms.converged {
