@@ -3,12 +3,12 @@
 //!
 //! ```text
 //! cargo run --release -p bench-harness --bin report -- all
-//! cargo run --release -p bench-harness --bin report -- table1 | mystiq | scaling | hardness | blowup | mc
+//! cargo run --release -p bench-harness --bin report -- table1 | mystiq | scaling | hardness | blowup | mc | columnar | incremental | pipeline
 //! ```
 
 use bench_harness::{
     deep_workload, h0_workload, loglog_slope, measure_columnar, measure_incremental,
-    selfjoin_workload, star_workload, time,
+    measure_pipeline, selfjoin_workload, star_workload, time,
 };
 use cq::{parse_query, Query, Vocabulary};
 use dichotomy::engine::{Engine, Strategy};
@@ -36,6 +36,7 @@ fn main() {
         "multisim" => multisim(),
         "columnar" => columnar(smoke),
         "incremental" => incremental(smoke),
+        "pipeline" => pipeline(smoke),
         "all" => {
             table1();
             mystiq();
@@ -49,11 +50,12 @@ fn main() {
             multisim();
             columnar(smoke);
             incremental(smoke);
+            pipeline(smoke);
         }
         other => {
             eprintln!("unknown report: {other}");
             eprintln!(
-                "available: table1 mystiq scaling hardness blowup mc ablation plans counting multisim columnar incremental all (columnar/incremental take --smoke)"
+                "available: table1 mystiq scaling hardness blowup mc ablation plans counting multisim columnar incremental pipeline all (columnar/incremental/pipeline take --smoke)"
             );
             std::process::exit(2);
         }
@@ -183,6 +185,86 @@ fn incremental(smoke: bool) {
     );
     std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
     println!("-> wrote BENCH_incremental.json");
+}
+
+/// Operator-DAG pipelining + sharded scans vs the barrier-style parallel
+/// executor on a bushy workload, with the measurement also emitted as
+/// machine-readable `BENCH_pipeline.json`. `--smoke` shrinks the workload
+/// for CI: same bit-for-bit gates and JSON shape.
+fn pipeline(smoke: bool) {
+    header("plan pipelining: operator-DAG scheduler + sharded data plane");
+    let roots: u64 = if smoke { 2_000 } else { 12_000 };
+    let runs = if smoke { 3 } else { 5 };
+    // Bit-for-bit gates (DAG/sharded == serial at every tuning) and timing
+    // configurations live in `measure_pipeline`.
+    let m = measure_pipeline(roots, 4, 7, runs);
+
+    println!(
+        "workload: bushy, {} roots x fanout {} = {} tuples{}",
+        m.roots,
+        m.fanout,
+        m.tuples,
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!("  serial            : {:>8.2} ms", m.serial_s * 1e3);
+    println!(
+        "  dag t=1 s=1       : {:>8.2} ms   overhead {:.2}x vs serial",
+        m.dag_serial_s * 1e3,
+        m.dag_overhead_vs_serial()
+    );
+    println!("  barrier par/4     : {:>8.2} ms", m.barrier_par4_s * 1e3);
+    println!(
+        "  dag t=4 s=1       : {:>8.2} ms   speedup {:.2}x vs barrier",
+        m.dag_par4_s * 1e3,
+        m.speedup_dag_vs_barrier()
+    );
+    println!(
+        "  dag t=4 s=4       : {:>8.2} ms",
+        m.dag_par4_sharded_s * 1e3
+    );
+    println!(
+        "  scheduler: {} task(s), peak {} ready, {:.2} ms overlapped",
+        m.tasks,
+        m.max_ready,
+        m.overlap_s * 1e3
+    );
+    println!(
+        "  shard rows: {:?}  (hardware threads available: {})",
+        m.shard_rows, m.hardware_threads
+    );
+
+    let shard_rows = m
+        .shard_rows
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"workload\": \"bushy\",\n  \"roots\": {roots},\n  \"fanout\": {fanout},\n  \
+         \"tuples\": {tuples},\n  \"smoke\": {smoke},\n  \"hardware_threads\": {hw},\n  \
+         \"serial_s\": {t_ser:.6},\n  \"dag_serial_s\": {t_dag1:.6},\n  \
+         \"barrier_par4_s\": {t_bar:.6},\n  \"dag_par4_s\": {t_dag4:.6},\n  \
+         \"dag_par4_sharded_s\": {t_dag44:.6},\n  \"speedup_dag_vs_barrier\": {su:.3},\n  \
+         \"dag_overhead_vs_serial\": {ov:.3},\n  \"tasks\": {tasks},\n  \
+         \"max_ready\": {ready},\n  \"overlap_s\": {overlap:.6},\n  \
+         \"shard_rows\": [{shard_rows}],\n  \"bit_for_bit_agreement\": true\n}}\n",
+        roots = m.roots,
+        fanout = m.fanout,
+        tuples = m.tuples,
+        hw = m.hardware_threads,
+        t_ser = m.serial_s,
+        t_dag1 = m.dag_serial_s,
+        t_bar = m.barrier_par4_s,
+        t_dag4 = m.dag_par4_s,
+        t_dag44 = m.dag_par4_sharded_s,
+        su = m.speedup_dag_vs_barrier(),
+        ov = m.dag_overhead_vs_serial(),
+        tasks = m.tasks,
+        ready = m.max_ready,
+        overlap = m.overlap_s,
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("-> wrote BENCH_pipeline.json");
 }
 
 /// E1 + E2 + E3: the classification table over the full paper catalog

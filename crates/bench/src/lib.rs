@@ -89,6 +89,40 @@ pub fn deep_workload(n: u64, fanout: u64, seed: u64) -> (ProbDb, Query) {
     (db, q)
 }
 
+/// A bushy four-atom workload for the operator-DAG scheduler:
+/// `R(x), S(x,y), U(x,y,z), V(x,w)`. The `V` scan/project subtree is
+/// independent of the `S`/`U` chain, so a pipelined schedule overlaps
+/// them; every relation gets `n`-proportional cardinality so sharded
+/// scans have rows to split.
+pub fn bushy_workload(n: u64, fanout: u64, seed: u64) -> (ProbDb, Query) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut voc = Vocabulary::new();
+    let q = parse_query(&mut voc, "R(x), S(x,y), U(x,y,z), V(x,w)").unwrap();
+    let r = voc.find_relation("R").unwrap();
+    let s = voc.find_relation("S").unwrap();
+    let u = voc.find_relation("U").unwrap();
+    let v = voc.find_relation("V").unwrap();
+    let mut db = ProbDb::new(voc);
+    for i in 0..n {
+        db.insert(r, vec![Value(i)], rng.gen_range(0.05..0.3));
+        for j in 0..fanout {
+            let y = n + i * fanout + j;
+            db.insert(s, vec![Value(i), Value(y)], rng.gen_range(0.05..0.3));
+            db.insert(
+                u,
+                vec![Value(i), Value(y), Value(100_000 + y)],
+                rng.gen_range(0.05..0.3),
+            );
+            db.insert(
+                v,
+                vec![Value(i), Value(200_000 + y)],
+                rng.gen_range(0.05..0.3),
+            );
+        }
+    }
+    (db, q)
+}
+
 /// The `H_0` workload (hard query) on a bipartite-ish instance with `n`
 /// left values: `R(x), S(x,y), S(x2,y2), T(y2)`.
 pub fn h0_workload(n: u64, seed: u64) -> (ProbDb, Query) {
@@ -188,6 +222,96 @@ pub fn measure_columnar(roots: u64, fanout: u64, seed: u64, runs: usize) -> Colu
         columnar_par4_s: median_time(runs, &|| {
             par_query_probability(&db, &plan, ParOptions::new(4)).0
         }),
+    }
+}
+
+/// One pipelined-vs-barrier executor comparison on the bushy workload —
+/// the shared substance of `report -- pipeline` (which serializes it to
+/// `BENCH_pipeline.json`): serial oracle, the barrier-per-operator
+/// parallel executor, and the operator-DAG executor monolithic and
+/// sharded, all asserted bit-for-bit equal first.
+#[derive(Clone, Debug)]
+pub struct PipelineMeasurement {
+    pub roots: u64,
+    pub fanout: u64,
+    pub tuples: usize,
+    pub hardware_threads: usize,
+    /// Median seconds per configuration.
+    pub serial_s: f64,
+    /// Morsel-parallel executor with a barrier between operators, 4 threads.
+    pub barrier_par4_s: f64,
+    /// DAG scheduler, 4 threads, monolithic data plane.
+    pub dag_par4_s: f64,
+    /// DAG scheduler, 4 threads, 4-way sharded scans.
+    pub dag_par4_sharded_s: f64,
+    /// DAG path at threads=1, shards=1 — the pipelining overhead floor
+    /// (gate: must not be materially slower than the plain serial path).
+    pub dag_serial_s: f64,
+    /// Schedule shape of a 4-thread sharded run.
+    pub tasks: u64,
+    pub max_ready: u64,
+    /// Wall-clock seconds during which ≥2 tasks overlapped.
+    pub overlap_s: f64,
+    /// Per-shard scan rows of the sharded run.
+    pub shard_rows: Vec<u64>,
+}
+
+impl PipelineMeasurement {
+    pub fn speedup_dag_vs_barrier(&self) -> f64 {
+        self.barrier_par4_s / self.dag_par4_s
+    }
+
+    pub fn dag_overhead_vs_serial(&self) -> f64 {
+        self.dag_serial_s / self.serial_s
+    }
+}
+
+/// Build the `roots × fanout` bushy workload, assert the DAG executor
+/// reproduces the serial scalar **bit for bit** for every
+/// `(threads, shards)` in `{1,4} × {1,4}`, and time serial / barrier /
+/// DAG / sharded-DAG (median of `runs` each).
+///
+/// # Panics
+/// If any configuration's probability diverges from the serial oracle.
+pub fn measure_pipeline(roots: u64, fanout: u64, seed: u64, runs: usize) -> PipelineMeasurement {
+    use safeplan::{
+        dag_query_probability, par_query_probability, query_probability, DagOptions, ParOptions,
+    };
+
+    let (db, q) = bushy_workload(roots, fanout, seed);
+    let plan = safeplan::optimize(&safeplan::build_plan(&q).unwrap());
+
+    let serial_p = query_probability(&db, &plan);
+    for threads in [1usize, 4] {
+        for shards in [1usize, 4] {
+            let (p, _) = dag_query_probability(&db, &plan, &DagOptions::new(threads, shards));
+            assert_eq!(p, serial_p, "DAG diverged at t={threads} s={shards}");
+        }
+    }
+    let (_, run) = dag_query_probability(&db, &plan, &DagOptions::new(4, 4));
+
+    PipelineMeasurement {
+        roots,
+        fanout,
+        tuples: db.num_tuples(),
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        serial_s: median_time(runs, &|| query_probability(&db, &plan)),
+        barrier_par4_s: median_time(runs, &|| {
+            par_query_probability(&db, &plan, ParOptions::new(4)).0
+        }),
+        dag_par4_s: median_time(runs, &|| {
+            dag_query_probability(&db, &plan, &DagOptions::new(4, 1)).0
+        }),
+        dag_par4_sharded_s: median_time(runs, &|| {
+            dag_query_probability(&db, &plan, &DagOptions::new(4, 4)).0
+        }),
+        dag_serial_s: median_time(runs, &|| {
+            dag_query_probability(&db, &plan, &DagOptions::new(1, 1)).0
+        }),
+        tasks: run.sched.tasks,
+        max_ready: run.sched.max_ready,
+        overlap_s: run.sched.overlap.as_secs_f64(),
+        shard_rows: run.shards.rows,
     }
 }
 

@@ -48,30 +48,49 @@ pub struct ExecOptions {
     /// Parallel extensional execution is bit-for-bit identical to serial;
     /// sampling plans stay deterministic per `(seed, threads)`.
     pub threads: usize,
+    /// Requested shard fan-out for the hash-partitioned extensional data
+    /// plane; 1 = monolithic. The executor's cost model collapses the
+    /// request per plan when every scan is too small to split. Sharded
+    /// execution is bit-for-bit identical to monolithic serial.
+    pub shards: usize,
 }
 
 impl ExecOptions {
     pub fn serial() -> Self {
-        ExecOptions { threads: 1 }
+        ExecOptions {
+            threads: 1,
+            shards: 1,
+        }
     }
 
     pub fn with_threads(threads: usize) -> Self {
+        Self::with_tuning(threads, 1)
+    }
+
+    pub fn with_tuning(threads: usize, shards: usize) -> Self {
         ExecOptions {
             threads: threads.max(1),
+            shards: shards.max(1),
         }
     }
 }
 
 impl Default for ExecOptions {
-    /// Honors `ENGINE_THREADS` (CI forces the parallel executor on the
-    /// whole suite that way); otherwise serial.
+    /// Honors `ENGINE_THREADS` and `ENGINE_SHARDS` (CI forces the
+    /// pipelined/sharded executor on the whole suite that way); otherwise
+    /// serial monolithic.
     fn default() -> Self {
-        let threads = std::env::var("ENGINE_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&t| t >= 1)
-            .unwrap_or(1);
-        ExecOptions { threads }
+        let env_tuning = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&t| t >= 1)
+                .unwrap_or(1)
+        };
+        ExecOptions {
+            threads: env_tuning("ENGINE_THREADS"),
+            shards: env_tuning("ENGINE_SHARDS"),
+        }
     }
 }
 
@@ -118,6 +137,13 @@ pub struct Evaluation {
     /// vs rows a full re-execution would have recomputed. `None` for
     /// plain (re-)executions.
     pub incremental: Option<RefreshCounters>,
+    /// Operator-DAG scheduler counters when the plan ran pipelined
+    /// (`ExecOptions::threads > 1` or a sharded fan-out survived the cost
+    /// model); `None` for serial monolithic runs.
+    pub scheduler: Option<safeplan::DagStats>,
+    /// Per-shard scan row counts when the extensional data plane ran
+    /// hash-partitioned; `None` when no DAG run happened.
+    pub sharding: Option<safeplan::ShardStats>,
 }
 
 /// Engine errors.
@@ -211,7 +237,7 @@ impl Engine {
     }
 
     pub(crate) fn executor(&self) -> Executor {
-        Executor::with_threads(self.seed, self.exec.threads)
+        Executor::with_tuning(self.seed, self.exec.threads, self.exec.shards)
     }
 
     /// Evaluate `p(q)` on `db` with the chosen strategy.
@@ -283,6 +309,8 @@ impl Engine {
             parallel: outcome.parallel,
             extensional: outcome.extensional,
             incremental: None,
+            scheduler: outcome.scheduler,
+            sharding: outcome.sharding,
         })
     }
 
@@ -347,7 +375,7 @@ enum ViewInner {
     /// Fallback: re-execute when the version moved; `cached` remembers the
     /// last outcome and the version it was computed at.
     Reexec {
-        cached: Option<(u64, crate::plan::ExecOutcome)>,
+        cached: Option<Box<(u64, crate::plan::ExecOutcome)>>,
     },
 }
 
@@ -416,7 +444,10 @@ impl ViewHandle {
         match &mut *inner {
             ViewInner::Incremental(view) => {
                 let refreshed = view.synced_version() != db.version();
-                let counters = view.refresh(db, RefreshOptions::with_threads(self.exec.threads));
+                let counters = view.refresh(
+                    db,
+                    RefreshOptions::with_tuning(self.exec.threads, self.exec.shards),
+                );
                 let execution = start.elapsed();
                 Ok(ViewReading {
                     evaluation: Evaluation {
@@ -431,6 +462,8 @@ impl ViewHandle {
                         parallel: None,
                         extensional: None,
                         incremental: Some(counters),
+                        scheduler: None,
+                        sharding: None,
                     },
                     version: db.version(),
                     refreshed,
@@ -439,12 +472,13 @@ impl ViewHandle {
             ViewInner::Reexec { cached } => {
                 let version = db.version();
                 let (refreshed, outcome) = match cached {
-                    Some((v, outcome)) if *v == version => (false, outcome.clone()),
+                    Some(entry) if entry.0 == version => (false, entry.1.clone()),
                     _ => {
-                        let outcome = Executor::with_threads(self.seed, self.exec.threads)
-                            .execute(db, &self.planned.plan)
-                            .map_err(EngineError::Eval)?;
-                        *cached = Some((version, outcome.clone()));
+                        let outcome =
+                            Executor::with_tuning(self.seed, self.exec.threads, self.exec.shards)
+                                .execute(db, &self.planned.plan)
+                                .map_err(EngineError::Eval)?;
+                        *cached = Some(Box::new((version, outcome.clone())));
                         (true, outcome)
                     }
                 };
@@ -462,6 +496,8 @@ impl ViewHandle {
                         parallel: outcome.parallel,
                         extensional: outcome.extensional,
                         incremental: None,
+                        scheduler: outcome.scheduler,
+                        sharding: outcome.sharding,
                     },
                     version,
                     refreshed,

@@ -54,6 +54,37 @@ pub fn explain_evaluation(ev: &Evaluation) -> String {
             ", {} join(s) ({} built left), {} group(s)",
             ops.joins, ops.joins_build_left, ops.groups
         );
+        if ops.est_builds > 0 {
+            let _ = writeln!(
+                out,
+                "cost model: {} estimate-driven build side(s), {} overrode the size rule",
+                ops.est_builds, ops.est_build_overrides
+            );
+        }
+    }
+    if let Some(sched) = &ev.scheduler {
+        let _ = writeln!(
+            out,
+            "scheduler : {} task(s), peak {} ready / {} running, {:?} overlapped",
+            sched.tasks, sched.max_ready, sched.max_running, sched.overlap
+        );
+    }
+    if let Some(sh) = &ev.sharding {
+        if sh.shards > 1 {
+            let _ = writeln!(
+                out,
+                "shards    : {} ({} scan rows: {})",
+                sh.shards,
+                sh.rows.iter().sum::<u64>(),
+                sh.rows
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            );
+        } else {
+            let _ = writeln!(out, "shards    : 1 (cost model kept scans monolithic)");
+        }
     }
     if let Some(inc) = &ev.incremental {
         if inc.full_rebuilds > 0 {
@@ -271,6 +302,30 @@ mod tests {
         let text = explain_evaluation(&ev);
         assert!(text.contains("threads   : 2"), "{text}");
         assert!(text.contains("worker 0"), "{text}");
+    }
+
+    #[test]
+    fn explains_dag_scheduler_and_shard_counters() {
+        use crate::engine::{Engine, ExecOptions, Strategy};
+        use cq::Value;
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = pdb::ProbDb::new(voc);
+        db.insert(r, vec![Value(1)], 0.5);
+        db.insert(s, vec![Value(1), Value(2)], 0.4);
+        let engine = Engine::with_options(1_000, 1, ExecOptions::with_tuning(2, 4));
+        let ev = engine.evaluate(&db, &q, Strategy::Auto).unwrap();
+        let text = explain_evaluation(&ev);
+        assert!(text.contains("scheduler :"), "{text}");
+        assert!(text.contains("task(s), peak"), "{text}");
+        assert!(text.contains("cost model:"), "{text}");
+        // Tiny scans: the requested fan-out collapses to monolithic.
+        assert!(
+            text.contains("shards    : 1 (cost model kept scans monolithic)"),
+            "{text}"
+        );
     }
 
     #[test]

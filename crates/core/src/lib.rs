@@ -84,7 +84,9 @@ pub use explain::{explain, explain_evaluation};
 pub use hierarchy::{check_hierarchical, is_hierarchical};
 pub use incremental::{RefreshCounters, RefreshOptions};
 pub use inversion::{find_inversion, InversionWitness};
-pub use multisim::{multisim_top_k, MultiSimAnswer, MultiSimConfig, MultiSimResult};
+pub use multisim::{
+    multisim_marginals, multisim_top_k, MultiSimAnswer, MultiSimConfig, MultiSimResult,
+};
 pub use plan::{ExecOutcome, Executor, PhysicalPlan};
 pub use planner::{PlannedQuery, Planner, PlannerStats, RankedPlan, ResidualKind};
 pub use ranking::{ranked_answers, top_k, RankedAnswer};

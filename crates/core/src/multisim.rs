@@ -312,6 +312,71 @@ pub fn multisim_top_k(
     }
 }
 
+/// Fixed-budget marginal estimation over the candidate lineages — the
+/// harness behind the ranked [`crate::engine::Strategy::MonteCarlo`]
+/// path. Unlike [`multisim_top_k`]'s adaptive allocation, every candidate
+/// receives exactly `samples` draws from its own seed-split stream,
+/// fanned candidate-parallel over the worker pool. Returns
+/// `(tuple, estimate, std_error)` per candidate, in lineage-extraction
+/// order; for a fixed seed every number is **byte-identical at every
+/// thread count** — the same determinism contract as the top-k
+/// multisimulation, because the streams are per-candidate and worker
+/// scheduling never reaches them.
+pub fn multisim_marginals(
+    db: &ProbDb,
+    q: &Query,
+    head: &[Var],
+    samples: u64,
+    seed: u64,
+    threads: usize,
+) -> Vec<(Vec<Value>, f64, f64)> {
+    for h in head {
+        assert!(
+            q.vars().contains(h),
+            "head variable {h} does not occur in the query"
+        );
+    }
+    let probs = db.prob_vector();
+    let lineages = lineages_by_head(db, q, head);
+    let mut master = StdRng::seed_from_u64(seed);
+    let streams = master.split(lineages.len());
+    let cands: Vec<(Vec<Value>, Dnf, StdRng)> = lineages
+        .into_iter()
+        .zip(streams)
+        .map(|((tuple, dnf), rng)| (tuple, dnf, rng))
+        .collect();
+    let estimate_one = |(tuple, dnf, rng): &(Vec<Value>, Dnf, StdRng), scratch: &mut McScratch| {
+        let (est, se) = if dnf.is_false() {
+            (0.0, 0.0)
+        } else if dnf.is_true() {
+            (1.0, 0.0)
+        } else if samples == 0 {
+            (0.5, 0.5)
+        } else {
+            let vars: Vec<u32> = dnf.vars().into_iter().collect();
+            let mut rng = rng.clone();
+            let hits = sample_batch(dnf, &vars, &probs, &mut rng, samples, scratch);
+            let e = hits as f64 / samples as f64;
+            (e, (e * (1.0 - e) / samples as f64).sqrt())
+        };
+        (tuple.clone(), est, se)
+    };
+    if threads > 1 {
+        let pool = Pool::with_grain(threads, 1);
+        let parts: Vec<Vec<(Vec<Value>, f64, f64)>> = pool.map_morsels(cands.len(), |r| {
+            let mut scratch = McScratch::new();
+            r.map(|i| estimate_one(&cands[i], &mut scratch)).collect()
+        });
+        parts.into_iter().flatten().collect()
+    } else {
+        let mut scratch = McScratch::new();
+        cands
+            .iter()
+            .map(|c| estimate_one(c, &mut scratch))
+            .collect()
+    }
+}
+
 /// Draw `batch` worlds for one candidate's lineage and count the
 /// satisfying ones. Samples only the variables the lineage mentions (in
 /// ascending order, from the candidate's own stream); the scratch world is

@@ -146,6 +146,29 @@ fn ranked_forced(
     head: &[Var],
     strategy: Strategy,
 ) -> Result<Vec<RankedAnswer>, EngineError> {
+    // Forced Monte Carlo routes through the shared multisimulation
+    // harness: one lineage-extraction pass over the valuations and
+    // candidate-parallel sampling from per-candidate seed-split streams —
+    // byte-identical per seed at every thread count, where the old
+    // per-residual Karp–Luby loop re-enumerated the join per candidate.
+    if let Strategy::MonteCarlo { samples } = strategy {
+        return Ok(crate::multisim::multisim_marginals(
+            db,
+            q,
+            head,
+            samples,
+            engine.seed,
+            engine.exec.threads,
+        )
+        .into_iter()
+        .map(|(tuple, probability, std_error)| RankedAnswer {
+            tuple,
+            probability,
+            std_error,
+            method: Method::KarpLuby,
+        })
+        .collect());
+    }
     let mut out = Vec::new();
     for tuple in candidates(db, q, head) {
         let mut subst = Subst::new();
@@ -241,6 +264,36 @@ mod tests {
             let par_engine = Engine::with_options(1_000, 1, ExecOptions::with_threads(threads));
             let par = ranked_answers(&par_engine, &db, &q, &head, Strategy::Auto).unwrap();
             assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn forced_monte_carlo_ranking_is_byte_identical_across_threads() {
+        use crate::engine::ExecOptions;
+        let (db, q, head) = movie_db();
+        let strategy = Strategy::MonteCarlo { samples: 4_096 };
+        let run = |threads: usize| {
+            let engine = Engine::with_options(1_000, 77, ExecOptions::with_threads(threads));
+            ranked_answers(&engine, &db, &q, &head, strategy).unwrap()
+        };
+        let serial = run(1);
+        assert_eq!(serial.len(), 2);
+        for a in &serial {
+            // Sampled through the shared multisim harness.
+            assert_eq!(a.method, Method::KarpLuby);
+            assert!(a.std_error > 0.0);
+            let residual = q.apply(&Subst::singleton(head[0], a.tuple[0]));
+            let bf = brute_force_probability(&db, &residual);
+            assert!((a.probability - bf).abs() < 0.05, "{a:?} vs {bf}");
+        }
+        for threads in [2, 4, 8] {
+            let par = run(threads);
+            assert_eq!(par.len(), serial.len(), "threads={threads}");
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.tuple, b.tuple, "threads={threads}");
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+                assert_eq!(a.std_error.to_bits(), b.std_error.to_bits());
+            }
         }
     }
 

@@ -23,11 +23,23 @@
 //! The pool also keeps per-worker [`ThreadStats`] (busy time, morsels,
 //! rows) across every dispatch it serves, so an execution can report how
 //! the work actually spread over the threads.
+//!
+//! On top of the morsel pool, the [`dag`] module schedules a **dependency
+//! DAG of operator tasks** ([`run_dag`]): independent plan subtrees run
+//! concurrently (a join's build and probe inputs overlap), each task may
+//! nest morsel dispatches on the pool, results land in pre-assigned
+//! per-task slots, and an injectable picker ([`run_dag_with_picker`])
+//! lets property tests randomize completion order to pin schedule
+//! independence. See the module docs for the scheduling model.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+pub mod dag;
+
+pub use dag::{run_dag, run_dag_with_picker, DagSlots, DagStats};
 
 /// Default morsel size (elements per work unit). Small enough to balance
 /// skewed operators, large enough that the cursor fetch is noise.

@@ -26,7 +26,7 @@ use crate::keyed::{sorted_carrier, KeyedRel};
 use crate::view::RefreshCounters;
 use cq::{Atom, CompOp, Pred, RelId, Term, Value, Var};
 use exec_parallel::Pool;
-use pdb::{ChangeKind, ProbDb, TupleChange, TupleId};
+use pdb::{ChangeKind, ProbDb, ShardMap, TupleChange, TupleId};
 use safeplan::PlanNode;
 use std::collections::HashMap;
 use std::fmt;
@@ -245,15 +245,16 @@ impl Node {
         db: &ProbDb,
         net: &[(TupleId, RelId, NetChange)],
         pool: &Pool,
+        shards: usize,
         detail: DeltaDetail,
         counters: &mut RefreshCounters,
     ) -> OpDelta {
         match self {
             Node::Const(out) => OpDelta::empty(out.arity, out.kstride),
-            Node::Scan(s) => s.refresh(db, net, counters),
-            Node::Select(s) => s.refresh(db, net, pool, detail, counters),
-            Node::Join(s) => s.refresh(db, net, pool, detail, counters),
-            Node::Project(s) => s.refresh(db, net, pool, detail, counters),
+            Node::Scan(s) => s.refresh(db, net, pool, shards, counters),
+            Node::Select(s) => s.refresh(db, net, pool, shards, detail, counters),
+            Node::Join(s) => s.refresh(db, net, pool, shards, detail, counters),
+            Node::Project(s) => s.refresh(db, net, pool, shards, detail, counters),
         }
     }
 }
@@ -352,13 +353,82 @@ impl ScanState {
         }
     }
 
+    /// Match this relation's net-added ids against the compiled slots,
+    /// hash-partitioned over `shards` shards on the pool — the same
+    /// shard/merge stage as the DAG executor's sharded scans. Each shard
+    /// returns ascending positions into `ids` plus the survivor rows;
+    /// merging by position restores `net` order bit for bit.
+    #[allow(clippy::type_complexity)]
+    fn match_added_sharded(
+        &self,
+        db: &ProbDb,
+        ids: &[TupleId],
+        pool: &Pool,
+        shards: usize,
+    ) -> Vec<(Vec<u32>, Vec<Value>, Vec<f64>)> {
+        let map = ShardMap::new(shards);
+        let parts = map.split_positions(ids);
+        pool.map_partitions(parts.len(), |s| {
+            let mut pos: Vec<u32> = Vec::new();
+            let mut rows: Vec<Value> = Vec::new();
+            let mut probs: Vec<f64> = Vec::new();
+            let mut rowbuf = vec![Value(0); self.out.arity];
+            for &p in &parts[s] {
+                let t = db.tuple(ids[p as usize]);
+                if match_tuple(&self.slots, &t.args, &mut rowbuf) {
+                    pos.push(p);
+                    rows.extend_from_slice(&rowbuf);
+                    probs.push(t.prob);
+                }
+            }
+            (pos, rows, probs)
+        })
+    }
+
     fn refresh(
         &mut self,
         db: &ProbDb,
         net: &[(TupleId, RelId, NetChange)],
+        pool: &Pool,
+        shards: usize,
         counters: &mut RefreshCounters,
     ) -> OpDelta {
         let mut delta = OpDelta::empty(self.out.arity, 1);
+        // Sharded candidate matching: collect this relation's added ids
+        // (ascending — `net` ascends), match per shard, merge ascending.
+        // Added rows only ever land in `delta.added`, so hoisting them out
+        // of the serial walk below leaves the delta byte-identical.
+        let sharded = if shards > 1 {
+            let ids: Vec<TupleId> = net
+                .iter()
+                .filter(|&&(_, rel, change)| rel == self.rel && change == NetChange::Added)
+                .map(|&(id, _, _)| id)
+                .collect();
+            let outs = self.match_added_sharded(db, &ids, pool, shards);
+            let arity = self.out.arity;
+            let mut cursors = vec![0usize; outs.len()];
+            loop {
+                let mut best: Option<(u32, usize)> = None;
+                for (s, out) in outs.iter().enumerate() {
+                    if cursors[s] < out.0.len() {
+                        let p = out.0[cursors[s]];
+                        if best.is_none_or(|(b, _)| p < b) {
+                            best = Some((p, s));
+                        }
+                    }
+                }
+                let Some((p, s)) = best else { break };
+                let i = cursors[s];
+                cursors[s] += 1;
+                let key = [u64::from(ids[p as usize].0)];
+                delta
+                    .added
+                    .push(&key, &outs[s].1[i * arity..(i + 1) * arity], outs[s].2[i]);
+            }
+            true
+        } else {
+            false
+        };
         let mut rem_keys: Vec<u64> = Vec::new();
         let mut rowbuf = vec![Value(0); self.out.arity];
         // `net` ascends by id, so each delta list comes out key-sorted —
@@ -371,6 +441,9 @@ impl ScanState {
             let key = [u64::from(id.0)];
             match change {
                 NetChange::Added => {
+                    if sharded {
+                        continue;
+                    }
                     let t = db.tuple(id);
                     if match_tuple(&self.slots, &t.args, &mut rowbuf) {
                         delta.added.push(&key, &rowbuf, t.prob);
@@ -472,6 +545,7 @@ impl SelectState {
         db: &ProbDb,
         net: &[(TupleId, RelId, NetChange)],
         pool: &Pool,
+        shards: usize,
         detail: DeltaDetail,
         counters: &mut RefreshCounters,
     ) -> OpDelta {
@@ -479,7 +553,7 @@ impl SelectState {
         // changes into its own buffer, whatever the parent asked for.
         let d = self
             .child
-            .refresh(db, net, pool, DeltaDetail::Full, counters);
+            .refresh(db, net, pool, shards, DeltaDetail::Full, counters);
         let mut delta = OpDelta::empty(self.out.arity, self.out.kstride);
         if d.is_empty() {
             return delta;
@@ -1037,13 +1111,14 @@ impl JoinState {
         db: &ProbDb,
         net: &[(TupleId, RelId, NetChange)],
         pool: &Pool,
+        shards: usize,
         detail: DeltaDetail,
         counters: &mut RefreshCounters,
     ) -> OpDelta {
         let mut deltas: Vec<OpDelta> = self
             .children
             .iter_mut()
-            .map(|c| c.refresh(db, net, pool, DeltaDetail::Full, counters))
+            .map(|c| c.refresh(db, net, pool, shards, DeltaDetail::Full, counters))
             .collect();
         if let Some(out) = &self.fixed_out {
             return OpDelta::empty(out.arity, out.kstride);
@@ -1250,6 +1325,7 @@ impl ProjectState {
         db: &ProbDb,
         net: &[(TupleId, RelId, NetChange)],
         pool: &Pool,
+        shards: usize,
         detail: DeltaDetail,
         counters: &mut RefreshCounters,
     ) -> OpDelta {
@@ -1260,7 +1336,7 @@ impl ProjectState {
         } else {
             DeltaDetail::Full
         };
-        let d = self.child.refresh(db, net, pool, want, counters);
+        let d = self.child.refresh(db, net, pool, shards, want, counters);
         let mut delta = OpDelta::empty(self.out.arity, self.out.kstride);
         if d.is_empty() {
             return delta;

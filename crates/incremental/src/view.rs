@@ -15,6 +15,12 @@ pub struct RefreshOptions {
     pub threads: usize,
     /// Morsel grain; tests shrink it to force multi-morsel schedules.
     pub grain: usize,
+    /// Shard fan-out for scan-delta matching: net-added tuples are
+    /// hash-partitioned by tuple id ([`pdb::ShardMap`]) and matched per
+    /// shard, then merged back in id order — the same shard/merge stage
+    /// as the DAG executor's sharded scans, and still bit-for-bit the
+    /// serial refresh. 1 = monolithic.
+    pub shards: usize,
 }
 
 impl RefreshOptions {
@@ -22,13 +28,19 @@ impl RefreshOptions {
         RefreshOptions {
             threads: 1,
             grain: DEFAULT_GRAIN,
+            shards: 1,
         }
     }
 
     pub fn with_threads(threads: usize) -> Self {
+        Self::with_tuning(threads, 1)
+    }
+
+    pub fn with_tuning(threads: usize, shards: usize) -> Self {
         RefreshOptions {
             threads: threads.max(1),
             grain: DEFAULT_GRAIN,
+            shards: shards.max(1),
         }
     }
 
@@ -36,6 +48,7 @@ impl RefreshOptions {
         RefreshOptions {
             threads: threads.max(1),
             grain: grain.max(1),
+            shards: 1,
         }
     }
 }
@@ -171,7 +184,7 @@ impl IncrementalView {
             let net = coalesce(db.changes_since(self.synced));
             let pool = Pool::with_grain(opts.threads, opts.grain);
             self.root
-                .refresh(db, &net, &pool, DeltaDetail::Full, &mut c);
+                .refresh(db, &net, &pool, opts.shards, DeltaDetail::Full, &mut c);
             c.incremental_refreshes = 1;
             c.rows_avoided = self.root.total_rows().saturating_sub(c.rows_retouched);
         }

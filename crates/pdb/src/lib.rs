@@ -29,6 +29,7 @@ pub mod eval;
 pub mod exact;
 pub mod generators;
 pub mod lineage_ext;
+pub mod shard;
 pub mod text;
 pub mod worlds;
 
@@ -40,6 +41,7 @@ pub use exact::{
     brute_force_probability_exact, count_satisfying_worlds_exact, exact_query_probability, RatProbs,
 };
 pub use lineage_ext::{lineage_of, lineages_by_head};
+pub use shard::ShardMap;
 pub use text::{
     dump_db, dump_db_exact, load_db, load_db_exact, parse_delta_batches, parse_rational,
 };

@@ -1,0 +1,147 @@
+//! Hash-sharding of tuple storage: the data-plane partitioning scheme
+//! behind the sharded executors.
+//!
+//! A [`ShardMap`] deterministically assigns every [`TupleId`] to one of
+//! `N` shards by hashing the id (a splitmix64-style integer mix — cheap,
+//! stateless, and uniform even on the dense sequential ids `ProbDb`
+//! allocates). The per-shard tuple-id lists and posting lists are derived
+//! by [`ShardMap::split`]/[`ShardMap::split_positions`] from the global
+//! **ascending** lists the database maintains, so each shard's list is
+//! itself ascending — and a merge that stitches shard outputs back in
+//! ascending original order reproduces the unsharded scan **exactly**
+//! (same rows, same order, same bits). That derivation keeps one source
+//! of truth: the delta-maintained global lists stay authoritative, and
+//! shard views never drift from them.
+
+use crate::database::TupleId;
+
+/// Deterministic tuple-id → shard assignment for an `N`-way sharded data
+/// plane. Construction clamps `N` to at least 1; a 1-shard map assigns
+/// everything to shard 0 (the monolithic plane).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    pub fn new(shards: usize) -> Self {
+        ShardMap {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `id`. A pure function of `(id, shards)` — every
+    /// executor, refresh path, and test sees the same assignment.
+    #[inline]
+    pub fn shard_of(&self, id: TupleId) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        // splitmix64 finalizer: sequential ids spread uniformly.
+        let mut x = u64::from(id.0).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((x ^ (x >> 31)) % self.shards as u64) as usize
+    }
+
+    /// Split an ascending tuple-id list (a relation's id list or a posting
+    /// list) into per-shard lists, each ascending — the shard-local
+    /// posting lists.
+    pub fn split(&self, ids: &[TupleId]) -> Vec<Vec<TupleId>> {
+        let mut out: Vec<Vec<TupleId>> = vec![Vec::new(); self.shards];
+        for &id in ids {
+            out[self.shard_of(id)].push(id);
+        }
+        out
+    }
+
+    /// As [`ShardMap::split`], but returning per-shard **positions into
+    /// `ids`** (ascending within each shard). Scan kernels that must
+    /// report which original rows survived filtering use positions so a
+    /// k-way merge by position restores the exact unsharded row order.
+    pub fn split_positions(&self, ids: &[TupleId]) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); self.shards];
+        for (i, &id) in ids.iter().enumerate() {
+            let i = u32::try_from(i).expect("sharded id list exceeds u32 positions");
+            out[self.shard_of(id)].push(i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_in_range() {
+        let map = ShardMap::new(4);
+        for i in 0..1000u32 {
+            let s = map.shard_of(TupleId(i));
+            assert!(s < 4);
+            assert_eq!(s, map.shard_of(TupleId(i)), "id {i} unstable");
+        }
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let map = ShardMap::new(1);
+        assert_eq!(map.shards(), 1);
+        for i in [0u32, 7, 1 << 20] {
+            assert_eq!(map.shard_of(TupleId(i)), 0);
+        }
+        // Zero clamps to one.
+        assert_eq!(ShardMap::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn split_partitions_and_preserves_ascending_order() {
+        let ids: Vec<TupleId> = (0..200u32).map(TupleId).collect();
+        for shards in [1usize, 2, 3, 4, 8] {
+            let map = ShardMap::new(shards);
+            let parts = map.split(&ids);
+            assert_eq!(parts.len(), shards);
+            let total: usize = parts.iter().map(Vec::len).sum();
+            assert_eq!(total, ids.len(), "{shards} shards lose/duplicate ids");
+            for (s, part) in parts.iter().enumerate() {
+                assert!(
+                    part.windows(2).all(|w| w[0] < w[1]),
+                    "shard {s} not ascending"
+                );
+                assert!(part.iter().all(|&id| map.shard_of(id) == s));
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread_roughly_uniformly() {
+        let ids: Vec<TupleId> = (0..10_000u32).map(TupleId).collect();
+        let parts = ShardMap::new(4).split(&ids);
+        for (s, part) in parts.iter().enumerate() {
+            assert!(
+                (2_000..=3_000).contains(&part.len()),
+                "shard {s} holds {} of 10000 ids — badly skewed",
+                part.len()
+            );
+        }
+    }
+
+    #[test]
+    fn positions_mirror_the_id_split() {
+        // A sparse, non-contiguous list (posting lists look like this).
+        let ids: Vec<TupleId> = (0..300u32).filter(|i| i % 3 == 0).map(TupleId).collect();
+        let map = ShardMap::new(4);
+        let by_id = map.split(&ids);
+        let by_pos = map.split_positions(&ids);
+        for s in 0..4 {
+            let resolved: Vec<TupleId> = by_pos[s].iter().map(|&p| ids[p as usize]).collect();
+            assert_eq!(resolved, by_id[s], "shard {s}");
+            assert!(by_pos[s].windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,716 @@
+//! Plan-level pipelining over a sharded data plane.
+//!
+//! The [`par`](crate::par) module parallelizes *inside* one operator and
+//! still walks the plan tree serially: a join's build input fully
+//! materializes before its probe input starts. This module removes that
+//! barrier. [`dag_execute`] decomposes a [`PlanNode`] tree into a
+//! dependency DAG of **operator tasks** and hands it to
+//! [`exec_parallel::run_dag`]: independent subtrees (the inputs of an
+//! independent join) evaluate concurrently, each task nests morsel
+//! dispatches on the shared [`Pool`], and every task's output lands in a
+//! pre-assigned slot so downstream stitching is deterministic.
+//!
+//! ## Task decomposition
+//!
+//! * Leaves (scans, complement scans, constants) become zero-dependency
+//!   tasks — all of a plan's scans are runnable at once.
+//! * `Select`/`IndependentProject` become single-dependency tasks.
+//! * An `IndependentJoin` over inputs `i0, i1, …` becomes a chain of
+//!   [`JoinStage`](Task) tasks replicating the serial fold
+//!   `certain ⋈ i0 ⋈ i1 ⋈ …` — stage `k` depends on stage `k−1` *and*
+//!   input `k`, so input `k+1` evaluates while stage `k` joins.
+//!
+//! Each join stage's **build side is chosen from the cost model's
+//! posting-list estimates** ([`estimate_rows`]) at decomposition time —
+//! before either input materializes — mirroring the incremental estimate
+//! the join-ordering rule uses. The output is bit-identical either way
+//! (see [`par_join_sided`]); [`OpCounters::est_builds`] counts the
+//! estimate-driven choices and [`OpCounters::est_build_overrides`] how
+//! many disagreed with the materialized-row-count rule.
+//!
+//! ## Sharded scans
+//!
+//! With [`DagOptions::shards`] `> 1`, scan tasks hash-partition their
+//! tuple-id lists through [`pdb::ShardMap`] and run one kernel per shard
+//! ([`scan_rows_at`](crate::exec)), each shard reporting which original
+//! positions survived filtering; a k-way merge by ascending position
+//! restores the exact monolithic row order — same rows, same order, same
+//! bits. Complement scans stay monolithic (their rows are generated
+//! bindings with no tuple ids). Independent projects fan groups out over
+//! `shards × threads` partitions; the first-seen-row merge is partition-
+//! count invariant, so the fan-out never perturbs a bit.
+//!
+//! The invariant pinned by `tests/sharded_agreement.rs` and the in-crate
+//! tests below: for every plan, database, thread count, shard count, and
+//! scheduler picker, the DAG executor returns **bit-for-bit** the serial
+//! executor's relation.
+
+use crate::exec::{complement_rows, scan_rows, scan_rows_at, ComplementSpec, OpCounters, ScanSpec};
+use crate::node::PlanNode;
+use crate::optimize::{columns, estimate_rows};
+use crate::par::{par_join_sided, par_project_parts, par_select};
+use crate::relation::{choose_build_side, stitch_columnar, BuildSide, ProbRelation};
+use cq::{Pred, Value, Var};
+use exec_parallel::{run_dag_with_picker, DagSlots, DagStats, ExecStats, Pool, DEFAULT_GRAIN};
+use lineage::ProbValue;
+use pdb::{ProbDb, ShardMap};
+use std::collections::BTreeSet;
+
+/// Tuning for one DAG execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DagOptions {
+    /// Worker threads shared by the task scheduler and the nested morsel
+    /// dispatches (1 = serial task schedule, serial morsels).
+    pub threads: usize,
+    /// Morsel size in rows for the nested intra-operator dispatches.
+    pub grain: usize,
+    /// Shard fan-out of the data plane (1 = monolithic). Callers wanting
+    /// the cost model's opinion gate their request through
+    /// [`crate::optimize::plan_shard_fanout`] first; the executor runs
+    /// whatever fan-out it is handed.
+    pub shards: usize,
+}
+
+impl DagOptions {
+    pub fn new(threads: usize, shards: usize) -> Self {
+        DagOptions {
+            threads,
+            grain: DEFAULT_GRAIN,
+            shards,
+        }
+    }
+
+    pub fn with_grain(threads: usize, shards: usize, grain: usize) -> Self {
+        DagOptions {
+            threads,
+            grain,
+            shards,
+        }
+    }
+
+    /// The morsel pool this configuration describes.
+    pub fn pool(&self) -> Pool {
+        Pool::with_grain(self.threads, self.grain)
+    }
+}
+
+impl Default for DagOptions {
+    fn default() -> Self {
+        DagOptions::new(1, 1)
+    }
+}
+
+/// How the sharded data plane spread one execution's scan output.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Fan-out the execution ran with (1 = monolithic plane).
+    pub shards: usize,
+    /// Scan-output rows per shard, summed over every sharded scan. All in
+    /// shard 0 when the plane is monolithic.
+    pub rows: Vec<u64>,
+}
+
+/// Everything a DAG execution reports besides the relation itself.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DagRun {
+    /// Per-worker morsel timings from the shared pool.
+    pub threads: ExecStats,
+    /// Task-schedule shape: ready/running peaks and subtree overlap.
+    pub sched: DagStats,
+    /// Per-shard row spread of the data plane.
+    pub shards: ShardStats,
+}
+
+/// One schedulable unit of a decomposed plan.
+enum Task<'p> {
+    /// An empty join's unit: the certain relation.
+    Unit,
+    /// A leaf node (scan, complement scan, constant) — no dependencies.
+    Leaf(&'p PlanNode),
+    Select {
+        pred: Pred,
+        input: usize,
+    },
+    Project {
+        keep: &'p [Var],
+        input: usize,
+    },
+    /// One fold step of `certain ⋈ i0 ⋈ i1 ⋈ …`; `left` is the previous
+    /// stage (`None` = the certain accumulator), `right` the input task.
+    JoinStage {
+        left: Option<usize>,
+        right: usize,
+        est_side: BuildSide,
+    },
+}
+
+/// What one task hands downstream: its relation plus the counters and
+/// per-shard row counts it accrued (merged by the coordinator after the
+/// schedule drains — tasks never share mutable state).
+struct TaskOut<P> {
+    rel: ProbRelation<P>,
+    counters: OpCounters,
+    shard_rows: Vec<u64>,
+}
+
+/// Flatten `plan` into `tasks`/`deps`, children before parents (so every
+/// dependency index precedes its task, the shape [`run_dag`] requires),
+/// and return the root task's index — always the last.
+fn decompose<'p>(
+    plan: &'p PlanNode,
+    db: &ProbDb,
+    tasks: &mut Vec<Task<'p>>,
+    deps: &mut Vec<Vec<usize>>,
+) -> usize {
+    match plan {
+        PlanNode::Certain
+        | PlanNode::Never
+        | PlanNode::Scan { .. }
+        | PlanNode::ComplementScan { .. } => {
+            tasks.push(Task::Leaf(plan));
+            deps.push(Vec::new());
+        }
+        PlanNode::Select { pred, input } => {
+            let i = decompose(input, db, tasks, deps);
+            tasks.push(Task::Select {
+                pred: *pred,
+                input: i,
+            });
+            deps.push(vec![i]);
+        }
+        PlanNode::IndependentProject { keep, input } => {
+            let i = decompose(input, db, tasks, deps);
+            tasks.push(Task::Project { keep, input: i });
+            deps.push(vec![i]);
+        }
+        PlanNode::IndependentJoin { inputs } => {
+            if inputs.is_empty() {
+                tasks.push(Task::Unit);
+                deps.push(Vec::new());
+                return tasks.len() - 1;
+            }
+            // All input subtrees first — they are mutually independent,
+            // so they all become runnable as their own leaves complete.
+            let ins: Vec<usize> = inputs
+                .iter()
+                .map(|i| decompose(i, db, tasks, deps))
+                .collect();
+            // Then the fold chain, each stage's build side chosen from
+            // the same incremental estimate the join-ordering rule
+            // computes (the accumulator starts as certain: one row).
+            let mut acc_est = 1.0f64;
+            let mut seen: BTreeSet<Var> = BTreeSet::new();
+            let mut prev: Option<usize> = None;
+            for (k, &right) in ins.iter().enumerate() {
+                let right_est = estimate_rows(&inputs[k], db);
+                let est_side = if acc_est < right_est {
+                    BuildSide::Left
+                } else {
+                    BuildSide::Right
+                };
+                let mut d = vec![right];
+                if let Some(p) = prev {
+                    d.push(p);
+                }
+                tasks.push(Task::JoinStage {
+                    left: prev,
+                    right,
+                    est_side,
+                });
+                deps.push(d);
+                prev = Some(tasks.len() - 1);
+                let cols = columns(&inputs[k]);
+                let shared = cols.intersection(&seen).count();
+                acc_est *= right_est / 2f64.powi(shared as i32);
+                seen.extend(cols);
+            }
+        }
+    }
+    tasks.len() - 1
+}
+
+/// Evaluate a leaf node, sharding scan tasks over `map` when the plane is
+/// partitioned.
+fn leaf_rel<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    node: &PlanNode,
+    pool: &Pool,
+    map: ShardMap,
+    counters: &mut OpCounters,
+    shard_rows: &mut [u64],
+) -> ProbRelation<P> {
+    match node {
+        PlanNode::Certain => ProbRelation::certain(),
+        PlanNode::Never => ProbRelation::never(),
+        PlanNode::Scan { atom } => {
+            let scan = ScanSpec::new(db, atom, counters);
+            if map.shards() <= 1 {
+                let chunks = pool.map_morsels(scan.ids.len(), |r| {
+                    scan_rows(db, probs, &scan.plan, &scan.ids[r])
+                });
+                let (data, out) = stitch_columnar(chunks);
+                shard_rows[0] += out.len() as u64;
+                ProbRelation::from_parts(scan.cols, data, out)
+            } else {
+                // One kernel per shard over that shard's (ascending)
+                // positions into the id list; the k-way merge by original
+                // position restores the monolithic row order exactly.
+                let parts = map.split_positions(scan.ids);
+                let outs = pool.map_partitions(map.shards(), |s| {
+                    scan_rows_at(db, probs, &scan.plan, scan.ids, &parts[s])
+                });
+                for (s, o) in outs.iter().enumerate() {
+                    shard_rows[s] += o.1.len() as u64;
+                }
+                merge_shard_scans(scan.cols, outs)
+            }
+        }
+        PlanNode::ComplementScan { atom } => {
+            // Complement rows are generated bindings with no tuple ids —
+            // nothing to shard; morsel parallelism still applies.
+            let spec = ComplementSpec::new(db, atom, counters);
+            let chunks = pool.map_morsels(spec.total, |r| complement_rows(db, probs, &spec, r));
+            let (data, out) = stitch_columnar(chunks);
+            ProbRelation::from_parts(spec.cols.clone(), data, out)
+        }
+        other => unreachable!("non-leaf node in leaf task: {other:?}"),
+    }
+}
+
+/// Merge per-shard scan outputs by ascending original position — the
+/// selection merge over at most `shards` cursors that makes sharding
+/// invisible in the output.
+fn merge_shard_scans<P: ProbValue>(
+    cols: Vec<Var>,
+    outs: Vec<(Vec<Value>, Vec<P>, Vec<u32>)>,
+) -> ProbRelation<P> {
+    let arity = cols.len();
+    let total: usize = outs.iter().map(|o| o.1.len()).sum();
+    let mut out = ProbRelation::with_capacity(cols, total);
+    let mut cur = vec![0usize; outs.len()];
+    loop {
+        let mut best: Option<(u32, usize)> = None;
+        for (s, o) in outs.iter().enumerate() {
+            if let Some(&pos) = o.2.get(cur[s]) {
+                if best.is_none_or(|(b, _)| pos < b) {
+                    best = Some((pos, s));
+                }
+            }
+        }
+        let Some((_, s)) = best else {
+            return out;
+        };
+        let i = cur[s];
+        out.push(&outs[s].0[i * arity..(i + 1) * arity], outs[s].1[i].clone());
+        cur[s] += 1;
+    }
+}
+
+/// Execute `plan` as an operator DAG over the (possibly sharded) data
+/// plane. Returns exactly what [`crate::execute`] returns — same rows,
+/// same order, same bits — for every thread count, shard count, and
+/// schedule.
+pub fn dag_execute<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    opts: &DagOptions,
+) -> ProbRelation<P> {
+    dag_execute_counted(db, probs, plan, opts, &mut OpCounters::default()).0
+}
+
+/// [`dag_execute`] accumulating [`OpCounters`] and reporting the schedule
+/// and shard shape. Per-task counters are absorbed in task order after the
+/// schedule drains, so the totals are deterministic (and, for the fields
+/// the serial executor maintains, equal to its totals).
+pub fn dag_execute_counted<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    opts: &DagOptions,
+    counters: &mut OpCounters,
+) -> (ProbRelation<P>, DagRun) {
+    dag_execute_counted_with_picker(db, probs, plan, opts, |ready| ready.len() - 1, counters)
+}
+
+/// [`dag_execute_counted`] with an injectable scheduler picker (see
+/// [`exec_parallel::run_dag_with_picker`]). The torn-schedule property
+/// tests drive this with seeded random pickers and assert the output bits
+/// never move.
+pub fn dag_execute_counted_with_picker<P, PK>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    opts: &DagOptions,
+    picker: PK,
+    counters: &mut OpCounters,
+) -> (ProbRelation<P>, DagRun)
+where
+    P: ProbValue + Send + Sync,
+    PK: Fn(&[usize]) -> usize + Sync,
+{
+    assert_eq!(probs.len(), db.num_tuples(), "probability vector length");
+    let fanout = opts.shards.max(1);
+    let map = ShardMap::new(fanout);
+    let pool = opts.pool();
+    let mut tasks: Vec<Task<'_>> = Vec::new();
+    let mut deps: Vec<Vec<usize>> = Vec::new();
+    let root = decompose(plan, db, &mut tasks, &mut deps);
+    debug_assert_eq!(root, tasks.len() - 1, "root must be the last task");
+
+    let (mut outs, sched) = run_dag_with_picker(
+        opts.threads,
+        &deps,
+        picker,
+        |t, slots: DagSlots<'_, TaskOut<P>>| {
+            let mut c = OpCounters::default();
+            let mut shard_rows = vec![0u64; fanout];
+            let rel = match &tasks[t] {
+                Task::Unit => ProbRelation::certain(),
+                Task::Leaf(node) => leaf_rel(db, probs, node, &pool, map, &mut c, &mut shard_rows),
+                Task::Select { pred, input } => par_select(&slots.get(*input).rel, pred, &pool),
+                Task::Project { keep, input } => {
+                    let out = par_project_parts(
+                        &slots.get(*input).rel,
+                        keep,
+                        &pool,
+                        fanout * pool.threads(),
+                    );
+                    c.groups += out.len() as u64;
+                    out
+                }
+                Task::JoinStage {
+                    left,
+                    right,
+                    est_side,
+                } => {
+                    let unit;
+                    let l = match left {
+                        Some(i) => &slots.get(*i).rel,
+                        None => {
+                            unit = ProbRelation::certain();
+                            &unit
+                        }
+                    };
+                    let r = &slots.get(*right).rel;
+                    c.est_builds += 1;
+                    if *est_side != choose_build_side(l.len(), r.len()) {
+                        c.est_build_overrides += 1;
+                    }
+                    par_join_sided(l, r, *est_side, &pool, &mut c)
+                }
+            };
+            TaskOut {
+                rel,
+                counters: c,
+                shard_rows,
+            }
+        },
+    );
+
+    let mut shards = ShardStats {
+        shards: fanout,
+        rows: vec![0; fanout],
+    };
+    for o in &outs {
+        counters.absorb(&o.counters);
+        for (s, r) in o.shard_rows.iter().enumerate() {
+            shards.rows[s] += r;
+        }
+    }
+    counters.shard_fanout = counters.shard_fanout.max(fanout as u64);
+    let rel = outs.swap_remove(root).rel;
+    let run = DagRun {
+        threads: pool.stats(),
+        sched,
+        shards,
+    };
+    (rel, run)
+}
+
+/// `p(q)` of a Boolean plan in `f64` arithmetic via the DAG executor.
+pub fn dag_query_probability(db: &ProbDb, plan: &PlanNode, opts: &DagOptions) -> (f64, DagRun) {
+    dag_query_probability_counted(db, plan, opts, &mut OpCounters::default())
+}
+
+/// [`dag_query_probability`] with operator counters.
+pub fn dag_query_probability_counted(
+    db: &ProbDb,
+    plan: &PlanNode,
+    opts: &DagOptions,
+    counters: &mut OpCounters,
+) -> (f64, DagRun) {
+    let (rel, run) = dag_execute_counted(db, &db.prob_vector(), plan, opts, counters);
+    (rel.scalar(), run)
+}
+
+/// DAG counterpart of [`crate::ranked_probabilities`]: one
+/// `(head binding, marginal probability)` pair per candidate, in the
+/// serial path's exact order.
+///
+/// # Panics
+/// If `plan` does not carry every variable of `head` as an output column.
+pub fn dag_ranked_probabilities<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    head: &[Var],
+    opts: &DagOptions,
+) -> (Vec<(Vec<Value>, P)>, DagRun) {
+    let mut counters = OpCounters::default();
+    let (rel, run) = dag_execute_counted(db, probs, plan, opts, &mut counters);
+    (crate::exec::project_head(&rel, head), run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_plan;
+    use crate::exec::{execute, execute_counted};
+    use cq::{parse_query, Vocabulary};
+    use pdb::generators::{random_db_for_query, RandomDbOptions};
+    use pdb::RatProbs;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Mutex;
+
+    /// The parallel suite's safe shapes: joins, constants, predicates,
+    /// self-key atoms, negation — every leaf and stage kind.
+    const QUERIES: &[&str] = &[
+        "R(x)",
+        "R(x), S(x,y)",
+        "R(x), S(x,y), U(x,y,z)",
+        "R(x), T(z,w)",
+        "R(1), S(1,y)",
+        "S(x,y), x < y",
+        "S(x,x)",
+        "R(x), S(x,y), U(x,y,z), V(x,w)",
+        "R(x), not T(x)",
+        "R(x), S(x,y), not U(x,y,z)",
+    ];
+
+    #[test]
+    fn dag_matches_serial_across_threads_and_shards() {
+        let mut rng = StdRng::seed_from_u64(0xDA6);
+        for (i, text) in QUERIES.iter().enumerate() {
+            let mut voc = Vocabulary::new();
+            let q = parse_query(&mut voc, text).unwrap();
+            let plan = build_plan(&q).unwrap();
+            let opts = RandomDbOptions {
+                domain: 3,
+                tuples_per_relation: 12,
+                prob_range: (0.1, 0.9),
+            };
+            let db = random_db_for_query(&q, &voc, opts, &mut rng);
+            let probs = db.prob_vector();
+            let serial = execute(&db, &probs, &plan);
+            for threads in [1, 2, 4] {
+                for shards in [1, 2, 4] {
+                    // grain 2: force multi-morsel schedules inside tasks.
+                    let opts = DagOptions::with_grain(threads, shards, 2);
+                    let (got, run) =
+                        dag_execute_counted(&db, &probs, &plan, &opts, &mut OpCounters::default());
+                    assert_eq!(
+                        serial, got,
+                        "query {i} ({text}) diverged at {threads} threads {shards} shards"
+                    );
+                    assert_eq!(run.shards.shards, shards);
+                }
+            }
+        }
+    }
+
+    /// Satellite: torn schedules on real plans — a seeded random picker
+    /// permutes task completion order; output bits never change.
+    #[test]
+    fn torn_schedules_never_change_plan_output() {
+        let mut rng = StdRng::seed_from_u64(0x70A2);
+        for text in [
+            "R(x), S(x,y), U(x,y,z), V(x,w)",
+            "R(x), S(x,y), not U(x,y,z)",
+        ] {
+            let mut voc = Vocabulary::new();
+            let q = parse_query(&mut voc, text).unwrap();
+            let plan = build_plan(&q).unwrap();
+            let opts = RandomDbOptions {
+                domain: 3,
+                tuples_per_relation: 12,
+                prob_range: (0.1, 0.9),
+            };
+            let db = random_db_for_query(&q, &voc, opts, &mut rng);
+            let probs = db.prob_vector();
+            let serial = execute(&db, &probs, &plan);
+            for seed in 0..8u64 {
+                for threads in [1, 3] {
+                    let picker_rng = Mutex::new(StdRng::seed_from_u64(seed));
+                    let picker =
+                        |ready: &[usize]| picker_rng.lock().unwrap().gen_range(0..ready.len());
+                    let opts = DagOptions::with_grain(threads, 2, 2);
+                    let (got, _) = dag_execute_counted_with_picker(
+                        &db,
+                        &probs,
+                        &plan,
+                        &opts,
+                        picker,
+                        &mut OpCounters::default(),
+                    );
+                    assert_eq!(serial, got, "{text} seed={seed} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dag_counters_match_serial_totals_and_record_the_cost_model() {
+        let mut rng = StdRng::seed_from_u64(0xC057);
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(1), S(1,y), U(x,y,z)").unwrap();
+        let plan = build_plan(&q).unwrap();
+        let opts = RandomDbOptions {
+            domain: 3,
+            tuples_per_relation: 12,
+            prob_range: (0.1, 0.9),
+        };
+        let db = random_db_for_query(&q, &voc, opts, &mut rng);
+        let probs = db.prob_vector();
+        let mut serial = OpCounters::default();
+        let _ = execute_counted(&db, &probs, &plan, &mut serial);
+        let mut dag = OpCounters::default();
+        let _ = dag_execute_counted(
+            &db,
+            &probs,
+            &plan,
+            &DagOptions::with_grain(4, 2, 2),
+            &mut dag,
+        );
+        // Operator-granularity counters are identical; the DAG path adds
+        // its cost-model record on top.
+        assert_eq!(serial.scans, dag.scans);
+        assert_eq!(serial.index_scans, dag.index_scans);
+        assert_eq!(serial.rows_scanned, dag.rows_scanned);
+        assert_eq!(serial.rows_pruned, dag.rows_pruned);
+        assert_eq!(serial.joins, dag.joins);
+        assert_eq!(serial.join_rows, dag.join_rows);
+        assert_eq!(serial.groups, dag.groups);
+        assert_eq!(dag.est_builds, dag.joins, "every stage is estimate-chosen");
+        assert_eq!(dag.shard_fanout, 2);
+        assert_eq!(serial.shard_fanout, 0, "serial path never shards");
+    }
+
+    #[test]
+    fn sharded_scan_rows_spread_and_sum() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        for i in 0..400u64 {
+            db.insert(r, vec![Value(i)], 0.3);
+            db.insert(s, vec![Value(i % 40), Value(i)], 0.6);
+        }
+        let plan = build_plan(&q).unwrap();
+        let probs = db.prob_vector();
+        let serial = execute(&db, &probs, &plan);
+        let opts = DagOptions::with_grain(4, 4, 16);
+        let (got, run) = dag_execute_counted(&db, &probs, &plan, &opts, &mut OpCounters::default());
+        assert_eq!(serial, got);
+        assert_eq!(run.shards.rows.len(), 4);
+        assert_eq!(run.shards.rows.iter().sum::<u64>(), 800, "all scan rows");
+        assert!(
+            run.shards.rows.iter().all(|&r| r > 0),
+            "skewed shards: {:?}",
+            run.shards.rows
+        );
+    }
+
+    #[test]
+    fn dag_matches_serial_on_exact_rationals() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let plan = build_plan(&q).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let opts = RandomDbOptions {
+            domain: 3,
+            tuples_per_relation: 8,
+            prob_range: (0.1, 0.9),
+        };
+        let db = random_db_for_query(&q, &voc, opts, &mut rng);
+        let probs = RatProbs::from_db(&db);
+        let serial = execute(&db, probs.as_slice(), &plan);
+        let got = dag_execute(
+            &db,
+            probs.as_slice(),
+            &plan,
+            &DagOptions::with_grain(4, 2, 2),
+        );
+        assert_eq!(serial, got);
+    }
+
+    #[test]
+    fn ranked_dag_matches_serial() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "Director(d), Credit(d,m)").unwrap();
+        let d = q.vars()[0];
+        let plan = crate::build::build_ranked_plan(&q, &[d]).unwrap();
+        let director = voc.find_relation("Director").unwrap();
+        let credit = voc.find_relation("Credit").unwrap();
+        let mut db = ProbDb::new(voc);
+        for i in 0..20u64 {
+            db.insert(director, vec![Value(i)], 0.02 + 0.04 * i as f64);
+            db.insert(credit, vec![Value(i), Value(100 + i)], 0.9);
+            db.insert(credit, vec![Value(i), Value(200 + i)], 0.4);
+        }
+        let probs = db.prob_vector();
+        let serial = crate::exec::ranked_probabilities(&db, &probs, &plan, &[d]);
+        for threads in [1, 2, 4] {
+            for shards in [1, 3] {
+                let (got, _) = dag_ranked_probabilities(
+                    &db,
+                    &probs,
+                    &plan,
+                    &[d],
+                    &DagOptions::with_grain(threads, shards, 2),
+                );
+                assert_eq!(serial, got, "{threads} threads {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn bushy_plans_overlap_subtrees() {
+        // Four scans under one join: with 4 workers, independent subtrees
+        // must actually run concurrently at least once.
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y), U(x,y,z), V(x,w)").unwrap();
+        let plan = build_plan(&q).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xB00);
+        let opts = RandomDbOptions {
+            domain: 6,
+            tuples_per_relation: 300,
+            prob_range: (0.1, 0.9),
+        };
+        let db = random_db_for_query(&q, &voc, opts, &mut rng);
+        let probs = db.prob_vector();
+        let (got, run) = dag_execute_counted(
+            &db,
+            &probs,
+            &plan,
+            &DagOptions::with_grain(4, 1, 32),
+            &mut OpCounters::default(),
+        );
+        assert_eq!(execute(&db, &probs, &plan), got);
+        assert!(run.sched.max_ready >= 2, "{:?}", run.sched);
+        assert!(run.sched.tasks >= 8, "{:?}", run.sched);
+    }
+
+    #[test]
+    fn empty_database_scalar_is_zero() {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let db = ProbDb::new(voc);
+        let plan = build_plan(&q).unwrap();
+        let (p, _) = dag_query_probability(&db, &plan, &DagOptions::new(4, 4));
+        assert_eq!(p, 0.0);
+    }
+}

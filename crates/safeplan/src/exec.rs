@@ -52,6 +52,38 @@ pub struct OpCounters {
     pub join_rows: u64,
     /// Distinct groups across all independent-project aggregations.
     pub groups: u64,
+    /// Shard fan-out the cost model chose for this execution (0 on the
+    /// monolithic serial/morsel paths, ≥ 1 on the DAG/sharded path).
+    pub shard_fanout: u64,
+    /// Join stages whose build side was chosen by the posting-list cost
+    /// model (the DAG executor decides sides from estimates *before* the
+    /// inputs materialize, so the build can be scheduled early)…
+    pub est_builds: u64,
+    /// …of which this many disagreed with the materialized-row-count rule
+    /// the serial executor applies (the output is bit-identical either
+    /// way; only the hashed side differs).
+    pub est_build_overrides: u64,
+}
+
+impl OpCounters {
+    /// Add `other`'s counts into `self` — all fields are plain sums, so
+    /// absorbing per-task counters in any order reproduces the operator
+    /// totals a single-threaded pass would have accumulated.
+    pub fn absorb(&mut self, other: &OpCounters) {
+        self.scans += other.scans;
+        self.index_scans += other.index_scans;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_pruned += other.rows_pruned;
+        self.complement_scans += other.complement_scans;
+        self.complement_rows += other.complement_rows;
+        self.joins += other.joins;
+        self.joins_build_left += other.joins_build_left;
+        self.join_rows += other.join_rows;
+        self.groups += other.groups;
+        self.shard_fanout = self.shard_fanout.max(other.shard_fanout);
+        self.est_builds += other.est_builds;
+        self.est_build_overrides += other.est_build_overrides;
+    }
 }
 
 /// Execute `plan` over `db`, with tuple probabilities supplied in
@@ -324,6 +356,50 @@ pub(crate) fn scan_rows<P: ProbValue>(
         out_probs.push(probs[tid.0 as usize].clone());
     }
     (data, out_probs)
+}
+
+/// The scan kernel over an explicit subset of `ids`, given as ascending
+/// positions — the per-shard variant. `at` holds indices into `ids` (one
+/// shard's slice of the id space, ascending); surviving rows come back as
+/// columnar buffers **plus the position each row came from**, so a k-way
+/// merge of shard outputs by position reproduces the unsharded
+/// [`scan_rows`] output bit for bit (filtering can drop rows, so
+/// positions — not counts — are what the merge stitches by).
+pub(crate) fn scan_rows_at<P: ProbValue>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &ScanPlan,
+    ids: &[TupleId],
+    at: &[u32],
+) -> (Vec<Value>, Vec<P>, Vec<u32>) {
+    let mut data: Vec<Value> = Vec::new();
+    let mut out_probs: Vec<P> = Vec::new();
+    let mut survivors: Vec<u32> = Vec::new();
+    let mut rowbuf = vec![Value(0); plan.arity];
+    'tuples: for &pos in at {
+        let tid = ids[pos as usize];
+        let tuple = db.tuple(tid);
+        for (p, slot) in plan.slots.iter().enumerate() {
+            let got = tuple.args[p];
+            match *slot {
+                Slot::Const(c) => {
+                    if got != c {
+                        continue 'tuples;
+                    }
+                }
+                Slot::Bind(ci) => rowbuf[ci] = got,
+                Slot::Check(ci) => {
+                    if rowbuf[ci] != got {
+                        continue 'tuples;
+                    }
+                }
+            }
+        }
+        data.extend_from_slice(&rowbuf);
+        out_probs.push(probs[tid.0 as usize].clone());
+        survivors.push(pos);
+    }
+    (data, out_probs, survivors)
 }
 
 // ---------------------------------------------------------------------------

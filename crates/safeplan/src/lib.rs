@@ -24,8 +24,12 @@
 //! `(column, value)` posting lists in [`pdb::ProbDb`]. The [`par`] module
 //! executes the same plans on a morsel-driven scoped-thread worker pool
 //! ([`par_execute`]), bit-for-bit identical to the serial executor at
-//! every thread count. The pre-columnar row executor survives in
-//! [`rowref`] as the correctness oracle and bench baseline.
+//! every thread count. The [`dag`] module goes one level up: plans
+//! decompose into an operator-task DAG whose independent subtrees overlap
+//! on the same pool, over a hash-**sharded** data plane
+//! ([`dag_execute`]) — still bit-for-bit identical for every thread
+//! count, shard count, and schedule. The pre-columnar row executor
+//! survives in [`rowref`] as the correctness oracle and bench baseline.
 //!
 //! ```
 //! use cq::{parse_query, Vocabulary, Value};
@@ -44,6 +48,7 @@
 //! ```
 
 pub mod build;
+pub mod dag;
 pub mod exec;
 pub mod node;
 pub mod optimize;
@@ -52,17 +57,24 @@ pub mod relation;
 pub mod rowref;
 
 pub use build::{build_plan, build_ranked_plan, PlanError};
+pub use dag::{
+    dag_execute, dag_execute_counted, dag_execute_counted_with_picker, dag_query_probability,
+    dag_query_probability_counted, dag_ranked_probabilities, DagOptions, DagRun, ShardStats,
+};
 pub use exec::{
     execute, execute_counted, query_probability, query_probability_counted,
     query_probability_exact, ranked_probabilities, OpCounters,
 };
 pub use node::PlanNode;
-pub use optimize::{columns, estimate_rows, optimize, optimize_with_stats};
+pub use optimize::{
+    columns, estimate_rows, optimize, optimize_with_stats, plan_shard_fanout, scan_estimate,
+    SHARD_MIN_ROWS,
+};
 pub use par::{
     par_execute, par_execute_counted, par_query_probability, par_query_probability_counted,
     par_ranked_probabilities, ParOptions,
 };
-// Re-exported so downstream crates and tests can drive the parallel
-// executor without a direct `exec-parallel` dependency.
-pub use exec_parallel::{ExecStats, Pool, ThreadStats};
+// Re-exported so downstream crates and tests can drive the parallel and
+// DAG executors without a direct `exec-parallel` dependency.
+pub use exec_parallel::{DagStats, ExecStats, Pool, ThreadStats};
 pub use relation::{FnvHasher, ProbRelation};

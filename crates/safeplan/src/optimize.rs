@@ -23,7 +23,7 @@
 //! original and optimized plans on random databases.
 
 use crate::node::PlanNode;
-use cq::{Term, Var};
+use cq::{Atom, Term, Var};
 use pdb::ProbDb;
 use std::collections::BTreeSet;
 
@@ -169,22 +169,54 @@ fn apply_local(node: PlanNode) -> PlanNode {
     }
 }
 
-/// Estimated output cardinality of a node against `db`. Scans are exact
-/// (modulo constant/repeated-variable filters, estimated at 1/3 reduction
-/// per filter position); selections keep 1/3; independent projects keep
-/// every group (an upper bound: the group count is at most the row count);
-/// joins multiply and divide by 2 per shared column — the classic
-/// System-R-flavoured guess, sufficient for input ordering.
+/// The exact number of tuple ids the executor will visit for `atom`: the
+/// smallest constant-pushdown posting list when the atom has constants,
+/// the full relation otherwise — the same pure choice `ScanSpec::new`
+/// makes, read here without running the scan. This is the cost model's
+/// ground truth: posting-list sizes, not materialized row counts.
+pub fn scan_estimate(db: &ProbDb, atom: &Atom) -> usize {
+    let all = db.tuples_of(atom.rel).len();
+    let mut best: Option<usize> = None;
+    for (pos, term) in atom.args.iter().enumerate() {
+        if let Term::Const(c) = term {
+            let len = db.tuples_with(atom.rel, pos, *c).len();
+            if best.is_none_or(|b| len < b) {
+                best = Some(len);
+            }
+        }
+    }
+    best.unwrap_or(all)
+}
+
+/// Estimated output cardinality of a node against `db`. Scans start from
+/// the **exact posting-list size** the executor will visit (see
+/// [`scan_estimate`]) — constants beyond the pushed-down one and
+/// repeated-variable positions still filter at the documented 1/3 guess;
+/// selections keep 1/3; independent projects keep every group (an upper
+/// bound: the group count is at most the row count); joins multiply and
+/// divide by 2 per shared column — the classic System-R-flavoured guess,
+/// sufficient for input ordering and build-side selection.
 pub fn estimate_rows(plan: &PlanNode, db: &ProbDb) -> f64 {
     match plan {
         PlanNode::Certain => 1.0,
         PlanNode::Never => 0.0,
         PlanNode::Scan { atom } => {
-            let base = db.tuples_of(atom.rel).len() as f64;
-            // Every constant position and every repeated-variable position
-            // filters the scan: arity minus distinct output columns.
-            let filters = atom.args.len() - columns(plan).len();
-            base / 3f64.powi(filters as i32)
+            let consts = atom
+                .args
+                .iter()
+                .filter(|t| matches!(t, Term::Const(_)))
+                .count();
+            // Repeated-variable positions: arity minus constants minus
+            // distinct output columns.
+            let repeated = atom.args.len() - consts - columns(plan).len();
+            // One constant is priced exactly by the posting list; each
+            // residual constant and repeated position filters at 1/3.
+            let (base, residual) = if consts > 0 {
+                (scan_estimate(db, atom) as f64, consts - 1 + repeated)
+            } else {
+                (db.tuples_of(atom.rel).len() as f64, repeated)
+            };
+            base / 3f64.powi(residual as i32)
         }
         PlanNode::ComplementScan { .. } => {
             // One row per domain binding of the distinct variables.
@@ -201,6 +233,44 @@ pub fn estimate_rows(plan: &PlanNode, db: &ProbDb) -> f64 {
                 seen.extend(columns(i));
             }
             rows
+        }
+    }
+}
+
+/// Minimum posting-list size at which hash-sharding a plan's scans pays
+/// for its per-shard scaffolding. Deliberately low so mid-size test
+/// workloads still exercise the sharded path under `ENGINE_SHARDS`; tiny
+/// inputs collapse to the monolithic plane.
+pub const SHARD_MIN_ROWS: usize = 256;
+
+/// The shard fan-out the cost model grants `plan`: the `requested` count
+/// when at least one scan will visit [`SHARD_MIN_ROWS`] or more tuple ids
+/// (per [`scan_estimate`] — posting lists, not materialized counts),
+/// otherwise 1. A pure function of `(plan, db, requested)`, so every
+/// executor and refresh path lands on the same data-plane layout.
+pub fn plan_shard_fanout(plan: &PlanNode, db: &ProbDb, requested: usize) -> usize {
+    if requested <= 1 {
+        return 1;
+    }
+    if widest_scan(plan, db) >= SHARD_MIN_ROWS {
+        requested
+    } else {
+        1
+    }
+}
+
+/// The largest tuple-id list any scan in `plan` will visit. Complement
+/// scans contribute nothing: their rows are generated bindings with no
+/// tuple ids, so they never shard.
+fn widest_scan(plan: &PlanNode, db: &ProbDb) -> usize {
+    match plan {
+        PlanNode::Certain | PlanNode::Never | PlanNode::ComplementScan { .. } => 0,
+        PlanNode::Scan { atom } => scan_estimate(db, atom),
+        PlanNode::Select { input, .. } | PlanNode::IndependentProject { input, .. } => {
+            widest_scan(input, db)
+        }
+        PlanNode::IndependentJoin { inputs } => {
+            inputs.iter().map(|i| widest_scan(i, db)).max().unwrap_or(0)
         }
     }
 }
@@ -446,5 +516,43 @@ mod tests {
             }
         }
         panic!("unexpected plan shape: {opt:?}");
+    }
+
+    #[test]
+    fn scan_estimates_read_posting_lists() {
+        let (voc, q) = parse("S(1,y)");
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        // 3 tuples match S(1, _) out of 20.
+        for i in 0..20u64 {
+            let key = if i < 3 { 1 } else { i + 10 };
+            db.insert(s, vec![cq::Value(key), cq::Value(i)], 0.5);
+        }
+        let atom = &q.atoms[0];
+        assert_eq!(scan_estimate(&db, atom), 3, "posting list is exact");
+        let est = estimate_rows(&PlanNode::Scan { atom: atom.clone() }, &db);
+        assert_eq!(est, 3.0, "one constant priced exactly, no residuals");
+    }
+
+    #[test]
+    fn shard_fanout_collapses_on_tiny_inputs() {
+        let (voc, q) = parse("R(x), S(x,y)");
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        for i in 0..10u64 {
+            db.insert(r, vec![cq::Value(i)], 0.5);
+            db.insert(s, vec![cq::Value(i), cq::Value(i + 1)], 0.5);
+        }
+        let plan = build_plan(&q).unwrap();
+        // Ten-tuple scans are below the threshold: collapse to 1.
+        assert_eq!(plan_shard_fanout(&plan, &db, 4), 1);
+        assert_eq!(plan_shard_fanout(&plan, &db, 1), 1);
+        // Grow one relation past the threshold: the request is granted.
+        for i in 10..(SHARD_MIN_ROWS as u64 + 10) {
+            db.insert(r, vec![cq::Value(i)], 0.5);
+        }
+        assert_eq!(plan_shard_fanout(&plan, &db, 4), 4);
+        assert_eq!(plan_shard_fanout(&plan, &db, 1), 1, "requested 1 stays 1");
     }
 }

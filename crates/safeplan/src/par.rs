@@ -188,7 +188,7 @@ pub fn par_ranked_probabilities<P: ProbValue + Send + Sync>(
 
 /// Partitioned filter: morsels over the input rows, each emitting a
 /// columnar chunk of whole rows.
-fn par_select<P: ProbValue + Send + Sync>(
+pub(crate) fn par_select<P: ProbValue + Send + Sync>(
     rel: &ProbRelation<P>,
     pred: &Pred,
     pool: &Pool,
@@ -213,9 +213,30 @@ fn par_join<P: ProbValue + Send + Sync>(
     pool: &Pool,
     counters: &mut OpCounters,
 ) -> ProbRelation<P> {
+    par_join_sided(
+        left,
+        right,
+        choose_build_side(left.len(), right.len()),
+        pool,
+        counters,
+    )
+}
+
+/// [`par_join`] with the build side supplied by the caller. The output is
+/// bit-identical regardless of `side` — a right build emits probe-major
+/// directly; a left build counting-sorts the probe pairs back into the
+/// same left-major order — so callers (the DAG executor's cost model) may
+/// pick the side from *estimates* without risking the agreement invariant.
+pub(crate) fn par_join_sided<P: ProbValue + Send + Sync>(
+    left: &ProbRelation<P>,
+    right: &ProbRelation<P>,
+    side: BuildSide,
+    pool: &Pool,
+    counters: &mut OpCounters,
+) -> ProbRelation<P> {
     counters.joins += 1;
     let spec = join_spec(left.cols(), right.cols());
-    let (data, probs) = match choose_build_side(left.len(), right.len()) {
+    let (data, probs) = match side {
         BuildSide::Right => {
             let index = JoinIndex::build(right, &spec.other_key);
             let chunks =
@@ -256,11 +277,25 @@ fn par_project<P: ProbValue + Send + Sync>(
     keep: &[Var],
     pool: &Pool,
 ) -> ProbRelation<P> {
+    par_project_parts(rel, keep, pool, pool.threads())
+}
+
+/// [`par_project`] with an explicit partition count. The first-seen-row
+/// merge makes the output a pure function of the input — identical for
+/// **any** `parts` — so the sharded executor can fan groups out over
+/// `shards × threads` partitions without perturbing a single bit.
+pub(crate) fn par_project_parts<P: ProbValue + Send + Sync>(
+    rel: &ProbRelation<P>,
+    keep: &[Var],
+    pool: &Pool,
+    parts: usize,
+) -> ProbRelation<P> {
     // Sub-morsel inputs are not worth a fan-out; the serial fold is the
     // same computation (bit for bit), minus the partition scaffolding.
-    if pool.threads() == 1 || rel.len() <= pool.grain() {
+    if (pool.threads() == 1 && parts <= 1) || rel.len() <= pool.grain() {
         return rel.independent_project(keep);
     }
+    let parts = parts.max(1);
     let key_idx: Vec<usize> = keep
         .iter()
         .map(|&v| rel.col_index(v).expect("projection column missing"))
@@ -280,11 +315,10 @@ fn par_project<P: ProbValue + Send + Sync>(
                 .collect::<Vec<u64>>()
         }
     });
-    let owners = partition_rows(&stitch(hash_chunks), pool.threads());
+    let owners = partition_rows(&stitch(hash_chunks), parts);
     // Phase 2: each worker owns the groups hashing to its partitions and
     // folds `Π(1−p)` over their rows in row order, touching only its own
     // rows (`owners[part]` ascends, preserving the serial fold order).
-    let parts = pool.threads();
     let partials: Vec<GroupFold<P>> = pool.map_partitions(parts, |part| {
         group_fold_rows(rel, &key_idx, owners[part].iter().copied())
     });

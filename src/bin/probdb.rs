@@ -5,7 +5,7 @@
 //! ```text
 //! probdb classify "R(x), S(x,y), T(y)"
 //! probdb explain  "R(x), S(x,y), S(u,v), T(v)"
-//! probdb eval db.txt "R(x), S(x,y)" [--mc-samples 100000] [--exact] [--threads N]
+//! probdb eval db.txt "R(x), S(x,y)" [--mc-samples 100000] [--exact] [--threads N] [--shards N]
 //! probdb count db.txt "R(x), S(x,y)"        # satisfying substructures
 //! probdb plan "R(x), S(x,y)"                # the planner's physical plan
 //! probdb rank db.txt "Director(d), Credit(d,m)" x0 [--top K] [--threads N]
@@ -23,9 +23,12 @@
 //!
 //! `--threads N` runs the morsel-driven parallel executor on N workers
 //! (results are bit-for-bit the serial answers; sampling stays
-//! deterministic per seed and thread count). The `ENGINE_THREADS`
-//! environment variable sets the default. The `--exact` rational path is
-//! serial-only and ignores `--threads`.
+//! deterministic per seed and thread count). `--shards N` hash-partitions
+//! extensional scans into N shards for the pipelined operator-DAG
+//! executor — still bit-for-bit serial answers; a per-plan cost model
+//! keeps small scans monolithic. The `ENGINE_THREADS` / `ENGINE_SHARDS`
+//! environment variables set the defaults. The `--exact` rational path is
+//! serial-only and ignores both flags.
 
 use dichotomy::engine::{Engine, ExecOptions, Strategy};
 use dichotomy::{classify, count_substructures_recurrence, explain, ranked_answers};
@@ -40,30 +43,38 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N] | apply <db.txt> <deltas.txt> [-o out.txt] | watch <db.txt> <query> <deltas.txt> [--threads N]"
+                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] [--shards N] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N] [--shards N] | apply <db.txt> <deltas.txt> [-o out.txt] | watch <db.txt> <query> <deltas.txt> [--threads N] [--shards N]"
             );
             ExitCode::from(2)
         }
     }
 }
 
-/// Parse an optional `--threads N` flag into execution options; without
-/// the flag, [`ExecOptions::default`] honors `ENGINE_THREADS`.
+/// Parse optional `--threads N` / `--shards N` flags into execution
+/// options; absent flags fall back to [`ExecOptions::default`], which
+/// honors `ENGINE_THREADS` / `ENGINE_SHARDS`.
 fn exec_options(args: &[String]) -> Result<ExecOptions, String> {
-    match args.iter().position(|a| a == "--threads") {
-        Some(i) => {
-            let n = args
-                .get(i + 1)
-                .ok_or("--threads needs a value")?
-                .parse::<usize>()
-                .map_err(|e| e.to_string())?;
-            if n == 0 {
-                return Err("--threads must be at least 1".into());
+    let tuning = |flag: &str, default: usize| -> Result<usize, String> {
+        match args.iter().position(|a| a == flag) {
+            Some(i) => {
+                let n = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?
+                    .parse::<usize>()
+                    .map_err(|e| e.to_string())?;
+                if n == 0 {
+                    return Err(format!("{flag} must be at least 1"));
+                }
+                Ok(n)
             }
-            Ok(ExecOptions::with_threads(n))
+            None => Ok(default),
         }
-        None => Ok(ExecOptions::default()),
-    }
+    };
+    let defaults = ExecOptions::default();
+    Ok(ExecOptions::with_tuning(
+        tuning("--threads", defaults.threads)?,
+        tuning("--shards", defaults.shards)?,
+    ))
 }
 
 fn run(args: &[String]) -> Result<(), String> {

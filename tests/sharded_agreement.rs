@@ -1,0 +1,237 @@
+//! Sharded/DAG agreement: the operator-DAG scheduler over hash-partitioned
+//! scans (PR 6) must return **bit-for-bit** what the serial set-at-a-time
+//! executor returns — same rows, same order, same `f64` values — at every
+//! (threads × shards) tuning, on random hierarchical self-join-free queries
+//! over random databases, through ranked (top-k) retrieval, and through
+//! engine-level evaluation and incremental view refresh.
+
+use probdb::prelude::{
+    build_plan, parse_query, query_probability, Engine, ExecOptions, ProbDb, Query, Strategy,
+    Value, Var, Vocabulary,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safeplan::{dag_query_probability, dag_ranked_probabilities, DagOptions};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+/// Random hierarchical self-join-free query: a forest of hierarchy trees
+/// where every atom's variables are a root-to-node path, each atom over a
+/// fresh relation — exactly the fragment the extensional compiler accepts.
+fn random_hierarchical_query(rng: &mut StdRng, voc: &mut Vocabulary) -> Query {
+    fn grow(
+        rng: &mut StdRng,
+        voc: &mut Vocabulary,
+        atoms: &mut Vec<cq::Atom>,
+        path: &mut Vec<Var>,
+        next_var: &mut u32,
+        depth: u32,
+    ) {
+        for _ in 0..rng.gen_range(1..=2u32) {
+            let name = format!("P{}", atoms.len());
+            let rel = voc.relation(&name, path.len()).unwrap();
+            let args = path.iter().map(|&v| cq::Term::Var(v)).collect();
+            atoms.push(cq::Atom::new(rel, args));
+        }
+        if depth < 3 {
+            for _ in 0..rng.gen_range(0..=2u32) {
+                path.push(Var(*next_var));
+                *next_var += 1;
+                grow(rng, voc, atoms, path, next_var, depth + 1);
+                path.pop();
+            }
+        }
+    }
+    let mut atoms = Vec::new();
+    let mut next_var = 0u32;
+    for _ in 0..rng.gen_range(1..=2u32) {
+        let mut path = vec![Var(next_var)];
+        next_var += 1;
+        grow(rng, voc, &mut atoms, &mut path, &mut next_var, 1);
+    }
+    Query::new(atoms, vec![])
+}
+
+fn random_db(q: &Query, voc: &Vocabulary, rng: &mut StdRng) -> ProbDb {
+    use pdb::generators::{random_db_for_query, RandomDbOptions};
+    let opts = RandomDbOptions {
+        domain: 4,
+        tuples_per_relation: 20,
+        prob_range: (0.05, 0.95),
+    };
+    random_db_for_query(q, voc, opts, rng)
+}
+
+/// DAG executor — every (threads × shards) tuning, including literal shard
+/// fan-outs the engine's cost model would collapse on databases this small
+/// — against the serial oracle, on random hierarchical SJF queries.
+#[test]
+fn dag_matches_serial_on_random_hierarchical_queries() {
+    let mut rng = StdRng::seed_from_u64(0x5AA2D);
+    for case in 0..25 {
+        let mut voc = Vocabulary::new();
+        let q = random_hierarchical_query(&mut rng, &mut voc);
+        let plan = safeplan::optimize(&build_plan(&q).unwrap());
+        for round in 0..2 {
+            let db = random_db(&q, &voc, &mut rng);
+            let oracle = query_probability(&db, &plan);
+            for threads in THREADS {
+                for shards in SHARDS {
+                    let (p, run) =
+                        dag_query_probability(&db, &plan, &DagOptions::new(threads, shards));
+                    assert_eq!(
+                        p.to_bits(),
+                        oracle.to_bits(),
+                        "case {case} round {round} t={threads} s={shards}: {} ({p} vs {oracle})",
+                        q.display(&voc)
+                    );
+                    assert!(run.sched.tasks >= 1, "case {case}: no tasks scheduled");
+                    assert_eq!(
+                        run.shards.shards, shards,
+                        "case {case}: shard stats fan-out"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Ranked retrieval: the DAG sharded ranked path returns the serial
+/// oracle's exact answer list — tuples, probabilities, and order — so any
+/// top-k cut is identical.
+#[test]
+fn dag_ranked_top_k_matches_serial() {
+    let mut rng = StdRng::seed_from_u64(0x5AA2E);
+    for case in 0..10 {
+        let mut voc = Vocabulary::new();
+        let q = random_hierarchical_query(&mut rng, &mut voc);
+        let vars = q.vars();
+        let head = vec![vars[rng.gen_range(0..vars.len())]];
+        let Ok(plan) = safeplan::build_ranked_plan(&q, &head) else {
+            continue;
+        };
+        let db = random_db(&q, &voc, &mut rng);
+        let probs = db.prob_vector();
+        let oracle = safeplan::ranked_probabilities(&db, &probs, &plan, &head);
+        for threads in THREADS {
+            for shards in SHARDS {
+                let (ranked, _run) = dag_ranked_probabilities(
+                    &db,
+                    &probs,
+                    &plan,
+                    &head,
+                    &DagOptions::new(threads, shards),
+                );
+                assert_eq!(
+                    ranked.len(),
+                    oracle.len(),
+                    "case {case} t={threads} s={shards}"
+                );
+                for (i, ((tv, tp), (ov, op))) in ranked.iter().zip(oracle.iter()).enumerate() {
+                    assert_eq!(tv, ov, "case {case} t={threads} s={shards} row {i} tuple");
+                    assert_eq!(
+                        tp.to_bits(),
+                        op.to_bits(),
+                        "case {case} t={threads} s={shards} row {i} probability"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Engine-level agreement: `ExecOptions::with_tuning` (the `--shards` /
+/// `ENGINE_SHARDS` path, cost-model gated) and incremental view refresh
+/// with sharded Added-matching both reproduce the serial engine's bits.
+#[test]
+fn engine_and_views_agree_under_sharded_tuning() {
+    let mut rng = StdRng::seed_from_u64(0x5AA2F);
+    let text = "R(x), S(x,y)";
+
+    let build = |voc: Vocabulary| ProbDb::new(voc);
+    for (threads, shards) in [(1, 2), (2, 4), (4, 4), (8, 2)] {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, text).unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = build(voc);
+        for i in 0..40u64 {
+            db.insert(r, vec![Value(i)], rng.gen_range(0.05..0.95));
+            for j in 0..3u64 {
+                db.insert(
+                    s,
+                    vec![Value(i), Value(100 + i * 3 + j)],
+                    rng.gen_range(0.05..0.95),
+                );
+            }
+        }
+
+        let serial = Engine::with_options(0, 7, ExecOptions::serial());
+        let tuned = Engine::with_options(0, 7, ExecOptions::with_tuning(threads, shards));
+        let p0 = serial
+            .evaluate(&db, &q, Strategy::Auto)
+            .unwrap()
+            .probability;
+        let p1 = tuned.evaluate(&db, &q, Strategy::Auto).unwrap().probability;
+        assert_eq!(p0.to_bits(), p1.to_bits(), "engine t={threads} s={shards}");
+
+        // Incremental views: the sharded Added-matching refresh path must
+        // track cold serial execution bit-for-bit across churn rounds.
+        let view = tuned.subscribe(&db, &q).unwrap();
+        assert!(view.is_incremental());
+        for round in 0..3u64 {
+            for i in 0..20u64 {
+                let v = 10_000 * (round + 1) + i;
+                db.insert(r, vec![Value(v)], rng.gen_range(0.05..0.95));
+                db.insert(s, vec![Value(v), Value(v + 1)], rng.gen_range(0.05..0.95));
+            }
+            let refreshed = view.read(&db).unwrap().evaluation.probability;
+            let cold = serial
+                .evaluate(&db, &q, Strategy::Auto)
+                .unwrap()
+                .probability;
+            assert_eq!(
+                refreshed.to_bits(),
+                cold.to_bits(),
+                "view refresh round {round} t={threads} s={shards}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: for random R/1, S/2 databases (duplicate inserts allowed),
+    /// the DAG sharded executor is bit-identical to the serial executor on
+    /// q_hier at every (threads × shards) tuning.
+    #[test]
+    fn dag_is_bit_identical_on_random_dbs(
+        r_rows in proptest::collection::vec((0u64..4, 0.05f64..0.95), 1..12),
+        s_rows in proptest::collection::vec((0u64..4, 0u64..4, 0.05f64..0.95), 1..16),
+    ) {
+        let mut voc = Vocabulary::new();
+        let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+        let r = voc.find_relation("R").unwrap();
+        let s = voc.find_relation("S").unwrap();
+        let mut db = ProbDb::new(voc);
+        for &(a, p) in &r_rows {
+            db.insert(r, vec![Value(a)], p);
+        }
+        for &(a, b, p) in &s_rows {
+            db.insert(s, vec![Value(a), Value(b)], p);
+        }
+        let plan = safeplan::optimize(&build_plan(&q).unwrap());
+        let oracle = query_probability(&db, &plan);
+        for threads in THREADS {
+            for shards in SHARDS {
+                let (p, _run) =
+                    dag_query_probability(&db, &plan, &DagOptions::new(threads, shards));
+                prop_assert_eq!(p.to_bits(), oracle.to_bits(),
+                    "t={} s={}", threads, shards);
+            }
+        }
+    }
+}
