@@ -7,7 +7,7 @@
 //! ```
 
 use bench_harness::{
-    deep_workload, h0_workload, loglog_slope, measure_columnar, measure_incremental,
+    deep_workload, h0_workload, loglog_slope, measure_columnar, measure_incremental, measure_obs,
     measure_pipeline, selfjoin_workload, star_workload, time,
 };
 use cq::{parse_query, Query, Vocabulary};
@@ -37,6 +37,7 @@ fn main() {
         "columnar" => columnar(smoke),
         "incremental" => incremental(smoke),
         "pipeline" => pipeline(smoke),
+        "obs" => obs(smoke),
         "all" => {
             table1();
             mystiq();
@@ -51,11 +52,12 @@ fn main() {
             columnar(smoke);
             incremental(smoke);
             pipeline(smoke);
+            obs(smoke);
         }
         other => {
             eprintln!("unknown report: {other}");
             eprintln!(
-                "available: table1 mystiq scaling hardness blowup mc ablation plans counting multisim columnar incremental pipeline all (columnar/incremental/pipeline take --smoke)"
+                "available: table1 mystiq scaling hardness blowup mc ablation plans counting multisim columnar incremental pipeline obs all (columnar/incremental/pipeline/obs take --smoke)"
             );
             std::process::exit(2);
         }
@@ -265,6 +267,64 @@ fn pipeline(smoke: bool) {
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("-> wrote BENCH_pipeline.json");
+}
+
+/// Telemetry cost: the same threaded + sharded engine evaluation with span
+/// tracing off vs forced on, on the 100k-tuple star workload, with the
+/// measurement emitted as `BENCH_obs.json` and the captured trace as
+/// `TRACE_obs.json` (Perfetto-loadable). `--smoke` shrinks the workload
+/// for CI: same gates and JSON shape.
+fn obs(smoke: bool) {
+    header("observability: span tracing cost + Chrome trace export");
+    let roots: u64 = if smoke { 2_000 } else { 20_000 };
+    let runs = if smoke { 3 } else { 5 };
+    // roots × (1 + fanout) tuples: fanout 4 makes the full run the
+    // 100k-tuple star. Bit-for-bit gate (traced == untraced) lives in
+    // `measure_obs`.
+    let m = measure_obs(roots, 4, 7, runs);
+
+    println!(
+        "workload: star, {} roots x fanout {} = {} tuples, threads=4 shards=4{}",
+        m.roots,
+        m.fanout,
+        m.tuples,
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!("  tracing off: {:>8.2} ms", m.untraced_s * 1e3);
+    println!(
+        "  tracing on : {:>8.2} ms   overhead {:.2}x",
+        m.traced_s * 1e3,
+        m.overhead()
+    );
+    println!(
+        "  one traced run: {} span(s), {} dropped, {} bytes of Chrome trace",
+        m.spans, m.dropped, m.trace_bytes
+    );
+    println!("  (hardware threads available: {})", m.hardware_threads);
+
+    std::fs::write("TRACE_obs.json", &m.trace_json).expect("write TRACE_obs.json");
+    println!("-> wrote TRACE_obs.json (load in Perfetto / chrome://tracing)");
+
+    let json = format!(
+        "{{\n  \"workload\": \"star\",\n  \"roots\": {roots},\n  \"fanout\": {fanout},\n  \
+         \"tuples\": {tuples},\n  \"smoke\": {smoke},\n  \"hardware_threads\": {hw},\n  \
+         \"untraced_s\": {t_off:.6},\n  \"traced_s\": {t_on:.6},\n  \
+         \"traced_overhead\": {ov:.3},\n  \"spans\": {spans},\n  \
+         \"spans_dropped\": {dropped},\n  \"trace_bytes\": {bytes},\n  \
+         \"bit_for_bit_agreement\": true\n}}\n",
+        roots = m.roots,
+        fanout = m.fanout,
+        tuples = m.tuples,
+        hw = m.hardware_threads,
+        t_off = m.untraced_s,
+        t_on = m.traced_s,
+        ov = m.overhead(),
+        spans = m.spans,
+        dropped = m.dropped,
+        bytes = m.trace_bytes,
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("-> wrote BENCH_obs.json");
 }
 
 /// E1 + E2 + E3: the classification table over the full paper catalog

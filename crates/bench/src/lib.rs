@@ -448,6 +448,99 @@ pub fn measure_incremental(
     }
 }
 
+/// One traced-vs-untraced telemetry comparison on the star workload — the
+/// shared substance of `report -- obs` (which serializes it to
+/// `BENCH_obs.json` and the captured trace to `TRACE_obs.json`): the same
+/// threaded + sharded engine evaluation timed with span tracing off and
+/// forced on, plus the shape of the trace one run records.
+#[derive(Clone, Debug)]
+pub struct ObsMeasurement {
+    pub roots: u64,
+    pub fanout: u64,
+    pub tuples: usize,
+    pub hardware_threads: usize,
+    /// Median seconds per evaluation, tracing disabled (the production
+    /// default: one relaxed atomic load per instrumentation point).
+    pub untraced_s: f64,
+    /// Median seconds per evaluation with span tracing forced on.
+    pub traced_s: f64,
+    /// Spans one traced evaluation records.
+    pub spans: usize,
+    /// Spans dropped at [`telemetry::span::SPAN_CAP`] during that run.
+    pub dropped: u64,
+    /// Bytes of the Chrome trace-event JSON export of that run.
+    pub trace_bytes: usize,
+    /// The captured Chrome trace itself (for the `TRACE_obs.json` artifact).
+    pub trace_json: String,
+}
+
+impl ObsMeasurement {
+    /// Traced wall time over untraced wall time (1.0 = free).
+    pub fn overhead(&self) -> f64 {
+        self.traced_s / self.untraced_s
+    }
+}
+
+/// Build the `roots × fanout` star workload, assert span tracing does not
+/// perturb the engine's scalar (bit for bit, threads=4 shards=4), and time
+/// the evaluation untraced vs traced (median of `runs` each). One final
+/// traced run is exported as Chrome trace JSON.
+///
+/// Flips the process-global tracing flag; leaves it disabled on return.
+///
+/// # Panics
+/// If the traced probability diverges from the untraced probability.
+pub fn measure_obs(roots: u64, fanout: u64, seed: u64, runs: usize) -> ObsMeasurement {
+    use dichotomy::engine::{Engine, ExecOptions, Strategy};
+
+    let (db, q) = star_workload(roots, fanout, seed);
+    let engine = Engine::with_options(0, 7, ExecOptions::with_tuning(4, 4));
+    let eval = || {
+        engine
+            .evaluate(&db, &q, Strategy::Auto)
+            .expect("star workload is safe")
+            .probability
+    };
+
+    telemetry::set_enabled(false);
+    telemetry::clear_spans();
+    let p_off = eval();
+    let untraced_s = median_time(runs, &eval);
+
+    telemetry::set_enabled(true);
+    telemetry::clear_spans();
+    let p_on = eval();
+    assert_eq!(
+        p_off.to_bits(),
+        p_on.to_bits(),
+        "tracing must not perturb the result"
+    );
+    let traced_s = median_time(runs, &eval);
+
+    // One clean capture run for the artifact (the timing runs above left
+    // spans of `runs` evaluations in the sink).
+    telemetry::clear_spans();
+    let _ = eval();
+    let spans = telemetry::take_spans();
+    let dropped = telemetry::dropped_spans();
+    let trace_json = telemetry::chrome_trace(&spans);
+    telemetry::clear_spans();
+    telemetry::set_enabled(false);
+
+    ObsMeasurement {
+        roots,
+        fanout,
+        tuples: db.num_tuples(),
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        untraced_s,
+        traced_s,
+        spans: spans.len(),
+        dropped,
+        trace_bytes: trace_json.len(),
+        trace_json,
+    }
+}
+
 /// Least-squares slope of `log(y)` against `log(x)` — the polynomial degree
 /// estimate for scaling figures.
 pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {

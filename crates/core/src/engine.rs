@@ -38,6 +38,7 @@ use pdb::ProbDb;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use telemetry::MetricSet;
 
 pub use crate::plan::Method;
 
@@ -144,6 +145,100 @@ pub struct Evaluation {
     /// Per-shard scan row counts when the extensional data plane ran
     /// hash-partitioned; `None` when no DAG run happened.
     pub sharding: Option<safeplan::ShardStats>,
+}
+
+impl Evaluation {
+    /// One uniform metric snapshot of everything this evaluation reported:
+    /// the result, the planning/execution split, and whichever of the
+    /// operator / scheduler / shard / thread / refresh counter families
+    /// were populated, flattened under dotted keys. The same snapshot
+    /// backs the CLI's `--json` output, so machine consumers read one
+    /// schema whatever substrate ran.
+    pub fn metric_set(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        m.set_f64("eval.probability", self.probability);
+        m.set_f64("eval.std_error", self.std_error);
+        m.set_ns("eval.planning_ns", self.planning.as_nanos() as u64);
+        m.set_ns("eval.execution_ns", self.execution.as_nanos() as u64);
+        m.set_ns("eval.wall_ns", self.wall_time.as_nanos() as u64);
+        m.set_count("eval.cache_hit", u64::from(self.cache_hit));
+        if let Some(ops) = &self.extensional {
+            ops_metrics(&mut m, ops);
+        }
+        if let Some(sched) = &self.scheduler {
+            sched_metrics(&mut m, sched);
+        }
+        if let Some(sh) = &self.sharding {
+            shard_metrics(&mut m, sh);
+        }
+        if let Some(par) = &self.parallel {
+            thread_metrics(&mut m, par);
+        }
+        if let Some(inc) = &self.incremental {
+            m.set_count("incremental.rows_retouched", inc.rows_retouched);
+            m.set_count("incremental.rows_avoided", inc.rows_avoided);
+            m.set_count("incremental.groups_refolded", inc.groups_refolded);
+            m.set_count("incremental.batches_replayed", inc.batches_replayed);
+            m.set_count("incremental.refreshes", inc.incremental_refreshes);
+            m.set_count("incremental.full_rebuilds", inc.full_rebuilds);
+        }
+        m
+    }
+}
+
+/// Flatten operator counters under `ops.*` (shared by [`Evaluation`] and
+/// [`crate::ranking::RankedRun`] snapshots).
+pub(crate) fn ops_metrics(m: &mut MetricSet, ops: &safeplan::OpCounters) {
+    m.set_count("ops.scans", ops.scans);
+    m.set_count("ops.index_scans", ops.index_scans);
+    m.set_count("ops.rows_scanned", ops.rows_scanned);
+    m.set_count("ops.rows_pruned", ops.rows_pruned);
+    m.set_count("ops.complement_scans", ops.complement_scans);
+    m.set_count("ops.complement_rows", ops.complement_rows);
+    m.set_count("ops.joins", ops.joins);
+    m.set_count("ops.joins_build_left", ops.joins_build_left);
+    m.set_count("ops.join_rows", ops.join_rows);
+    m.set_count("ops.groups", ops.groups);
+    m.set_count("ops.shard_fanout", ops.shard_fanout);
+    m.set_count("ops.est_builds", ops.est_builds);
+    m.set_count("ops.est_build_overrides", ops.est_build_overrides);
+    m.set_ns("ops.time.scan_ns", ops.times.scan_ns);
+    m.set_ns("ops.time.complement_ns", ops.times.complement_ns);
+    m.set_ns("ops.time.select_ns", ops.times.select_ns);
+    m.set_ns("ops.time.join_ns", ops.times.join_ns);
+    m.set_ns("ops.time.project_ns", ops.times.project_ns);
+}
+
+/// Flatten DAG scheduler counters under `sched.*`.
+pub(crate) fn sched_metrics(m: &mut MetricSet, sched: &safeplan::DagStats) {
+    m.set_count("sched.tasks", sched.tasks);
+    m.set_count("sched.max_ready", sched.max_ready);
+    m.set_count("sched.max_running", sched.max_running);
+    m.set_ns("sched.overlap_ns", sched.overlap.as_nanos() as u64);
+}
+
+/// Flatten per-shard scan rows under `shards.*`.
+pub(crate) fn shard_metrics(m: &mut MetricSet, sh: &safeplan::ShardStats) {
+    m.set_count("shards.count", sh.shards as u64);
+    m.set_count("shards.rows_total", sh.rows.iter().sum());
+    for (i, rows) in sh.rows.iter().enumerate() {
+        m.set_count(&format!("shards.rows.{i}"), *rows);
+    }
+}
+
+/// Flatten per-worker thread timings under `threads.*`.
+pub(crate) fn thread_metrics(m: &mut MetricSet, par: &ExecStats) {
+    m.set_count("threads.count", par.threads() as u64);
+    m.set_count("threads.morsels", par.total_morsels());
+    m.set_count("threads.rows", par.total_rows());
+    for (i, t) in par.per_thread.iter().enumerate() {
+        m.set_ns(
+            &format!("threads.worker.{i}.busy_ns"),
+            t.busy.as_nanos() as u64,
+        );
+        m.set_count(&format!("threads.worker.{i}.morsels"), t.morsels);
+        m.set_count(&format!("threads.worker.{i}.rows"), t.rows);
+    }
 }
 
 /// Engine errors.
@@ -253,7 +348,9 @@ impl Engine {
             Adhoc(PhysicalPlan),
         }
 
+        let _span = telemetry::span("evaluate");
         let plan_start = Instant::now();
+        let plan_span = telemetry::span("plan");
         let mut classification = None;
         let mut cache_hit = false;
         let holder = match strategy {
@@ -289,13 +386,26 @@ impl Engine {
             Holder::Adhoc(plan) => plan,
         };
         let planning = plan_start.elapsed();
+        drop(plan_span);
 
         let exec_start = Instant::now();
-        let outcome = self
-            .executor()
-            .execute(db, plan)
-            .map_err(EngineError::Eval)?;
+        let outcome = {
+            let _span = telemetry::span("execute");
+            self.executor()
+                .execute(db, plan)
+                .map_err(EngineError::Eval)?
+        };
         let execution = exec_start.elapsed();
+
+        let reg = telemetry::registry();
+        reg.counter("engine.evaluations").incr();
+        if cache_hit {
+            reg.counter("engine.cache_hits").incr();
+        }
+        reg.histogram("engine.planning_ns")
+            .record_ns(planning.as_nanos() as u64);
+        reg.histogram("engine.execution_ns")
+            .record_ns(execution.as_nanos() as u64);
 
         Ok(Evaluation {
             probability: outcome.probability,
@@ -439,16 +549,23 @@ impl ViewHandle {
     /// probability is bit-for-bit what a cold execution of the cached plan
     /// returns against the current database.
     pub fn read(&self, db: &ProbDb) -> Result<ViewReading, EngineError> {
+        let _span = telemetry::span("view-read");
         let start = Instant::now();
         let mut inner = self.inner.lock().expect("view poisoned");
         match &mut *inner {
             ViewInner::Incremental(view) => {
                 let refreshed = view.synced_version() != db.version();
-                let counters = view.refresh(
+                let run = view.refresh_run(
                     db,
                     RefreshOptions::with_tuning(self.exec.threads, self.exec.shards),
                 );
                 let execution = start.elapsed();
+                // An incremental refresh runs its delta kernels on the same
+                // morsel pool and sharded scan-matching as the DAG
+                // executor, so a refreshed read reports the same thread and
+                // shard counter families a re-execution would.
+                let parallel = (run.threads.threads() > 0).then(|| run.threads.clone());
+                let sharding = (run.shards.shards > 0).then(|| run.shards.clone());
                 Ok(ViewReading {
                     evaluation: Evaluation {
                         probability: view.probability(),
@@ -459,11 +576,11 @@ impl ViewHandle {
                         execution,
                         wall_time: execution,
                         cache_hit: !refreshed,
-                        parallel: None,
+                        parallel,
                         extensional: None,
-                        incremental: Some(counters),
+                        incremental: Some(run.counters),
                         scheduler: None,
-                        sharding: None,
+                        sharding,
                     },
                     version: db.version(),
                     refreshed,

@@ -37,22 +37,55 @@ pub fn explain_evaluation(ev: &Evaluation) -> String {
     );
     let _ = writeln!(out, "execution : {:?}", ev.execution);
     if let Some(ops) = &ev.extensional {
-        let _ = write!(
-            out,
-            "operators : {} scan(s) ({} index-served, {} rows read, {} pruned)",
-            ops.scans, ops.index_scans, ops.rows_scanned, ops.rows_pruned
-        );
-        if ops.complement_scans > 0 {
-            let _ = write!(
+        // EXPLAIN ANALYZE-style operator tree: one row per operator kind
+        // with calls, rows, wall time, and its share of the evaluation's
+        // wall clock (unconditional per-invocation timings, so the table
+        // renders with or without span tracing).
+        let wall_ns = (ev.wall_time.as_nanos() as u64).max(1);
+        let _ = writeln!(out, "operators :      calls        rows        time  share");
+        let mut row = |name: &str, calls: u64, rows: u64, ns: u64, detail: &str| {
+            let time = format!("{:?}", std::time::Duration::from_nanos(ns));
+            let share = 100.0 * ns as f64 / wall_ns as f64;
+            let _ = writeln!(
                 out,
-                ", {} complement scan(s) ({} bindings)",
-                ops.complement_scans, ops.complement_rows
+                "  {name:<16}{calls:>6}  {rows:>10}  {time:>10}  {share:>5.1}%  {detail}"
+            );
+        };
+        row(
+            "scan",
+            ops.scans,
+            ops.rows_scanned,
+            ops.times.scan_ns,
+            &format!(
+                "{} index-served, {} pruned",
+                ops.index_scans, ops.rows_pruned
+            ),
+        );
+        if ops.complement_scans > 0 || ops.times.complement_ns > 0 {
+            row(
+                "complement-scan",
+                ops.complement_scans,
+                ops.complement_rows,
+                ops.times.complement_ns,
+                "bindings enumerated",
             );
         }
-        let _ = writeln!(
-            out,
-            ", {} join(s) ({} built left), {} group(s)",
-            ops.joins, ops.joins_build_left, ops.groups
+        if ops.times.select_ns > 0 {
+            row("select", 0, 0, ops.times.select_ns, "");
+        }
+        row(
+            "join",
+            ops.joins,
+            ops.join_rows,
+            ops.times.join_ns,
+            &format!("{} built left", ops.joins_build_left),
+        );
+        row(
+            "project",
+            ops.groups,
+            ops.groups,
+            ops.times.project_ns,
+            "group(s)",
         );
         if ops.est_builds > 0 {
             let _ = writeln!(

@@ -89,6 +89,6 @@ pub use multisim::{
 };
 pub use plan::{ExecOutcome, Executor, PhysicalPlan};
 pub use planner::{PlannedQuery, Planner, PlannerStats, RankedPlan, ResidualKind};
-pub use ranking::{ranked_answers, top_k, RankedAnswer};
+pub use ranking::{ranked_answers, ranked_answers_counted, top_k, RankedAnswer, RankedRun};
 pub use recurrence::eval_recurrence;
 pub use safe_eval::eval_inversion_free;

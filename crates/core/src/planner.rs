@@ -188,10 +188,14 @@ impl Planner {
     }
 
     fn plan_uncached(&self, q: &Query) -> Result<PlannedQuery, ClassifyError> {
+        let _span = telemetry::span("plan-compile");
         self.counters
             .classifications
             .fetch_add(1, Ordering::Relaxed);
-        let classification = classify(q)?;
+        let classification = {
+            let _span = telemetry::span("classify");
+            classify(q)?
+        };
         // Evaluate the minimized equivalent: classification is a property
         // of the minimal query (e.g. `R(x), R(y)` minimizes to the
         // self-join-free `R(x)`). With negated sub-goals the classifier

@@ -18,6 +18,7 @@
 use crate::engine::{Engine, EngineError, Method, Strategy};
 use crate::planner::RankedPlan;
 use cq::{Query, Subst, Value, Var};
+use exec_parallel::ExecStats;
 use pdb::{all_valuations, ProbDb};
 use std::collections::BTreeSet;
 
@@ -31,6 +32,45 @@ pub struct RankedAnswer {
     pub std_error: f64,
     /// The plan used for this answer's residual query.
     pub method: Method,
+}
+
+/// Execution counters of one ranked evaluation — the same families a
+/// Boolean [`crate::engine::Evaluation`] carries, so batched ranked runs
+/// report their thread/scheduler/shard behavior instead of dropping it.
+#[derive(Clone, Debug, Default)]
+pub struct RankedRun {
+    /// Per-thread timing counters when the answer set ran on the parallel
+    /// or DAG executor.
+    pub parallel: Option<ExecStats>,
+    /// Operator counters when the batched extensional plan ran.
+    pub extensional: Option<safeplan::OpCounters>,
+    /// DAG scheduler counters when the batched plan ran pipelined.
+    pub scheduler: Option<safeplan::DagStats>,
+    /// Per-shard scan rows when the data plane ran hash-partitioned.
+    pub sharding: Option<safeplan::ShardStats>,
+}
+
+impl RankedRun {
+    /// One uniform metric snapshot of the counter families this run
+    /// populated, flattened under the same dotted keys an
+    /// [`crate::engine::Evaluation`] snapshot uses — the CLI's `--json`
+    /// rank output reads the same schema as `--json` eval.
+    pub fn metric_set(&self) -> telemetry::MetricSet {
+        let mut m = telemetry::MetricSet::new();
+        if let Some(ops) = &self.extensional {
+            crate::engine::ops_metrics(&mut m, ops);
+        }
+        if let Some(sched) = &self.scheduler {
+            crate::engine::sched_metrics(&mut m, sched);
+        }
+        if let Some(sh) = &self.sharding {
+            crate::engine::shard_metrics(&mut m, sh);
+        }
+        if let Some(par) = &self.parallel {
+            crate::engine::thread_metrics(&mut m, par);
+        }
+        m
+    }
 }
 
 fn assert_head_occurs(q: &Query, head: &[Var]) {
@@ -62,8 +102,22 @@ pub fn ranked_answers(
     head: &[Var],
     strategy: Strategy,
 ) -> Result<Vec<RankedAnswer>, EngineError> {
+    ranked_answers_counted(engine, db, q, head, strategy).map(|(answers, _)| answers)
+}
+
+/// [`ranked_answers`], also reporting the run's execution counters (thread
+/// timings, operator counts, DAG scheduler and shard spread where the
+/// batched plan ran pipelined).
+pub fn ranked_answers_counted(
+    engine: &Engine,
+    db: &ProbDb,
+    q: &Query,
+    head: &[Var],
+    strategy: Strategy,
+) -> Result<(Vec<RankedAnswer>, RankedRun), EngineError> {
+    let _span = telemetry::span("rank");
     assert_head_occurs(q, head);
-    let mut out = match strategy {
+    let (mut out, run) = match strategy {
         Strategy::Auto => ranked_auto(engine, db, q, head)?,
         _ => ranked_forced(engine, db, q, head, strategy)?,
     };
@@ -73,7 +127,7 @@ pub fn ranked_answers(
             .expect("finite probabilities")
             .then_with(|| a.tuple.cmp(&b.tuple))
     });
-    Ok(out)
+    Ok((out, run))
 }
 
 /// The plan-once path: one ranked template per query shape.
@@ -82,41 +136,62 @@ fn ranked_auto(
     db: &ProbDb,
     q: &Query,
     head: &[Var],
-) -> Result<Vec<RankedAnswer>, EngineError> {
+) -> Result<(Vec<RankedAnswer>, RankedRun), EngineError> {
     let template = engine
         .planner()
         .plan_ranked(q, head)
         .map_err(EngineError::Classify)?;
+    let mut run = RankedRun::default();
     match &*template {
         RankedPlan::Batched { plan, head } => {
             // One set-at-a-time execution computes every candidate's
-            // marginal probability; at `threads > 1` the answer set is
-            // partitioned across the workers (bit-for-bit the serial
-            // output, including order).
-            let pairs = if engine.exec.threads > 1 {
-                safeplan::par_ranked_probabilities(
+            // marginal probability; at `threads > 1` (or a surviving shard
+            // fan-out) the plan runs on the operator-DAG executor —
+            // bit-for-bit the serial output, including order — and the
+            // scheduler/shard/thread counters come back with the answers.
+            let mut counters = safeplan::OpCounters::default();
+            let fanout = safeplan::plan_shard_fanout(plan, db, engine.exec.shards);
+            let pairs = if engine.exec.threads > 1 || fanout > 1 {
+                let (pairs, dag) = safeplan::dag_ranked_probabilities_counted(
                     db,
                     &db.prob_vector(),
                     plan,
                     head,
-                    safeplan::ParOptions::new(engine.exec.threads),
-                )
+                    &safeplan::DagOptions::new(engine.exec.threads, fanout),
+                    &mut counters,
+                );
+                run.parallel = Some(dag.threads);
+                run.scheduler = Some(dag.sched);
+                run.sharding = Some(dag.shards);
+                pairs
             } else {
-                safeplan::ranked_probabilities(db, &db.prob_vector(), plan, head)
+                safeplan::ranked_probabilities_counted(
+                    db,
+                    &db.prob_vector(),
+                    plan,
+                    head,
+                    &mut counters,
+                )
             };
-            Ok(pairs
-                .into_iter()
-                .map(|(tuple, probability)| RankedAnswer {
-                    tuple,
-                    probability,
-                    std_error: 0.0,
-                    method: Method::Extensional,
-                })
-                .collect())
+            run.extensional = Some(counters);
+            Ok((
+                pairs
+                    .into_iter()
+                    .map(|(tuple, probability)| RankedAnswer {
+                        tuple,
+                        probability,
+                        std_error: 0.0,
+                        method: Method::Extensional,
+                    })
+                    .collect(),
+                run,
+            ))
         }
         RankedPlan::PerBinding { kind, .. } => {
             let executor = engine.executor();
             let mut out = Vec::new();
+            let mut ops = safeplan::OpCounters::default();
+            let mut saw_ops = false;
             for tuple in candidates(db, q, head) {
                 let mut subst = Subst::new();
                 for (h, &v) in head.iter().zip(&tuple) {
@@ -125,6 +200,10 @@ fn ranked_auto(
                 let residual = q.apply(&subst);
                 let plan = kind.instantiate(residual);
                 let outcome = executor.execute(db, &plan).map_err(EngineError::Eval)?;
+                if let Some(c) = &outcome.extensional {
+                    ops.absorb(c);
+                    saw_ops = true;
+                }
                 out.push(RankedAnswer {
                     tuple,
                     probability: outcome.probability,
@@ -132,7 +211,10 @@ fn ranked_auto(
                     method: outcome.method,
                 });
             }
-            Ok(out)
+            if saw_ops {
+                run.extensional = Some(ops);
+            }
+            Ok((out, run))
         }
     }
 }
@@ -145,29 +227,32 @@ fn ranked_forced(
     q: &Query,
     head: &[Var],
     strategy: Strategy,
-) -> Result<Vec<RankedAnswer>, EngineError> {
+) -> Result<(Vec<RankedAnswer>, RankedRun), EngineError> {
     // Forced Monte Carlo routes through the shared multisimulation
     // harness: one lineage-extraction pass over the valuations and
     // candidate-parallel sampling from per-candidate seed-split streams —
     // byte-identical per seed at every thread count, where the old
     // per-residual Karp–Luby loop re-enumerated the join per candidate.
     if let Strategy::MonteCarlo { samples } = strategy {
-        return Ok(crate::multisim::multisim_marginals(
-            db,
-            q,
-            head,
-            samples,
-            engine.seed,
-            engine.exec.threads,
-        )
-        .into_iter()
-        .map(|(tuple, probability, std_error)| RankedAnswer {
-            tuple,
-            probability,
-            std_error,
-            method: Method::KarpLuby,
-        })
-        .collect());
+        return Ok((
+            crate::multisim::multisim_marginals(
+                db,
+                q,
+                head,
+                samples,
+                engine.seed,
+                engine.exec.threads,
+            )
+            .into_iter()
+            .map(|(tuple, probability, std_error)| RankedAnswer {
+                tuple,
+                probability,
+                std_error,
+                method: Method::KarpLuby,
+            })
+            .collect(),
+            RankedRun::default(),
+        ));
     }
     let mut out = Vec::new();
     for tuple in candidates(db, q, head) {
@@ -184,7 +269,7 @@ fn ranked_forced(
             method: ev.method,
         });
     }
-    Ok(out)
+    Ok((out, RankedRun::default()))
 }
 
 /// The top-`k` answers (MystiQ-style ranked retrieval).

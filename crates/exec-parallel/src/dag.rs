@@ -165,7 +165,10 @@ where
         while s.completed < n {
             let chosen = pick(&s.ready);
             let t = s.ready.remove(chosen);
-            let out = work(t, DagSlots { slots: &slots });
+            let out = {
+                let _task = telemetry::span_with(|| format!("dag-task {t}"));
+                work(t, DagSlots { slots: &slots })
+            };
             assert!(slots[t].set(out).is_ok(), "task {t} ran twice");
             s.completed += 1;
             for &d in &dependents[t] {
@@ -213,7 +216,10 @@ where
                     }
                     t
                 };
-                let out = work(t, DagSlots { slots: &slots });
+                let out = {
+                    let _task = telemetry::span_with(|| format!("dag-task {t}"));
+                    work(t, DagSlots { slots: &slots })
+                };
                 assert!(slots[t].set(out).is_ok(), "task {t} ran twice");
                 let mut s = sched.lock().expect("dag sched poisoned");
                 s.running -= 1;
@@ -237,7 +243,18 @@ where
         std::thread::scope(|scope| {
             // Workers 1.. on spawned scoped threads; worker 0 is the
             // calling thread (same discipline as the morsel pool).
-            let handles: Vec<_> = (1..workers).map(|_| scope.spawn(worker)).collect();
+            let handles: Vec<_> = (1..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        worker();
+                        // Drain this worker's span lane before the scope
+                        // joins: TLS destructors may run after the join,
+                        // so an exit-time flush could land after the
+                        // caller exports the trace.
+                        telemetry::flush_thread();
+                    })
+                })
+                .collect();
             worker();
             for h in handles {
                 h.join().expect("dag worker panicked");

@@ -203,7 +203,12 @@ impl Pool {
                     return local;
                 }
                 let start = Instant::now();
-                let (result, rows) = work(i);
+                let (result, rows) = {
+                    // One span per morsel; a single relaxed load when
+                    // tracing is off. Timing flows out, never back in.
+                    let _morsel = telemetry::span("morsel");
+                    work(i)
+                };
                 local.busy += start.elapsed();
                 local.morsels += 1;
                 local.rows += rows as u64;
@@ -228,6 +233,11 @@ impl Pool {
                         scope.spawn(|| {
                             let mut out = Vec::new();
                             let s = run_worker(&mut out, &cursor);
+                            // Drain this worker's span lane before the
+                            // scope joins: TLS destructors may run after
+                            // the join, so an exit-time flush could land
+                            // after the caller exports the trace.
+                            telemetry::flush_thread();
                             (out, s)
                         })
                     })

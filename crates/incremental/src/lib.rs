@@ -64,7 +64,7 @@ mod state;
 mod view;
 
 pub use state::Unsupported;
-pub use view::{IncrementalView, RefreshCounters, RefreshOptions};
+pub use view::{IncrementalView, RefreshCounters, RefreshOptions, RefreshRun};
 
 #[cfg(test)]
 mod tests {

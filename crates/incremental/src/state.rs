@@ -240,6 +240,7 @@ impl Node {
 
     /// Propagate the net tuple changes through the subtree, updating every
     /// materialized output, and return the changes to this node's output.
+    #[allow(clippy::too_many_arguments)]
     pub fn refresh(
         &mut self,
         db: &ProbDb,
@@ -248,13 +249,14 @@ impl Node {
         shards: usize,
         detail: DeltaDetail,
         counters: &mut RefreshCounters,
+        shard_rows: &mut Vec<u64>,
     ) -> OpDelta {
         match self {
             Node::Const(out) => OpDelta::empty(out.arity, out.kstride),
-            Node::Scan(s) => s.refresh(db, net, pool, shards, counters),
-            Node::Select(s) => s.refresh(db, net, pool, shards, detail, counters),
-            Node::Join(s) => s.refresh(db, net, pool, shards, detail, counters),
-            Node::Project(s) => s.refresh(db, net, pool, shards, detail, counters),
+            Node::Scan(s) => s.refresh(db, net, pool, shards, counters, shard_rows),
+            Node::Select(s) => s.refresh(db, net, pool, shards, detail, counters, shard_rows),
+            Node::Join(s) => s.refresh(db, net, pool, shards, detail, counters, shard_rows),
+            Node::Project(s) => s.refresh(db, net, pool, shards, detail, counters, shard_rows),
         }
     }
 }
@@ -385,6 +387,7 @@ impl ScanState {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn refresh(
         &mut self,
         db: &ProbDb,
@@ -392,7 +395,12 @@ impl ScanState {
         pool: &Pool,
         shards: usize,
         counters: &mut RefreshCounters,
+        shard_rows: &mut Vec<u64>,
     ) -> OpDelta {
+        if shard_rows.len() < shards.max(1) {
+            shard_rows.resize(shards.max(1), 0);
+        }
+        let _span = telemetry::span("scan-delta");
         let mut delta = OpDelta::empty(self.out.arity, 1);
         // Sharded candidate matching: collect this relation's added ids
         // (ascending — `net` ascends), match per shard, merge ascending.
@@ -405,6 +413,9 @@ impl ScanState {
                 .map(|&(id, _, _)| id)
                 .collect();
             let outs = self.match_added_sharded(db, &ids, pool, shards);
+            for (s, out) in outs.iter().enumerate() {
+                shard_rows[s] += out.2.len() as u64;
+            }
             let arity = self.out.arity;
             let mut cursors = vec![0usize; outs.len()];
             loop {
@@ -447,6 +458,7 @@ impl ScanState {
                     let t = db.tuple(id);
                     if match_tuple(&self.slots, &t.args, &mut rowbuf) {
                         delta.added.push(&key, &rowbuf, t.prob);
+                        shard_rows[0] += 1;
                     }
                 }
                 NetChange::Removed | NetChange::Updated => {
@@ -540,6 +552,7 @@ impl SelectState {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn refresh(
         &mut self,
         db: &ProbDb,
@@ -548,12 +561,20 @@ impl SelectState {
         shards: usize,
         detail: DeltaDetail,
         counters: &mut RefreshCounters,
+        shard_rows: &mut Vec<u64>,
     ) -> OpDelta {
         // A select must see full child updates to mirror probability
         // changes into its own buffer, whatever the parent asked for.
-        let d = self
-            .child
-            .refresh(db, net, pool, shards, DeltaDetail::Full, counters);
+        let d = self.child.refresh(
+            db,
+            net,
+            pool,
+            shards,
+            DeltaDetail::Full,
+            counters,
+            shard_rows,
+        );
+        let _span = telemetry::span("select-delta");
         let mut delta = OpDelta::empty(self.out.arity, self.out.kstride);
         if d.is_empty() {
             return delta;
@@ -1106,6 +1127,7 @@ impl JoinState {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn refresh(
         &mut self,
         db: &ProbDb,
@@ -1114,12 +1136,24 @@ impl JoinState {
         shards: usize,
         detail: DeltaDetail,
         counters: &mut RefreshCounters,
+        shard_rows: &mut Vec<u64>,
     ) -> OpDelta {
         let mut deltas: Vec<OpDelta> = self
             .children
             .iter_mut()
-            .map(|c| c.refresh(db, net, pool, shards, DeltaDetail::Full, counters))
+            .map(|c| {
+                c.refresh(
+                    db,
+                    net,
+                    pool,
+                    shards,
+                    DeltaDetail::Full,
+                    counters,
+                    shard_rows,
+                )
+            })
             .collect();
+        let _span = telemetry::span("join-delta");
         if let Some(out) = &self.fixed_out {
             return OpDelta::empty(out.arity, out.kstride);
         }
@@ -1320,6 +1354,7 @@ impl ProjectState {
             .expect("live child row's group exists")
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn refresh(
         &mut self,
         db: &ProbDb,
@@ -1328,6 +1363,7 @@ impl ProjectState {
         shards: usize,
         detail: DeltaDetail,
         counters: &mut RefreshCounters,
+        shard_rows: &mut Vec<u64>,
     ) -> OpDelta {
         // The Boolean group refolds over the whole child output, so the
         // child may elide its probability-update rows entirely.
@@ -1336,7 +1372,10 @@ impl ProjectState {
         } else {
             DeltaDetail::Full
         };
-        let d = self.child.refresh(db, net, pool, shards, want, counters);
+        let d = self
+            .child
+            .refresh(db, net, pool, shards, want, counters, shard_rows);
+        let _span = telemetry::span("project-delta");
         let mut delta = OpDelta::empty(self.out.arity, self.out.kstride);
         if d.is_empty() {
             return delta;

@@ -2,9 +2,9 @@
 //! per-operator materialized state, refreshed from the database delta log.
 
 use crate::state::{coalesce, DeltaDetail, Node, Unsupported};
-use exec_parallel::{Pool, DEFAULT_GRAIN};
+use exec_parallel::{ExecStats, Pool, DEFAULT_GRAIN};
 use pdb::ProbDb;
-use safeplan::{PlanNode, ProbRelation};
+use safeplan::{PlanNode, ProbRelation, ShardStats};
 
 /// Tuning for one refresh.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +93,21 @@ impl RefreshCounters {
     }
 }
 
+/// Everything one refresh reports besides the view state itself: the
+/// delta-propagation counters plus the same pool/shard telemetry the DAG
+/// executor exposes, so the engine can surface a uniform counter set
+/// whether an evaluation re-executed or refreshed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RefreshRun {
+    /// Work done vs work avoided by the delta propagation.
+    pub counters: RefreshCounters,
+    /// Per-worker morsel timings from the refresh pool.
+    pub threads: ExecStats,
+    /// Scan-delta rows matched per shard (all in shard 0 when the plane
+    /// is monolithic). Empty for a no-op or full-rebuild refresh.
+    pub shards: ShardStats,
+}
+
 /// A cached safe plan with materialized per-operator state, kept in sync
 /// with a mutating [`ProbDb`] by replaying its delta log.
 ///
@@ -167,29 +182,57 @@ impl IncrementalView {
     /// from scratch when the log cannot cover the gap. Returns this
     /// refresh's counters (also folded into [`IncrementalView::counters`]).
     pub fn refresh(&mut self, db: &ProbDb, opts: RefreshOptions) -> RefreshCounters {
-        let mut c = RefreshCounters::default();
+        self.refresh_run(db, opts).counters
+    }
+
+    /// [`IncrementalView::refresh`], also reporting the refresh pool's
+    /// per-worker timings and the scan-delta shard spread.
+    pub fn refresh_run(&mut self, db: &ProbDb, opts: RefreshOptions) -> RefreshRun {
+        let _span = telemetry::span("refresh");
+        let mut run = RefreshRun::default();
+        let c = &mut run.counters;
         if db.version() == self.synced {
-            return c;
+            return run;
         }
         if self.synced < db.delta_log_start() {
             // The log cannot replay us (retention window passed, or an
             // out-of-band mutation cleared it): rebuild — never wrong,
             // just not incremental.
+            let _span = telemetry::span("rebuild");
             self.root =
                 Node::build(db, &self.plan).expect("a previously-built plan stays buildable");
             c.full_rebuilds = 1;
             c.rows_retouched = self.root.total_rows();
         } else {
             c.batches_replayed = db.changes_since(self.synced).count() as u64;
-            let net = coalesce(db.changes_since(self.synced));
+            let net = {
+                let _span = telemetry::span("coalesce");
+                coalesce(db.changes_since(self.synced))
+            };
             let pool = Pool::with_grain(opts.threads, opts.grain);
-            self.root
-                .refresh(db, &net, &pool, opts.shards, DeltaDetail::Full, &mut c);
+            let mut shard_rows = vec![0u64; opts.shards.max(1)];
+            {
+                let _span = telemetry::span("propagate");
+                self.root.refresh(
+                    db,
+                    &net,
+                    &pool,
+                    opts.shards,
+                    DeltaDetail::Full,
+                    c,
+                    &mut shard_rows,
+                );
+            }
             c.incremental_refreshes = 1;
             c.rows_avoided = self.root.total_rows().saturating_sub(c.rows_retouched);
+            run.threads = pool.stats();
+            run.shards = ShardStats {
+                shards: opts.shards.max(1),
+                rows: shard_rows,
+            };
         }
         self.synced = db.version();
-        self.cumulative.absorb(&c);
-        c
+        self.cumulative.absorb(&run.counters);
+        run
     }
 }

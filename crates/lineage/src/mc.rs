@@ -172,6 +172,7 @@ fn pooled_hits(
     let pool = Pool::new(threads);
     let hits: u64 = pool
         .map_partitions(threads, |w| {
+            let _span = telemetry::span_with(|| format!("mc-round {w}"));
             let budget = base + u64::from((w as u64) < rem);
             let mut rng = streams[w].clone();
             kernel(budget, &mut rng)

@@ -55,6 +55,7 @@ use exec_parallel::{run_dag_with_picker, DagSlots, DagStats, ExecStats, Pool, DE
 use lineage::ProbValue;
 use pdb::{ProbDb, ShardMap};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Tuning for one DAG execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -285,6 +286,7 @@ fn merge_shard_scans<P: ProbValue>(
     cols: Vec<Var>,
     outs: Vec<(Vec<Value>, Vec<P>, Vec<u32>)>,
 ) -> ProbRelation<P> {
+    let _span = telemetry::span("merge");
     let arity = cols.len();
     let total: usize = outs.iter().map(|o| o.1.len()).sum();
     let mut out = ProbRelation::with_capacity(cols, total);
@@ -368,9 +370,32 @@ where
             let mut shard_rows = vec![0u64; fanout];
             let rel = match &tasks[t] {
                 Task::Unit => ProbRelation::certain(),
-                Task::Leaf(node) => leaf_rel(db, probs, node, &pool, map, &mut c, &mut shard_rows),
-                Task::Select { pred, input } => par_select(&slots.get(*input).rel, pred, &pool),
+                Task::Leaf(node) => {
+                    let _span = telemetry::span(match node {
+                        PlanNode::Scan { .. } => "scan",
+                        PlanNode::ComplementScan { .. } => "complement-scan",
+                        _ => "leaf",
+                    });
+                    let t0 = Instant::now();
+                    let out = leaf_rel(db, probs, node, &pool, map, &mut c, &mut shard_rows);
+                    match node {
+                        PlanNode::ComplementScan { .. } => {
+                            c.times.complement_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        _ => c.times.scan_ns += t0.elapsed().as_nanos() as u64,
+                    }
+                    out
+                }
+                Task::Select { pred, input } => {
+                    let _span = telemetry::span("select");
+                    let t0 = Instant::now();
+                    let out = par_select(&slots.get(*input).rel, pred, &pool);
+                    c.times.select_ns += t0.elapsed().as_nanos() as u64;
+                    out
+                }
                 Task::Project { keep, input } => {
+                    let _span = telemetry::span("project");
+                    let t0 = Instant::now();
                     let out = par_project_parts(
                         &slots.get(*input).rel,
                         keep,
@@ -378,6 +403,7 @@ where
                         fanout * pool.threads(),
                     );
                     c.groups += out.len() as u64;
+                    c.times.project_ns += t0.elapsed().as_nanos() as u64;
                     out
                 }
                 Task::JoinStage {
@@ -385,6 +411,8 @@ where
                     right,
                     est_side,
                 } => {
+                    let _span = telemetry::span("join");
+                    let t0 = Instant::now();
                     let unit;
                     let l = match left {
                         Some(i) => &slots.get(*i).rel,
@@ -398,7 +426,9 @@ where
                     if *est_side != choose_build_side(l.len(), r.len()) {
                         c.est_build_overrides += 1;
                     }
-                    par_join_sided(l, r, *est_side, &pool, &mut c)
+                    let out = par_join_sided(l, r, *est_side, &pool, &mut c);
+                    c.times.join_ns += t0.elapsed().as_nanos() as u64;
+                    out
                 }
             };
             TaskOut {
@@ -459,7 +489,20 @@ pub fn dag_ranked_probabilities<P: ProbValue + Send + Sync>(
     opts: &DagOptions,
 ) -> (Vec<(Vec<Value>, P)>, DagRun) {
     let mut counters = OpCounters::default();
-    let (rel, run) = dag_execute_counted(db, probs, plan, opts, &mut counters);
+    dag_ranked_probabilities_counted(db, probs, plan, head, opts, &mut counters)
+}
+
+/// [`dag_ranked_probabilities`] accumulating operator counters into
+/// `counters` alongside the scheduler/shard report.
+pub fn dag_ranked_probabilities_counted<P: ProbValue + Send + Sync>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    head: &[Var],
+    opts: &DagOptions,
+    counters: &mut OpCounters,
+) -> (Vec<(Vec<Value>, P)>, DagRun) {
+    let (rel, run) = dag_execute_counted(db, probs, plan, opts, counters);
     (crate::exec::project_head(&rel, head), run)
 }
 

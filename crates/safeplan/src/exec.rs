@@ -23,12 +23,44 @@ use lineage::ProbValue;
 use numeric::QRat;
 use pdb::{ProbDb, RatProbs, TupleId};
 use std::ops::Range;
+use std::time::Instant;
+
+/// Wall-clock nanoseconds spent inside each operator kind, exclusive of
+/// child operators. On the DAG path concurrent tasks accrue in parallel,
+/// so the sums read as CPU time, not elapsed time. Timing observes the
+/// kernels from outside — it never feeds back into what they compute.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpTimes {
+    pub scan_ns: u64,
+    pub complement_ns: u64,
+    pub select_ns: u64,
+    pub join_ns: u64,
+    pub project_ns: u64,
+}
+
+impl OpTimes {
+    pub fn absorb(&mut self, other: &OpTimes) {
+        self.scan_ns += other.scan_ns;
+        self.complement_ns += other.complement_ns;
+        self.select_ns += other.select_ns;
+        self.join_ns += other.join_ns;
+        self.project_ns += other.project_ns;
+    }
+
+    /// Total time attributed to operators.
+    pub fn total_ns(&self) -> u64 {
+        self.scan_ns + self.complement_ns + self.select_ns + self.join_ns + self.project_ns
+    }
+}
 
 /// Operator-level counters of one extensional execution — what the data
 /// plane actually did (as opposed to the per-thread timing counters the
 /// worker pool reports). Deterministic for a fixed plan and database:
 /// counts are taken at operator granularity, never inside morsels.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Equality compares the deterministic count fields only — [`OpTimes`]
+/// varies run to run and is excluded, so the serial/parallel counter
+/// agreement tests stay meaningful.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct OpCounters {
     /// Relation scans executed.
     pub scans: u64,
@@ -63,7 +95,29 @@ pub struct OpCounters {
     /// the serial executor applies (the output is bit-identical either
     /// way; only the hashed side differs).
     pub est_build_overrides: u64,
+    /// Per-operator wall time (excluded from equality).
+    pub times: OpTimes,
 }
+
+impl PartialEq for OpCounters {
+    fn eq(&self, other: &Self) -> bool {
+        self.scans == other.scans
+            && self.index_scans == other.index_scans
+            && self.rows_scanned == other.rows_scanned
+            && self.rows_pruned == other.rows_pruned
+            && self.complement_scans == other.complement_scans
+            && self.complement_rows == other.complement_rows
+            && self.joins == other.joins
+            && self.joins_build_left == other.joins_build_left
+            && self.join_rows == other.join_rows
+            && self.groups == other.groups
+            && self.shard_fanout == other.shard_fanout
+            && self.est_builds == other.est_builds
+            && self.est_build_overrides == other.est_build_overrides
+    }
+}
+
+impl Eq for OpCounters {}
 
 impl OpCounters {
     /// Add `other`'s counts into `self` — all fields are plain sums, so
@@ -83,6 +137,7 @@ impl OpCounters {
         self.shard_fanout = self.shard_fanout.max(other.shard_fanout);
         self.est_builds += other.est_builds;
         self.est_build_overrides += other.est_build_overrides;
+        self.times.absorb(&other.times);
     }
 }
 
@@ -114,33 +169,48 @@ fn exec_node<P: ProbValue>(
         PlanNode::Certain => ProbRelation::certain(),
         PlanNode::Never => ProbRelation::never(),
         PlanNode::Scan { atom } => {
+            let _span = telemetry::span("scan");
+            let t0 = Instant::now();
             let scan = ScanSpec::new(db, atom, counters);
             let (data, probs) = scan_rows(db, probs, &scan.plan, scan.ids);
+            counters.times.scan_ns += t0.elapsed().as_nanos() as u64;
             ProbRelation::from_parts(scan.cols, data, probs)
         }
         PlanNode::ComplementScan { atom } => {
+            let _span = telemetry::span("complement-scan");
+            let t0 = Instant::now();
             let spec = ComplementSpec::new(db, atom, counters);
             let (data, probs) = complement_rows(db, probs, &spec, 0..spec.total);
+            counters.times.complement_ns += t0.elapsed().as_nanos() as u64;
             ProbRelation::from_parts(spec.cols.clone(), data, probs)
         }
         PlanNode::Select { pred, input } => {
             let rel = exec_node(db, probs, input, counters);
+            let _span = telemetry::span("select");
+            let t0 = Instant::now();
             let cols = rel.cols().to_vec();
             let (data, probs) = filter_rows(&rel, 0..rel.len(), |row| eval_pred(pred, &cols, row));
+            counters.times.select_ns += t0.elapsed().as_nanos() as u64;
             ProbRelation::from_parts(cols, data, probs)
         }
         PlanNode::IndependentJoin { inputs } => {
             let mut acc = ProbRelation::certain();
             for i in inputs {
                 let right = exec_node(db, probs, i, counters);
+                let _span = telemetry::span("join");
+                let t0 = Instant::now();
                 acc = join_counted(&acc, &right, counters);
+                counters.times.join_ns += t0.elapsed().as_nanos() as u64;
             }
             acc
         }
         PlanNode::IndependentProject { keep, input } => {
             let rel = exec_node(db, probs, input, counters);
+            let _span = telemetry::span("project");
+            let t0 = Instant::now();
             let out = rel.independent_project(keep);
             counters.groups += out.len() as u64;
+            counters.times.project_ns += t0.elapsed().as_nanos() as u64;
             out
         }
     }
@@ -202,6 +272,18 @@ pub fn ranked_probabilities<P: ProbValue>(
     head: &[Var],
 ) -> Vec<(Vec<Value>, P)> {
     let rel = execute(db, probs, plan);
+    project_head(&rel, head)
+}
+
+/// [`ranked_probabilities`] accumulating operator counters into `counters`.
+pub fn ranked_probabilities_counted<P: ProbValue>(
+    db: &ProbDb,
+    probs: &[P],
+    plan: &PlanNode,
+    head: &[Var],
+    counters: &mut OpCounters,
+) -> Vec<(Vec<Value>, P)> {
+    let rel = execute_counted(db, probs, plan, counters);
     project_head(&rel, head)
 }
 

@@ -59,11 +59,13 @@ pub mod rowref;
 pub use build::{build_plan, build_ranked_plan, PlanError};
 pub use dag::{
     dag_execute, dag_execute_counted, dag_execute_counted_with_picker, dag_query_probability,
-    dag_query_probability_counted, dag_ranked_probabilities, DagOptions, DagRun, ShardStats,
+    dag_query_probability_counted, dag_ranked_probabilities, dag_ranked_probabilities_counted,
+    DagOptions, DagRun, ShardStats,
 };
 pub use exec::{
     execute, execute_counted, query_probability, query_probability_counted,
-    query_probability_exact, ranked_probabilities, OpCounters,
+    query_probability_exact, ranked_probabilities, ranked_probabilities_counted, OpCounters,
+    OpTimes,
 };
 pub use node::PlanNode;
 pub use optimize::{

@@ -39,6 +39,7 @@ use cq::{Pred, Value, Var};
 use exec_parallel::{ExecStats, Pool, DEFAULT_GRAIN};
 use lineage::ProbValue;
 use pdb::ProbDb;
+use std::time::Instant;
 
 /// Tuning for one parallel execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,35 +112,51 @@ fn par_node<P: ProbValue + Send + Sync>(
         PlanNode::Certain => ProbRelation::certain(),
         PlanNode::Never => ProbRelation::never(),
         PlanNode::Scan { atom } => {
+            let _span = telemetry::span("scan");
+            let t0 = Instant::now();
             let scan = ScanSpec::new(db, atom, counters);
             let chunks = pool.map_morsels(scan.ids.len(), |r| {
                 scan_rows(db, probs, &scan.plan, &scan.ids[r])
             });
             let (data, out) = stitch_columnar(chunks);
+            counters.times.scan_ns += t0.elapsed().as_nanos() as u64;
             ProbRelation::from_parts(scan.cols, data, out)
         }
         PlanNode::ComplementScan { atom } => {
+            let _span = telemetry::span("complement-scan");
+            let t0 = Instant::now();
             let spec = ComplementSpec::new(db, atom, counters);
             let chunks = pool.map_morsels(spec.total, |r| complement_rows(db, probs, &spec, r));
             let (data, out) = stitch_columnar(chunks);
+            counters.times.complement_ns += t0.elapsed().as_nanos() as u64;
             ProbRelation::from_parts(spec.cols.clone(), data, out)
         }
         PlanNode::Select { pred, input } => {
             let rel = par_node(db, probs, input, pool, counters);
-            par_select(&rel, pred, pool)
+            let _span = telemetry::span("select");
+            let t0 = Instant::now();
+            let out = par_select(&rel, pred, pool);
+            counters.times.select_ns += t0.elapsed().as_nanos() as u64;
+            out
         }
         PlanNode::IndependentJoin { inputs } => {
             let mut acc = ProbRelation::certain();
             for i in inputs {
                 let right = par_node(db, probs, i, pool, counters);
+                let _span = telemetry::span("join");
+                let t0 = Instant::now();
                 acc = par_join(&acc, &right, pool, counters);
+                counters.times.join_ns += t0.elapsed().as_nanos() as u64;
             }
             acc
         }
         PlanNode::IndependentProject { keep, input } => {
             let rel = par_node(db, probs, input, pool, counters);
+            let _span = telemetry::span("project");
+            let t0 = Instant::now();
             let out = par_project(&rel, keep, pool);
             counters.groups += out.len() as u64;
+            counters.times.project_ns += t0.elapsed().as_nanos() as u64;
             out
         }
     }

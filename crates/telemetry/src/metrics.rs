@@ -1,0 +1,380 @@
+//! Typed metrics: counters, gauges, fixed-bucket latency histograms, and
+//! the global registry tree.
+//!
+//! Metric handles are `Arc`s shared between the registry and call sites —
+//! recording is lock-free (relaxed atomics); only registration and
+//! snapshotting take the registry lock. Names are dot-separated paths
+//! (`engine.eval.execution_ns`) forming the tree.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonically increasing count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is below it (high-water mark).
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket upper bounds: powers of two from 256 ns up — 32 buckets cover
+/// 256 ns to ~9 minutes, plus an implicit overflow bucket.
+const HISTO_BUCKETS: usize = 32;
+
+fn bucket_bound(i: usize) -> u64 {
+    1u64 << (8 + i)
+}
+
+/// Fixed-bucket latency histogram over nanosecond samples. Recording is
+/// one relaxed `fetch_add`; quantiles are read from the bucket counts
+/// (reported as the bucket's upper bound, i.e. within 2× of exact).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record_ns(&self, ns: u64) {
+        let idx = (0..HISTO_BUCKETS)
+            .find(|&i| ns <= bucket_bound(i))
+            .unwrap_or(HISTO_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket
+    /// holding that rank; 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for i in 0..HISTO_BUCKETS {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HISTO_BUCKETS - 1)
+    }
+
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A name tree of metrics. One global instance ([`registry`]); separate
+/// instances exist only for tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or register the counter at `name`. Panics if `name` is already
+    /// registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricSet {
+        let m = self.metrics.lock().unwrap();
+        let mut set = MetricSet::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => set.set_count(name, c.get()),
+                Metric::Gauge(g) => set.set_count(name, g.get()),
+                Metric::Histogram(h) => set.set_histo(
+                    name,
+                    HistoSummary {
+                        count: h.count(),
+                        sum_ns: h.sum_ns(),
+                        p50_ns: h.p50_ns(),
+                        p95_ns: h.p95_ns(),
+                        p99_ns: h.p99_ns(),
+                    },
+                ),
+            }
+        }
+        set
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global metrics registry.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Snapshot of one histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistoSummary {
+    pub count: u64,
+    pub sum_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+/// One snapshotted metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Count(u64),
+    DurationNs(u64),
+    Float(f64),
+    Histo(HistoSummary),
+}
+
+/// A flat, ordered snapshot of metrics keyed by dotted path — the uniform
+/// shape an `Evaluation` (and the CLI's `--json` mode) reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricSet {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricSet {
+    pub fn new() -> MetricSet {
+        MetricSet::default()
+    }
+
+    pub fn set_count(&mut self, name: &str, v: u64) {
+        self.entries.insert(name.to_string(), MetricValue::Count(v));
+    }
+
+    pub fn set_ns(&mut self, name: &str, ns: u64) {
+        self.entries
+            .insert(name.to_string(), MetricValue::DurationNs(ns));
+    }
+
+    pub fn set_f64(&mut self, name: &str, v: f64) {
+        self.entries.insert(name.to_string(), MetricValue::Float(v));
+    }
+
+    pub fn set_histo(&mut self, name: &str, h: HistoSummary) {
+        self.entries.insert(name.to_string(), MetricValue::Histo(h));
+    }
+
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    pub fn count(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name)? {
+            MetricValue::Count(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Render as a JSON object keyed by metric path. Durations are emitted
+    /// in nanoseconds; histograms as `{count, sum_ns, p50_ns, p95_ns,
+    /// p99_ns}` objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", crate::json::escape(name)));
+            match value {
+                MetricValue::Count(v) | MetricValue::DurationNs(v) => {
+                    out.push_str(&v.to_string());
+                }
+                MetricValue::Float(v) => out.push_str(&format_f64(*v)),
+                MetricValue::Histo(h) => out.push_str(&format!(
+                    "{{\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                    h.count, h.sum_ns, h.p50_ns, h.p95_ns, h.p99_ns
+                )),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// `f64` as JSON: finite values round-trip via `{:?}` (shortest exact
+/// form); non-finite values become `null`.
+pub fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("a.b");
+        c.incr();
+        c.add(4);
+        assert_eq!(r.counter("a.b").get(), 5);
+        let g = r.gauge("a.g");
+        g.set(7);
+        g.record_max(3);
+        g.record_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::default();
+        for ns in [500u64, 1_000, 2_000, 4_000, 1_000_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 1_007_500);
+        let p50 = h.p50_ns();
+        assert!((1_000..=4_096).contains(&p50), "p50={p50}");
+        let p99 = h.p99_ns();
+        assert!(p99 >= 1_000_000, "p99={p99}");
+        assert_eq!(Histogram::default().p50_ns(), 0);
+    }
+
+    #[test]
+    fn snapshot_orders_by_name_and_serialises() {
+        let r = Registry::new();
+        r.counter("z.count").add(2);
+        r.gauge("a.peak").set(9);
+        r.histogram("m.lat").record_ns(2_000);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a.peak", "m.lat", "z.count"]);
+        let json = snap.to_json();
+        let parsed = crate::json::parse(&json).expect("snapshot JSON parses");
+        assert_eq!(parsed.get("z.count").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(
+            parsed
+                .get("m.lat")
+                .and_then(|v| v.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_confusion_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

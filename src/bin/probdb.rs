@@ -5,7 +5,7 @@
 //! ```text
 //! probdb classify "R(x), S(x,y), T(y)"
 //! probdb explain  "R(x), S(x,y), S(u,v), T(v)"
-//! probdb eval db.txt "R(x), S(x,y)" [--mc-samples 100000] [--exact] [--threads N] [--shards N]
+//! probdb eval db.txt "R(x), S(x,y)" [--mc-samples 100000] [--exact] [--threads N] [--shards N] [--json] [--trace out.json]
 //! probdb count db.txt "R(x), S(x,y)"        # satisfying substructures
 //! probdb plan "R(x), S(x,y)"                # the planner's physical plan
 //! probdb rank db.txt "Director(d), Credit(d,m)" x0 [--top K] [--threads N]
@@ -29,9 +29,19 @@
 //! keeps small scans monolithic. The `ENGINE_THREADS` / `ENGINE_SHARDS`
 //! environment variables set the defaults. The `--exact` rational path is
 //! serial-only and ignores both flags.
+//!
+//! `--trace out.json` (any command) records a span trace of the run —
+//! planner phases, DAG tasks, operator kernels, morsel batches,
+//! incremental refresh phases, sampling rounds — and writes it as Chrome
+//! trace-event JSON, loadable in Perfetto / `chrome://tracing` with one
+//! lane per worker thread. `ENGINE_TRACE=1` switches tracing on without a
+//! file; any other non-off value (`ENGINE_TRACE=run.json`) doubles as the
+//! output path. `--json` on `eval` and `rank` replaces the human-readable
+//! report with one JSON object: the result plus the evaluation's uniform
+//! metric snapshot (`Evaluation::metric_set` dotted keys).
 
 use dichotomy::engine::{Engine, ExecOptions, Strategy};
-use dichotomy::{classify, count_substructures_recurrence, explain, ranked_answers};
+use dichotomy::{classify, count_substructures_recurrence, explain, ranked_answers_counted};
 use pdb::{count_satisfying_worlds_exact, load_db};
 use probdb::prelude::*;
 use std::process::ExitCode;
@@ -43,7 +53,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] [--shards N] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N] [--shards N] | apply <db.txt> <deltas.txt> [-o out.txt] | watch <db.txt> <query> <deltas.txt> [--threads N] [--shards N]"
+                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] [--shards N] [--json] [--trace out.json] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N] [--shards N] [--json] [--trace out.json] | apply <db.txt> <deltas.txt> [-o out.txt] | watch <db.txt> <query> <deltas.txt> [--threads N] [--shards N] [--trace out.json]"
             );
             ExitCode::from(2)
         }
@@ -77,7 +87,46 @@ fn exec_options(args: &[String]) -> Result<ExecOptions, String> {
     ))
 }
 
+/// `--trace out.json`, falling back to a path-valued `ENGINE_TRACE`.
+/// Either source forces span tracing on for the whole run.
+fn trace_path(args: &[String]) -> Result<Option<String>, String> {
+    let path = match args.iter().position(|a| a == "--trace") {
+        Some(i) => Some(args.get(i + 1).ok_or("--trace needs a path")?.clone()),
+        None => telemetry::env_trace_path(),
+    };
+    if path.is_some() {
+        telemetry::set_enabled(true);
+    }
+    Ok(path)
+}
+
+/// Write every span recorded so far as Chrome trace-event JSON.
+fn write_trace(path: &str) -> Result<(), String> {
+    let spans = telemetry::take_spans();
+    let json = telemetry::chrome_trace(&spans);
+    std::fs::write(path, &json).map_err(|e| e.to_string())?;
+    eprintln!(
+        "trace: {} span(s), {} bytes -> {path}",
+        spans.len(),
+        json.len()
+    );
+    Ok(())
+}
+
+fn json_mode(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--json")
+}
+
 fn run(args: &[String]) -> Result<(), String> {
+    let trace = trace_path(args)?;
+    dispatch(args)?;
+    if let Some(path) = &trace {
+        write_trace(path)?;
+    }
+    Ok(())
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
         "classify" => {
@@ -132,7 +181,18 @@ fn run(args: &[String]) -> Result<(), String> {
             let ev = engine
                 .evaluate(&db, &q, Strategy::Auto)
                 .map_err(|e| e.to_string())?;
-            print!("{}", explain_evaluation(&ev));
+            if json_mode(args) {
+                println!(
+                    "{{\"probability\":{},\"std_error\":{},\"method\":\"{}\",\"cache_hit\":{},\"metrics\":{}}}",
+                    telemetry::metrics::format_f64(ev.probability),
+                    telemetry::metrics::format_f64(ev.std_error),
+                    telemetry::json::escape(&ev.method.to_string()),
+                    ev.cache_hit,
+                    ev.metric_set().to_json()
+                );
+            } else {
+                print!("{}", explain_evaluation(&ev));
+            }
             Ok(())
         }
         "count" => {
@@ -195,10 +255,36 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             let mut engine = Engine::new();
             engine.exec = exec_options(args)?;
-            let mut answers = ranked_answers(&engine, &db, &q, &head, Strategy::Auto)
-                .map_err(|e| e.to_string())?;
+            let (mut answers, ranked_run) =
+                ranked_answers_counted(&engine, &db, &q, &head, Strategy::Auto)
+                    .map_err(|e| e.to_string())?;
             if let Some(k) = k {
                 answers.truncate(k);
+            }
+            if json_mode(args) {
+                let rows: Vec<String> = answers
+                    .iter()
+                    .map(|a| {
+                        let tuple: Vec<String> = a
+                            .tuple
+                            .iter()
+                            .map(|v| format!("\"{}\"", telemetry::json::escape(&voc.value_name(*v))))
+                            .collect();
+                        format!(
+                            "{{\"tuple\":[{}],\"probability\":{},\"std_error\":{},\"method\":\"{}\"}}",
+                            tuple.join(","),
+                            telemetry::metrics::format_f64(a.probability),
+                            telemetry::metrics::format_f64(a.std_error),
+                            telemetry::json::escape(&a.method.to_string())
+                        )
+                    })
+                    .collect();
+                println!(
+                    "{{\"answers\":[{}],\"metrics\":{}}}",
+                    rows.join(","),
+                    ranked_run.metric_set().to_json()
+                );
+                return Ok(());
             }
             for a in &answers {
                 let tuple: Vec<String> = a.tuple.iter().map(|v| voc.value_name(*v)).collect();

@@ -24,7 +24,10 @@
 //! * [`safeplan`] — extensional safe relational-algebra plans (independent
 //!   join / independent project) with a set-at-a-time executor,
 //! * [`numeric`] — arbitrary-precision integers and rationals, for exact
-//!   probability computation and substructure counting.
+//!   probability computation and substructure counting,
+//! * [`telemetry`] — hand-rolled observability: span tracing with
+//!   Chrome-trace export (`ENGINE_TRACE`, `--trace`) and the typed metrics
+//!   registry behind `Evaluation::metric_set` and the CLI's `--json` mode.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +68,7 @@ pub use numeric;
 pub use pdb;
 pub use reductions;
 pub use safeplan;
+pub use telemetry;
 
 /// Everything a typical user needs.
 pub mod prelude {
@@ -74,9 +78,9 @@ pub mod prelude {
     };
     pub use dichotomy::{
         classify, count_substructures_recurrence, eval_inversion_free, eval_recurrence,
-        eval_recurrence_exact, explain_evaluation, multisim_top_k, ranked_answers, top_k,
-        Classification, Complexity, Executor, MultiSimConfig, PhysicalPlan, Planner, PlannerStats,
-        RankedAnswer, RankedPlan,
+        eval_recurrence_exact, explain_evaluation, multisim_top_k, ranked_answers,
+        ranked_answers_counted, top_k, Classification, Complexity, Executor, MultiSimConfig,
+        PhysicalPlan, Planner, PlannerStats, RankedAnswer, RankedPlan, RankedRun,
     };
     pub use incremental::{IncrementalView, RefreshCounters, RefreshOptions};
     pub use lineage::{exact_probability, karp_luby, naive_mc, Dnf};
