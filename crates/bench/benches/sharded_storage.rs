@@ -1,0 +1,77 @@
+//! Shard-resident storage: DAG execution over per-shard columnar buffers
+//! and posting lists vs the serial set-at-a-time executor, on the
+//! 100k-tuple star workload.
+//!
+//! The workload is the `q_hier = R(x), S(x,y)` star family at 20_000
+//! roots × fanout 4 (100k tuples). `ProbDb::set_shard_layout(N)` lays
+//! the database out shard-resident (per-shard contiguous value buffers
+//! plus per-shard posting lists, ownership by the same splitmix64
+//! `ShardMap` the executors use), so sharded scans resolve entirely
+//! inside one shard with **zero global-index probes**.
+//!
+//! The bit-for-bit gates (DAG == serial at every layout, zero global
+//! probes when resident, sharded refresh == cold execution every churn
+//! round) and the medians come from `bench_harness::measure_sharded` —
+//! the same code path `report -- sharded` serializes to
+//! `BENCH_sharded.json`, so the bench and the trend-tracking JSON cannot
+//! drift. The PR-8 acceptance bar is the resident DAG path no slower
+//! than 1.05× serial in-container at shards=4.
+
+use bench_harness::{measure_sharded, star_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use safeplan::{build_plan, dag_query_probability, optimize, query_probability, DagOptions};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Gates + medians + probe accounting, shared with `report -- sharded`.
+    let m = measure_sharded(20_000, 4, 7, 5);
+    assert!(m.tuples >= 100_000, "{}", m.tuples);
+    assert!(
+        m.dag_vs_serial(4) <= 1.05,
+        "resident DAG at shards=4 is {:.3}x serial",
+        m.dag_vs_serial(4)
+    );
+
+    // Standalone criterion loops: serial vs resident DAG per layout.
+    let (mut db, q) = star_workload(20_000, 4, 7);
+    let plan = optimize(&build_plan(&q).unwrap());
+    let threads = m.timed_threads;
+
+    let mut group = c.benchmark_group("sharded_storage");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("serial/monolithic", |b| {
+        b.iter(|| query_probability(&db, &plan))
+    });
+    for shards in [2usize, 4] {
+        db.set_shard_layout(shards);
+        group.bench_function(format!("dag/resident-s{shards}"), |b| {
+            b.iter(|| dag_query_probability(&db, &plan, &DagOptions::new(threads, shards)).0)
+        });
+    }
+    group.finish();
+
+    println!(
+        "\nsharded_storage: {} tuples, timed at {} thread(s):",
+        m.tuples, m.timed_threads
+    );
+    println!("  serial: {:.3} ms", m.serial_s * 1e3);
+    for (i, &shards) in m.shard_counts.iter().enumerate() {
+        println!(
+            "  dag s={shards}: {:.3} ms ({:.2}x serial), refresh {:.3} ms, rows {:?}",
+            m.dag_s[i] * 1e3,
+            m.dag_vs_serial(shards),
+            m.refresh_s[i] * 1e3,
+            m.shard_rows[i]
+        );
+    }
+    println!(
+        "  global-index probes avoided {} (resident pays 0), shard-local probes {}",
+        m.probes_avoided, m.shard_index_probes
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

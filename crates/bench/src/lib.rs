@@ -448,6 +448,224 @@ pub fn measure_incremental(
     }
 }
 
+/// One shard-resident storage measurement on the star workload — the
+/// shared substance of `report -- sharded` (which serializes it to
+/// `BENCH_sharded.json`): a mixed scan/join/refresh pass at each storage
+/// shard count, with the bit-for-bit gate, the per-shard row spread, and
+/// the global-index probes the resident layout avoids.
+#[derive(Clone, Debug)]
+pub struct ShardedMeasurement {
+    pub roots: u64,
+    pub fanout: u64,
+    pub tuples: usize,
+    pub hardware_threads: usize,
+    /// Median seconds, serial set-at-a-time executor (monolithic layout).
+    pub serial_s: f64,
+    /// Worker threads the timed DAG/refresh runs used: `min(4, hardware)`,
+    /// so a 1-core container measures resident-layout overhead rather
+    /// than thread oversubscription (bit gates still cover threads
+    /// `{1, 4}` regardless).
+    pub timed_threads: usize,
+    /// Storage shard counts measured; parallel arrays below index into it.
+    pub shard_counts: Vec<usize>,
+    /// Median seconds, DAG executor at `timed_threads` with the database
+    /// laid out shard-resident at `shard_counts[i]` (1 = monolithic plane).
+    pub dag_s: Vec<f64>,
+    /// Median seconds per ~1% churn round, incremental refresh tuned to
+    /// `(timed_threads, shard_counts[i])` with the matching layout on
+    /// (exercises the sharded Added/Removed/Updated delta routing).
+    pub refresh_s: Vec<f64>,
+    /// Per-shard scan-row spread of one counted run at `shard_counts[i]`.
+    pub shard_rows: Vec<Vec<u64>>,
+    /// Global-index probes one serial evaluation pays — every one of them
+    /// avoided by the resident path, whose own count is gated at zero.
+    pub probes_avoided: u64,
+    /// Shard-local posting probes the widest resident run performed
+    /// instead of global ones.
+    pub shard_index_probes: u64,
+    /// Single-child operators the decomposer fused into their producer
+    /// tasks in the widest resident run.
+    pub inlined: u64,
+}
+
+impl ShardedMeasurement {
+    /// Resident-DAG time at `shards` relative to the serial executor —
+    /// the in-container acceptance gate pins this at ≤ 1.05 for shards=4.
+    pub fn dag_vs_serial(&self, shards: usize) -> f64 {
+        let i = self
+            .shard_counts
+            .iter()
+            .position(|&s| s == shards)
+            .expect("a measured shard count");
+        self.dag_s[i] / self.serial_s
+    }
+}
+
+/// Build the `roots × fanout` star through the delta log, then for each
+/// storage shard count in `{1, 2, 4}`: lay the database out resident at
+/// that fan-out, assert the DAG executor reproduces the serial scalar
+/// **bit for bit** at threads `{1, 4}` (with zero global-index probes
+/// whenever the layout is sharded), time the DAG pass at
+/// `min(4, hardware)` threads (median of `runs`), and run `runs` ~1%
+/// churn rounds through an incremental view refreshed at the matching
+/// `(threads, shards)` tuning — each round gated bit-for-bit against a
+/// cold serial execution.
+///
+/// # Panics
+/// If any configuration diverges from the serial oracle, or a resident
+/// run touches the global index.
+pub fn measure_sharded(roots: u64, fanout: u64, seed: u64, runs: usize) -> ShardedMeasurement {
+    use incremental::{IncrementalView, RefreshOptions};
+    use pdb::DeltaBatch;
+    use safeplan::{
+        dag_query_probability, dag_query_probability_counted, query_probability,
+        query_probability_counted, DagOptions, OpCounters,
+    };
+
+    const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut voc = Vocabulary::new();
+    let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
+    let r = voc.find_relation("R").unwrap();
+    let s = voc.find_relation("S").unwrap();
+    let plan = safeplan::optimize(&safeplan::build_plan(&q).unwrap());
+    let mut db = ProbDb::new(voc);
+    let mut load = DeltaBatch::new();
+    for i in 0..roots {
+        load.insert(r, vec![Value(i)], rng.gen_range(0.02..0.2));
+        for j in 0..fanout {
+            load.insert(
+                s,
+                vec![Value(i), Value(roots + i * fanout + j)],
+                rng.gen_range(0.02..0.3),
+            );
+        }
+    }
+    db.apply(&load);
+    let tuples = db.num_tuples();
+    let churn = (tuples / 100).max(1);
+
+    // Serial oracle: the scalar every configuration must reproduce bit for
+    // bit, and the global-index probe bill the resident layout avoids.
+    let mut serial_c = OpCounters::default();
+    let serial_p = query_probability_counted(&db, &plan, &mut serial_c);
+    let probes_avoided = serial_c.global_index_probes;
+    let serial_s = median_time(runs, &|| query_probability(&db, &plan));
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let timed_threads = hardware_threads.min(4);
+
+    let mut dag_s = Vec::new();
+    let mut shard_rows = Vec::new();
+    let mut shard_index_probes = 0u64;
+    let mut inlined = 0u64;
+    for &shards in &SHARD_COUNTS {
+        db.set_shard_layout(shards);
+        let mut c = OpCounters::default();
+        let (p, run) =
+            dag_query_probability_counted(&db, &plan, &DagOptions::new(4, shards), &mut c);
+        assert_eq!(
+            p.to_bits(),
+            serial_p.to_bits(),
+            "sharded DAG diverged at t=4 s={shards}"
+        );
+        let (p1, _) = dag_query_probability(&db, &plan, &DagOptions::new(1, shards));
+        assert_eq!(
+            p1.to_bits(),
+            serial_p.to_bits(),
+            "sharded DAG diverged at t=1 s={shards}"
+        );
+        if shards > 1 {
+            assert_eq!(
+                c.global_index_probes, 0,
+                "resident scans probed the global index at s={shards}"
+            );
+            assert!(
+                c.shard_index_probes > 0,
+                "no shard-local probes recorded at s={shards}"
+            );
+            shard_index_probes = c.shard_index_probes;
+            inlined = run.sched.inlined;
+        }
+        shard_rows.push(run.shards.rows.clone());
+        dag_s.push(median_time(runs, &|| {
+            dag_query_probability(&db, &plan, &DagOptions::new(timed_threads, shards)).0
+        }));
+    }
+
+    // Refresh leg: churn routed through the resident layout (per-shard
+    // delta application + per-shard version stamps), refreshed sharded and
+    // gated against cold serial execution every round.
+    let mut view = IncrementalView::new(&db, &plan).unwrap();
+    let mut next_y = roots * (fanout + 1) + 1;
+    let mut refresh_s = Vec::new();
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    for &shards in &SHARD_COUNTS {
+        db.set_shard_layout(shards);
+        let mut times = Vec::with_capacity(runs);
+        for round in 0..runs {
+            let mut batch = DeltaBatch::new();
+            for c in 0..churn {
+                match c % 10 {
+                    // 10% fresh inserts under a random existing root.
+                    0 => {
+                        let root = rng.gen_range(0..roots);
+                        batch.insert(
+                            s,
+                            vec![Value(root), Value(next_y)],
+                            rng.gen_range(0.02..0.3),
+                        );
+                        next_y += 1;
+                    }
+                    // 10% deletes of random live S tuples.
+                    5 => {
+                        let ids = db.tuples_of(s);
+                        let id = ids[rng.gen_range(0..ids.len())];
+                        batch.delete(s, db.tuple(id).args.clone());
+                    }
+                    // 80% probability updates (R and S).
+                    k => {
+                        let rel = if k < 3 { r } else { s };
+                        let ids = db.tuples_of(rel);
+                        let id = ids[rng.gen_range(0..ids.len())];
+                        batch.update(rel, db.tuple(id).args.clone(), rng.gen_range(0.02..0.3));
+                    }
+                }
+            }
+            db.apply(&batch);
+            let (t, _) =
+                time(|| view.refresh(&db, RefreshOptions::with_tuning(timed_threads, shards)));
+            times.push(t);
+            let cold = query_probability(&db, &plan);
+            assert_eq!(
+                view.probability().to_bits(),
+                cold.to_bits(),
+                "round {round}: sharded refresh diverged at s={shards}"
+            );
+        }
+        refresh_s.push(median(times));
+    }
+
+    ShardedMeasurement {
+        roots,
+        fanout,
+        tuples,
+        hardware_threads,
+        serial_s,
+        timed_threads,
+        shard_counts: SHARD_COUNTS.to_vec(),
+        dag_s,
+        refresh_s,
+        shard_rows,
+        probes_avoided,
+        shard_index_probes,
+        inlined,
+    }
+}
+
 /// One traced-vs-untraced telemetry comparison on the star workload — the
 /// shared substance of `report -- obs` (which serializes it to
 /// `BENCH_obs.json` and the captured trace to `TRACE_obs.json`): the same

@@ -200,6 +200,8 @@ pub(crate) fn ops_metrics(m: &mut MetricSet, ops: &safeplan::OpCounters) {
     m.set_count("ops.join_rows", ops.join_rows);
     m.set_count("ops.groups", ops.groups);
     m.set_count("ops.shard_fanout", ops.shard_fanout);
+    m.set_count("ops.global_index_probes", ops.global_index_probes);
+    m.set_count("ops.shard_index_probes", ops.shard_index_probes);
     m.set_count("ops.est_builds", ops.est_builds);
     m.set_count("ops.est_build_overrides", ops.est_build_overrides);
     m.set_ns("ops.time.scan_ns", ops.times.scan_ns);
@@ -212,6 +214,7 @@ pub(crate) fn ops_metrics(m: &mut MetricSet, ops: &safeplan::OpCounters) {
 /// Flatten DAG scheduler counters under `sched.*`.
 pub(crate) fn sched_metrics(m: &mut MetricSet, sched: &safeplan::DagStats) {
     m.set_count("sched.tasks", sched.tasks);
+    m.set_count("sched.inlined", sched.inlined);
     m.set_count("sched.max_ready", sched.max_ready);
     m.set_count("sched.max_running", sched.max_running);
     m.set_ns("sched.overlap_ns", sched.overlap.as_nanos() as u64);

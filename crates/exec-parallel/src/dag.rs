@@ -47,6 +47,10 @@ use std::time::{Duration, Instant};
 pub struct DagStats {
     /// Tasks in the DAG.
     pub tasks: u64,
+    /// Single-child operators the decomposer fused into their child task
+    /// instead of scheduling separately (the scheduler never sees them;
+    /// the caller that did the fusing records the count here).
+    pub inlined: u64,
     /// Peak depth of the ready queue (tasks runnable but unclaimed).
     pub max_ready: u64,
     /// Peak number of tasks running at the same time.

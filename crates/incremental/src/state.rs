@@ -402,11 +402,12 @@ impl ScanState {
         }
         let _span = telemetry::span("scan-delta");
         let mut delta = OpDelta::empty(self.out.arity, 1);
-        // Sharded candidate matching: collect this relation's added ids
-        // (ascending — `net` ascends), match per shard, merge ascending.
-        // Added rows only ever land in `delta.added`, so hoisting them out
-        // of the serial walk below leaves the delta byte-identical.
-        let sharded = if shards > 1 {
+        let mut rem_keys: Vec<u64> = Vec::new();
+        if shards > 1 {
+            // Sharded candidate matching: collect this relation's added ids
+            // (ascending — `net` ascends), match per shard, merge ascending.
+            // Added rows only ever land in `delta.added`, so hoisting them
+            // out of the serial walk leaves the delta byte-identical.
             let ids: Vec<TupleId> = net
                 .iter()
                 .filter(|&&(_, rel, change)| rel == self.rel && change == NetChange::Added)
@@ -436,53 +437,117 @@ impl ScanState {
                     .added
                     .push(&key, &outs[s].1[i * arity..(i + 1) * arity], outs[s].2[i]);
             }
-            true
-        } else {
-            false
-        };
-        let mut rem_keys: Vec<u64> = Vec::new();
-        let mut rowbuf = vec![Value(0); self.out.arity];
-        // `net` ascends by id, so each delta list comes out key-sorted —
-        // and every lookup can window past the previous hit.
-        let mut cursor = 0usize;
-        for &(id, rel, change) in net {
-            if rel != self.rel {
-                continue;
-            }
-            let key = [u64::from(id.0)];
-            match change {
-                NetChange::Added => {
-                    if sharded {
-                        continue;
-                    }
-                    let t = db.tuple(id);
-                    if match_tuple(&self.slots, &t.args, &mut rowbuf) {
-                        delta.added.push(&key, &rowbuf, t.prob);
-                        shard_rows[0] += 1;
+            // Sharded Removed/Updated matching, same discipline: the
+            // buffer lookups (the O(log n) part) run per shard over the
+            // *immutable* buffer — positions cannot move until the apply
+            // pass below and the `merge_added` at the end — then the
+            // mutations replay serially in merged ascending-id order, so
+            // the delta lists and buffer stay byte-identical to the
+            // serial walk's.
+            let touched: Vec<(TupleId, NetChange)> = net
+                .iter()
+                .filter(|&&(_, rel, change)| rel == self.rel && change != NetChange::Added)
+                .map(|&(id, _, change)| (id, change))
+                .collect();
+            let tids: Vec<TupleId> = touched.iter().map(|&(id, _)| id).collect();
+            let map = ShardMap::new(shards);
+            let parts = map.split_positions(&tids);
+            let out_ref = &self.out;
+            let hit_lists: Vec<Vec<(u32, usize)>> = pool.map_partitions(parts.len(), |s| {
+                let mut hits = Vec::new();
+                // Positions ascend within a shard, so each shard keeps
+                // its own monotonic window into the buffer.
+                let mut cursor = 0usize;
+                for &p in &parts[s] {
+                    let key = [u64::from(tids[p as usize].0)];
+                    let lb = out_ref.lower_bound_from(cursor, &key);
+                    cursor = lb;
+                    if lb < out_ref.len() && out_ref.key(lb) == key {
+                        hits.push((p, lb));
+                        cursor = lb + 1;
                     }
                 }
-                NetChange::Removed | NetChange::Updated => {
-                    let lb = self.out.lower_bound_from(cursor, &key);
-                    cursor = lb;
-                    if lb < self.out.len() && self.out.key(lb) == key {
-                        if change == NetChange::Removed {
-                            if self.defer_removals {
-                                // Tombstone: the parent learns through the
-                                // delta; the buffer stays fold-equivalent.
-                                delta
-                                    .removed
-                                    .push(&key, self.out.row(lb), self.out.probs[lb]);
-                                self.out.probs[lb] = 0.0;
-                                self.tombstones.push(key[0]);
-                            } else {
-                                rem_keys.extend_from_slice(&key);
-                            }
-                        } else {
-                            let p = db.tuple(id).prob;
-                            self.out.probs[lb] = p;
-                            delta.updated.push(&key, self.out.row(lb), p);
+                hits
+            });
+            for (s, hits) in hit_lists.iter().enumerate() {
+                shard_rows[s] += hits.len() as u64;
+            }
+            let mut cursors = vec![0usize; hit_lists.len()];
+            loop {
+                let mut best: Option<(u32, usize)> = None;
+                for (s, hits) in hit_lists.iter().enumerate() {
+                    if let Some(&(p, _)) = hits.get(cursors[s]) {
+                        if best.is_none_or(|(b, _)| p < b) {
+                            best = Some((p, s));
                         }
-                        cursor = lb + 1;
+                    }
+                }
+                let Some((p, s)) = best else { break };
+                let lb = hit_lists[s][cursors[s]].1;
+                cursors[s] += 1;
+                let (id, change) = touched[p as usize];
+                let key = [u64::from(id.0)];
+                if change == NetChange::Removed {
+                    if self.defer_removals {
+                        // Tombstone: the parent learns through the delta;
+                        // the buffer stays fold-equivalent.
+                        delta
+                            .removed
+                            .push(&key, self.out.row(lb), self.out.probs[lb]);
+                        self.out.probs[lb] = 0.0;
+                        self.tombstones.push(key[0]);
+                    } else {
+                        rem_keys.extend_from_slice(&key);
+                    }
+                } else {
+                    let prob = db.tuple(id).prob;
+                    self.out.probs[lb] = prob;
+                    delta.updated.push(&key, self.out.row(lb), prob);
+                }
+            }
+        } else {
+            let mut rowbuf = vec![Value(0); self.out.arity];
+            // `net` ascends by id, so each delta list comes out key-sorted
+            // — and every lookup can window past the previous hit.
+            let mut cursor = 0usize;
+            for &(id, rel, change) in net {
+                if rel != self.rel {
+                    continue;
+                }
+                let key = [u64::from(id.0)];
+                match change {
+                    NetChange::Added => {
+                        let t = db.tuple(id);
+                        if match_tuple(&self.slots, &t.args, &mut rowbuf) {
+                            delta.added.push(&key, &rowbuf, t.prob);
+                            shard_rows[0] += 1;
+                        }
+                    }
+                    NetChange::Removed | NetChange::Updated => {
+                        let lb = self.out.lower_bound_from(cursor, &key);
+                        cursor = lb;
+                        if lb < self.out.len() && self.out.key(lb) == key {
+                            shard_rows[0] += 1;
+                            if change == NetChange::Removed {
+                                if self.defer_removals {
+                                    // Tombstone: the parent learns through
+                                    // the delta; the buffer stays
+                                    // fold-equivalent.
+                                    delta
+                                        .removed
+                                        .push(&key, self.out.row(lb), self.out.probs[lb]);
+                                    self.out.probs[lb] = 0.0;
+                                    self.tombstones.push(key[0]);
+                                } else {
+                                    rem_keys.extend_from_slice(&key);
+                                }
+                            } else {
+                                let p = db.tuple(id).prob;
+                                self.out.probs[lb] = p;
+                                delta.updated.push(&key, self.out.row(lb), p);
+                            }
+                            cursor = lb + 1;
+                        }
                     }
                 }
             }

@@ -15,11 +15,12 @@ pub struct RefreshOptions {
     pub threads: usize,
     /// Morsel grain; tests shrink it to force multi-morsel schedules.
     pub grain: usize,
-    /// Shard fan-out for scan-delta matching: net-added tuples are
-    /// hash-partitioned by tuple id ([`pdb::ShardMap`]) and matched per
-    /// shard, then merged back in id order — the same shard/merge stage
-    /// as the DAG executor's sharded scans, and still bit-for-bit the
-    /// serial refresh. 1 = monolithic.
+    /// Shard fan-out for scan-delta matching: net-added, net-removed and
+    /// net-updated tuples are all hash-partitioned by tuple id
+    /// ([`pdb::ShardMap`]) and matched/looked-up per shard, then merged
+    /// back in id order — the same shard/merge stage as the DAG
+    /// executor's sharded scans, and still bit-for-bit the serial
+    /// refresh. 1 = monolithic.
     pub shards: usize,
 }
 

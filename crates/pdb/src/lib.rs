@@ -34,7 +34,7 @@ pub mod text;
 pub mod worlds;
 
 pub use bid::{BidDb, Block};
-pub use database::{ProbDb, ProbTuple, TupleId, MAX_DELTA_LOG};
+pub use database::{ProbDb, ProbTuple, ShardColumn, TupleId, MAX_DELTA_LOG};
 pub use delta::{AppliedDelta, ChangeKind, DeltaBatch, DeltaOp, TupleChange};
 pub use eval::{all_valuations, satisfies, Valuation};
 pub use exact::{

@@ -1,17 +1,49 @@
 //! Hash-sharding of tuple storage: the data-plane partitioning scheme
-//! behind the sharded executors.
+//! behind the sharded executors and the shard-resident storage layout.
+//!
+//! # Ownership
 //!
 //! A [`ShardMap`] deterministically assigns every [`TupleId`] to one of
 //! `N` shards by hashing the id (a splitmix64-style integer mix — cheap,
 //! stateless, and uniform even on the dense sequential ids `ProbDb`
-//! allocates). The per-shard tuple-id lists and posting lists are derived
-//! by [`ShardMap::split`]/[`ShardMap::split_positions`] from the global
-//! **ascending** lists the database maintains, so each shard's list is
-//! itself ascending — and a merge that stitches shard outputs back in
-//! ascending original order reproduces the unsharded scan **exactly**
-//! (same rows, same order, same bits). That derivation keeps one source
-//! of truth: the delta-maintained global lists stay authoritative, and
-//! shard views never drift from them.
+//! allocates). Ownership is a pure function of `(id, N)`: every executor,
+//! refresh path, storage slab, and test sees the same assignment, and it
+//! never changes for the lifetime of a layout.
+//!
+//! # Shard-resident storage
+//!
+//! With `ProbDb::set_shard_layout(N)` the database keeps, per shard, a
+//! contiguous columnar buffer per relation (tuple ids + row values at the
+//! relation's arity stride + an `f64` probability column — the same flat
+//! layout as `safeplan`'s relations) and this shard's slice of every
+//! `(relation, column, value)` posting list. Invariants:
+//!
+//! * **Filter equality** — each per-shard list is exactly the ownership
+//!   filter of the corresponding global list: `shard_tuples_with(s, …) ==
+//!   tuples_with(…).filter(|id| shard_of(id) == s)`, element for element.
+//! * **Ascending ids** — insertion appends monotonically increasing ids
+//!   and deletion splices whole rows, so every per-shard list stays
+//!   strictly ascending, exactly like the global lists.
+//! * **Delta routing** — `DeltaBatch::apply` (and the out-of-band
+//!   mutators) route each tuple-level change to its owning shard only,
+//!   and stamp that shard's version (`ProbDb::shard_version`), so a
+//!   shard-local reader can skip untouched shards.
+//!
+//! # Merge discipline
+//!
+//! Because per-shard lists ascend and partition the global list, a k-way
+//! min-merge of per-shard scan outputs keyed by tuple id (or by position
+//! into a global list, for the split-derived path below) reproduces the
+//! unsharded scan **exactly** — same rows, same order, same bits. This is
+//! the invariant every sharded executor leans on for the bit-for-bit
+//! oracle guarantee.
+//!
+//! Databases without a resident layout still shard at execution time:
+//! [`ShardMap::split`]/[`ShardMap::split_positions`] derive per-shard
+//! lists from the global ascending lists on the fly. The resident layout
+//! removes that split step (and the global-index probe in front of it)
+//! from the hot path; NUMA pinning and multi-process placement of whole
+//! slabs are the follow-up this layout enables.
 
 use crate::database::TupleId;
 
@@ -21,6 +53,13 @@ use crate::database::TupleId;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardMap {
     shards: usize,
+}
+
+impl Default for ShardMap {
+    /// The monolithic (1-shard) map.
+    fn default() -> Self {
+        ShardMap::new(1)
+    }
 }
 
 impl ShardMap {

@@ -14,7 +14,12 @@
 //!
 //! * Leaves (scans, complement scans, constants) become zero-dependency
 //!   tasks — all of a plan's scans are runnable at once.
-//! * `Select`/`IndependentProject` become single-dependency tasks.
+//! * `Select`/`IndependentProject` are **fused into their child task** as
+//!   post-operators: a single-child chain never pays a scheduler hop
+//!   (ready-queue round trip, slot write, dependency count) per operator.
+//!   The operator kernels run unchanged and in the same order, so the
+//!   fusion is invisible in the output; [`DagStats::inlined`] counts the
+//!   operators absorbed this way.
 //! * An `IndependentJoin` over inputs `i0, i1, …` becomes a chain of
 //!   [`JoinStage`](Task) tasks replicating the serial fold
 //!   `certain ⋈ i0 ⋈ i1 ⋈ …` — stage `k` depends on stage `k−1` *and*
@@ -30,22 +35,39 @@
 //!
 //! ## Sharded scans
 //!
-//! With [`DagOptions::shards`] `> 1`, scan tasks hash-partition their
-//! tuple-id lists through [`pdb::ShardMap`] and run one kernel per shard
-//! ([`scan_rows_at`](crate::exec)), each shard reporting which original
-//! positions survived filtering; a k-way merge by ascending position
-//! restores the exact monolithic row order — same rows, same order, same
-//! bits. Complement scans stay monolithic (their rows are generated
-//! bindings with no tuple ids). Independent projects fan groups out over
-//! `shards × threads` partitions; the first-seen-row merge is partition-
-//! count invariant, so the fan-out never perturbs a bit.
+//! With [`DagOptions::shards`] `> 1`, scan tasks run one kernel per shard
+//! and k-way-merge the per-shard outputs back into the exact monolithic
+//! row order — same rows, same order, same bits. Two data planes feed
+//! that merge:
+//!
+//! * **Shard-resident** (`db.shard_layout() == shards`): the scan
+//!   resolves against per-shard posting lists and reads rows off each
+//!   shard's resident columnar buffer ([`scan_column_keyed`]) — zero
+//!   global-index probes, no split step — and the merge keys are tuple
+//!   ids (global scan order *is* ascending-id order).
+//! * **Split-derived** (no matching layout): the global id list is
+//!   hash-partitioned through [`pdb::ShardMap`] on the fly and
+//!   [`scan_rows_at`](crate::exec) reports which original positions
+//!   survived; the merge keys are those positions.
+//!
+//! When the pool is inline (one worker), the resident plane fuses the
+//! k-way id merge into the scan itself ([`scan_columns_merged`]) — one
+//! pass over the resident buffers, no per-shard materialization, same
+//! rows in the same ascending-id order. Complement scans stay monolithic
+//! (their rows are generated bindings with no tuple ids). Independent
+//! projects fan groups out over `shards × threads` partitions; the
+//! first-seen-row merge is partition-count invariant, so the fan-out
+//! never perturbs a bit.
 //!
 //! The invariant pinned by `tests/sharded_agreement.rs` and the in-crate
 //! tests below: for every plan, database, thread count, shard count, and
 //! scheduler picker, the DAG executor returns **bit-for-bit** the serial
 //! executor's relation.
 
-use crate::exec::{complement_rows, scan_rows, scan_rows_at, ComplementSpec, OpCounters, ScanSpec};
+use crate::exec::{
+    complement_rows, scan_column_keyed, scan_columns_merged, scan_rows, scan_rows_at,
+    scan_rows_keyed, ComplementSpec, OpCounters, ScanSpec, ShardScanSpec,
+};
 use crate::node::PlanNode;
 use crate::optimize::{columns, estimate_rows};
 use crate::par::{par_join_sided, par_project_parts, par_select};
@@ -128,14 +150,6 @@ enum Task<'p> {
     Unit,
     /// A leaf node (scan, complement scan, constant) — no dependencies.
     Leaf(&'p PlanNode),
-    Select {
-        pred: Pred,
-        input: usize,
-    },
-    Project {
-        keep: &'p [Var],
-        input: usize,
-    },
     /// One fold step of `certain ⋈ i0 ⋈ i1 ⋈ …`; `left` is the previous
     /// stage (`None` = the certain accumulator), `right` the input task.
     JoinStage {
@@ -143,6 +157,14 @@ enum Task<'p> {
         right: usize,
         est_side: BuildSide,
     },
+}
+
+/// A single-child operator fused into its child task: after the task's
+/// own kernel produces a relation, its posts run in plan order on the
+/// same worker — identical kernels, identical order, no scheduler hop.
+enum Post<'p> {
+    Select(Pred),
+    Project(&'p [Var]),
 }
 
 /// What one task hands downstream: its relation plus the counters and
@@ -156,12 +178,16 @@ struct TaskOut<P> {
 
 /// Flatten `plan` into `tasks`/`deps`, children before parents (so every
 /// dependency index precedes its task, the shape [`run_dag`] requires),
-/// and return the root task's index — always the last.
+/// and return the root task's index — always the last. Single-child
+/// `Select`/`IndependentProject` chains are fused into their child's
+/// `posts` instead of becoming tasks; `inlined` counts the fusions.
 fn decompose<'p>(
     plan: &'p PlanNode,
     db: &ProbDb,
     tasks: &mut Vec<Task<'p>>,
     deps: &mut Vec<Vec<usize>>,
+    posts: &mut Vec<Vec<Post<'p>>>,
+    inlined: &mut u64,
 ) -> usize {
     match plan {
         PlanNode::Certain
@@ -170,31 +196,32 @@ fn decompose<'p>(
         | PlanNode::ComplementScan { .. } => {
             tasks.push(Task::Leaf(plan));
             deps.push(Vec::new());
+            posts.push(Vec::new());
         }
         PlanNode::Select { pred, input } => {
-            let i = decompose(input, db, tasks, deps);
-            tasks.push(Task::Select {
-                pred: *pred,
-                input: i,
-            });
-            deps.push(vec![i]);
+            let i = decompose(input, db, tasks, deps, posts, inlined);
+            posts[i].push(Post::Select(*pred));
+            *inlined += 1;
+            return i;
         }
         PlanNode::IndependentProject { keep, input } => {
-            let i = decompose(input, db, tasks, deps);
-            tasks.push(Task::Project { keep, input: i });
-            deps.push(vec![i]);
+            let i = decompose(input, db, tasks, deps, posts, inlined);
+            posts[i].push(Post::Project(keep));
+            *inlined += 1;
+            return i;
         }
         PlanNode::IndependentJoin { inputs } => {
             if inputs.is_empty() {
                 tasks.push(Task::Unit);
                 deps.push(Vec::new());
+                posts.push(Vec::new());
                 return tasks.len() - 1;
             }
             // All input subtrees first — they are mutually independent,
             // so they all become runnable as their own leaves complete.
             let ins: Vec<usize> = inputs
                 .iter()
-                .map(|i| decompose(i, db, tasks, deps))
+                .map(|i| decompose(i, db, tasks, deps, posts, inlined))
                 .collect();
             // Then the fold chain, each stage's build side chosen from
             // the same incremental estimate the join-ordering rule
@@ -219,6 +246,7 @@ fn decompose<'p>(
                     est_side,
                 });
                 deps.push(d);
+                posts.push(Vec::new());
                 prev = Some(tasks.len() - 1);
                 let cols = columns(&inputs[k]);
                 let shared = cols.intersection(&seen).count();
@@ -245,26 +273,64 @@ fn leaf_rel<P: ProbValue + Send + Sync>(
         PlanNode::Certain => ProbRelation::certain(),
         PlanNode::Never => ProbRelation::never(),
         PlanNode::Scan { atom } => {
-            let scan = ScanSpec::new(db, atom, counters);
-            if map.shards() <= 1 {
-                let chunks = pool.map_morsels(scan.ids.len(), |r| {
-                    scan_rows(db, probs, &scan.plan, &scan.ids[r])
-                });
-                let (data, out) = stitch_columnar(chunks);
-                shard_rows[0] += out.len() as u64;
-                ProbRelation::from_parts(scan.cols, data, out)
-            } else {
-                // One kernel per shard over that shard's (ascending)
-                // positions into the id list; the k-way merge by original
-                // position restores the monolithic row order exactly.
-                let parts = map.split_positions(scan.ids);
+            if map.shards() > 1 && db.shard_layout() == map.shards() {
+                // Shard-resident path: the scan resolves against the
+                // per-shard posting lists (zero global-index probes) and
+                // full scans read straight off each shard's resident
+                // columnar buffer. Keys are tuple ids — global scan order
+                // *is* ascending-id order, so the id merge reproduces the
+                // monolithic output exactly.
+                let scan = ShardScanSpec::new(db, atom, map.shards(), counters);
+                if !scan.pushdown && pool.threads() == 1 {
+                    // Inline pool: nothing scans concurrently, so fuse the
+                    // k-way id merge into the scan itself — one pass over
+                    // the resident buffers writing survivors straight into
+                    // the output, no per-shard materialization.
+                    let resident: Vec<_> = (0..map.shards())
+                        .map(|s| db.shard_resident(s, atom.rel))
+                        .collect();
+                    return scan_columns_merged(
+                        &resident, probs, &scan.plan, scan.cols, shard_rows,
+                    );
+                }
                 let outs = pool.map_partitions(map.shards(), |s| {
-                    scan_rows_at(db, probs, &scan.plan, scan.ids, &parts[s])
+                    if scan.pushdown {
+                        scan_rows_keyed(db, probs, &scan.plan, scan.shard_ids[s])
+                    } else {
+                        match db.shard_resident(s, atom.rel) {
+                            Some(col) => scan_column_keyed(col, probs, &scan.plan),
+                            None => Default::default(),
+                        }
+                    }
                 });
                 for (s, o) in outs.iter().enumerate() {
                     shard_rows[s] += o.1.len() as u64;
                 }
                 merge_shard_scans(scan.cols, outs)
+            } else {
+                let scan = ScanSpec::new(db, atom, counters);
+                if map.shards() <= 1 {
+                    let chunks = pool.map_morsels(scan.ids.len(), |r| {
+                        scan_rows(db, probs, &scan.plan, &scan.ids[r])
+                    });
+                    let (data, out) = stitch_columnar(chunks);
+                    shard_rows[0] += out.len() as u64;
+                    ProbRelation::from_parts(scan.cols, data, out)
+                } else {
+                    // No resident layout: hash-partition the global id
+                    // list on the fly. One kernel per shard over that
+                    // shard's (ascending) positions into the id list; the
+                    // k-way merge by original position restores the
+                    // monolithic row order exactly.
+                    let parts = map.split_positions(scan.ids);
+                    let outs = pool.map_partitions(map.shards(), |s| {
+                        scan_rows_at(db, probs, &scan.plan, scan.ids, &parts[s])
+                    });
+                    for (s, o) in outs.iter().enumerate() {
+                        shard_rows[s] += o.1.len() as u64;
+                    }
+                    merge_shard_scans(scan.cols, outs)
+                }
             }
         }
         PlanNode::ComplementScan { atom } => {
@@ -287,6 +353,15 @@ fn merge_shard_scans<P: ProbValue>(
     outs: Vec<(Vec<Value>, Vec<P>, Vec<u32>)>,
 ) -> ProbRelation<P> {
     let _span = telemetry::span("merge");
+    // Fast path: at most one shard produced rows (fan-out 1, or all
+    // survivors hashed to one shard) — its buffer already *is* the merged
+    // output, so adopt it wholesale instead of walking cursors.
+    if outs.iter().filter(|o| !o.1.is_empty()).count() <= 1 {
+        return match outs.into_iter().find(|o| !o.1.is_empty()) {
+            Some((data, probs, _)) => ProbRelation::from_parts(cols, data, probs),
+            None => ProbRelation::with_capacity(cols, 0),
+        };
+    }
     let arity = cols.len();
     let total: usize = outs.iter().map(|o| o.1.len()).sum();
     let mut out = ProbRelation::with_capacity(cols, total);
@@ -358,17 +433,19 @@ where
     let pool = opts.pool();
     let mut tasks: Vec<Task<'_>> = Vec::new();
     let mut deps: Vec<Vec<usize>> = Vec::new();
-    let root = decompose(plan, db, &mut tasks, &mut deps);
+    let mut posts: Vec<Vec<Post<'_>>> = Vec::new();
+    let mut inlined = 0u64;
+    let root = decompose(plan, db, &mut tasks, &mut deps, &mut posts, &mut inlined);
     debug_assert_eq!(root, tasks.len() - 1, "root must be the last task");
 
-    let (mut outs, sched) = run_dag_with_picker(
+    let (mut outs, mut sched) = run_dag_with_picker(
         opts.threads,
         &deps,
         picker,
         |t, slots: DagSlots<'_, TaskOut<P>>| {
             let mut c = OpCounters::default();
             let mut shard_rows = vec![0u64; fanout];
-            let rel = match &tasks[t] {
+            let mut rel = match &tasks[t] {
                 Task::Unit => ProbRelation::certain(),
                 Task::Leaf(node) => {
                     let _span = telemetry::span(match node {
@@ -384,26 +461,6 @@ where
                         }
                         _ => c.times.scan_ns += t0.elapsed().as_nanos() as u64,
                     }
-                    out
-                }
-                Task::Select { pred, input } => {
-                    let _span = telemetry::span("select");
-                    let t0 = Instant::now();
-                    let out = par_select(&slots.get(*input).rel, pred, &pool);
-                    c.times.select_ns += t0.elapsed().as_nanos() as u64;
-                    out
-                }
-                Task::Project { keep, input } => {
-                    let _span = telemetry::span("project");
-                    let t0 = Instant::now();
-                    let out = par_project_parts(
-                        &slots.get(*input).rel,
-                        keep,
-                        &pool,
-                        fanout * pool.threads(),
-                    );
-                    c.groups += out.len() as u64;
-                    c.times.project_ns += t0.elapsed().as_nanos() as u64;
                     out
                 }
                 Task::JoinStage {
@@ -431,6 +488,25 @@ where
                     out
                 }
             };
+            // Fused single-child operators run here, on the same worker,
+            // with the exact kernels and order the standalone tasks used.
+            for post in &posts[t] {
+                match post {
+                    Post::Select(pred) => {
+                        let _span = telemetry::span("select");
+                        let t0 = Instant::now();
+                        rel = par_select(&rel, pred, &pool);
+                        c.times.select_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    Post::Project(keep) => {
+                        let _span = telemetry::span("project");
+                        let t0 = Instant::now();
+                        rel = par_project_parts(&rel, keep, &pool, fanout * pool.threads());
+                        c.groups += rel.len() as u64;
+                        c.times.project_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+            }
             TaskOut {
                 rel,
                 counters: c,
@@ -438,6 +514,7 @@ where
             }
         },
     );
+    sched.inlined = inlined;
 
     let mut shards = ShardStats {
         shards: fanout,
@@ -642,6 +719,67 @@ mod tests {
     }
 
     #[test]
+    fn resident_layout_scans_without_global_index_probes() {
+        let mut rng = StdRng::seed_from_u64(0x5A1D);
+        for text in [
+            "R(x), S(x,y)",
+            "R(1), S(1,y), U(x,y,z)",
+            "S(x,x)",
+            "R(x), not T(x)",
+        ] {
+            let mut voc = Vocabulary::new();
+            let q = parse_query(&mut voc, text).unwrap();
+            let plan = build_plan(&q).unwrap();
+            let opts = RandomDbOptions {
+                domain: 4,
+                tuples_per_relation: 40,
+                prob_range: (0.1, 0.9),
+            };
+            let mut db = random_db_for_query(&q, &voc, opts, &mut rng);
+            let probs = db.prob_vector();
+            let mut serial_c = OpCounters::default();
+            let serial = execute_counted(&db, &probs, &plan, &mut serial_c);
+            assert!(serial_c.global_index_probes > 0, "{text}: serial probes");
+            for shards in [2usize, 3, 7] {
+                db.set_shard_layout(shards);
+                for threads in [1, 4] {
+                    let mut c = OpCounters::default();
+                    let (got, _) = dag_execute_counted(
+                        &db,
+                        &probs,
+                        &plan,
+                        &DagOptions::with_grain(threads, shards, 2),
+                        &mut c,
+                    );
+                    assert_eq!(serial, got, "{text} at {threads} threads {shards} shards");
+                    assert_eq!(
+                        c.global_index_probes, 0,
+                        "{text}: resident path probed globally"
+                    );
+                    assert!(c.shard_index_probes > 0, "{text}: no shard probes recorded");
+                    // Scan-granularity counters replicate the monolithic
+                    // figures exactly — the per-shard lists partition the
+                    // global lists, so the same column wins pushdown.
+                    assert_eq!(c.scans, serial_c.scans, "{text}");
+                    assert_eq!(c.index_scans, serial_c.index_scans, "{text}");
+                    assert_eq!(c.rows_scanned, serial_c.rows_scanned, "{text}");
+                    assert_eq!(c.rows_pruned, serial_c.rows_pruned, "{text}");
+                }
+            }
+            // Fan-out ≠ layout: the executor must fall back to the
+            // split-derived path (global probes again) and still agree.
+            let mut c = OpCounters::default();
+            let (got, _) =
+                dag_execute_counted(&db, &probs, &plan, &DagOptions::with_grain(2, 2, 2), &mut c);
+            assert_eq!(serial, got, "{text}: split fallback diverged");
+            assert_eq!(
+                c.global_index_probes, serial_c.global_index_probes,
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
     fn sharded_scan_rows_spread_and_sum() {
         let mut voc = Vocabulary::new();
         let q = parse_query(&mut voc, "R(x), S(x,y)").unwrap();
@@ -745,6 +883,11 @@ mod tests {
         assert_eq!(execute(&db, &probs, &plan), got);
         assert!(run.sched.max_ready >= 2, "{:?}", run.sched);
         assert!(run.sched.tasks >= 8, "{:?}", run.sched);
+        assert!(
+            run.sched.inlined >= 1,
+            "projects should fuse into their producers: {:?}",
+            run.sched
+        );
     }
 
     #[test]

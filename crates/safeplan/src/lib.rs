@@ -28,8 +28,12 @@
 //! decompose into an operator-task DAG whose independent subtrees overlap
 //! on the same pool, over a hash-**sharded** data plane
 //! ([`dag_execute`]) — still bit-for-bit identical for every thread
-//! count, shard count, and schedule. The pre-columnar row executor
-//! survives in [`rowref`] as the correctness oracle and bench baseline.
+//! count, shard count, and schedule. When the database carries a matching
+//! **shard-resident layout** ([`pdb::ProbDb::set_shard_layout`]),
+//! sharded scans read per-shard columnar buffers and posting lists and
+//! resolve with zero global-index probes (counter-verified via
+//! [`OpCounters`]). The pre-columnar row executor survives in [`rowref`]
+//! as the correctness oracle and bench baseline.
 //!
 //! ```
 //! use cq::{parse_query, Vocabulary, Value};

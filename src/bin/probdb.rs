@@ -23,10 +23,11 @@
 //!
 //! `--threads N` runs the morsel-driven parallel executor on N workers
 //! (results are bit-for-bit the serial answers; sampling stays
-//! deterministic per seed and thread count). `--shards N` hash-partitions
-//! extensional scans into N shards for the pipelined operator-DAG
-//! executor — still bit-for-bit serial answers; a per-plan cost model
-//! keeps small scans monolithic. The `ENGINE_THREADS` / `ENGINE_SHARDS`
+//! deterministic per seed and thread count). `--shards N` lays the loaded
+//! database out shard-resident (per-shard columnar buffers and posting
+//! lists) and runs extensional scans shard-affine on the pipelined
+//! operator-DAG executor — still bit-for-bit serial answers; a per-plan
+//! cost model keeps small scans monolithic. The `ENGINE_THREADS` / `ENGINE_SHARDS`
 //! environment variables set the defaults. The `--exact` rational path is
 //! serial-only and ignores both flags.
 //!
@@ -175,9 +176,15 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 println!("     ≈ {:.12}   method={how}", p.to_f64());
                 return Ok(());
             }
-            let db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
+            let mut db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
             let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
-            let engine = Engine::with_options(samples, 0xDA151, exec_options(args)?);
+            let exec = exec_options(args)?;
+            // A sharded tuning gets a matching resident layout, so DAG
+            // scans resolve inside per-shard buffers and posting lists.
+            if exec.shards > 1 {
+                db.set_shard_layout(exec.shards);
+            }
+            let engine = Engine::with_options(samples, 0xDA151, exec);
             let ev = engine
                 .evaluate(&db, &q, Strategy::Auto)
                 .map_err(|e| e.to_string())?;
@@ -242,7 +249,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             };
             let data = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
             let mut voc = Vocabulary::new();
-            let db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
+            let mut db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
             let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
             // Head variables are named x0, x1, … in parse order.
             let head_idx: usize = head_name
@@ -255,6 +262,9 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             }
             let mut engine = Engine::new();
             engine.exec = exec_options(args)?;
+            if engine.exec.shards > 1 {
+                db.set_shard_layout(engine.exec.shards);
+            }
             let (mut answers, ranked_run) =
                 ranked_answers_counted(&engine, &db, &q, &head, Strategy::Auto)
                     .map_err(|e| e.to_string())?;
@@ -350,6 +360,11 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             db.voc = voc;
             let mut engine = Engine::new();
             engine.exec = exec_options(args)?;
+            // Resident layout before subscribing: delta batches below then
+            // route shard-locally and stamp per-shard versions.
+            if engine.exec.shards > 1 {
+                db.set_shard_layout(engine.exec.shards);
+            }
             let view = engine.subscribe(&db, &q).map_err(|e| e.to_string())?;
             let first = view.read(&db).map_err(|e| e.to_string())?;
             println!(

@@ -1,9 +1,12 @@
 //! Sharded/DAG agreement: the operator-DAG scheduler over hash-partitioned
-//! scans (PR 6) must return **bit-for-bit** what the serial set-at-a-time
-//! executor returns — same rows, same order, same `f64` values — at every
-//! (threads × shards) tuning, on random hierarchical self-join-free queries
-//! over random databases, through ranked (top-k) retrieval, and through
-//! engine-level evaluation and incremental view refresh.
+//! scans (PR 6) and the shard-resident storage layout (PR 8) must return
+//! **bit-for-bit** what the serial set-at-a-time executor returns — same
+//! rows, same order, same `f64` values — at every (threads × shards)
+//! tuning including non-power-of-two fan-outs, on random hierarchical
+//! self-join-free queries over random databases, through ranked (top-k)
+//! retrieval, and through engine-level evaluation and incremental view
+//! refresh. With the resident layout on, sharded scans must also resolve
+//! without a single global-index probe.
 
 use probdb::prelude::{
     build_plan, parse_query, query_probability, Engine, ExecOptions, ProbDb, Query, Strategy,
@@ -12,10 +15,13 @@ use probdb::prelude::{
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use safeplan::{dag_query_probability, dag_ranked_probabilities, DagOptions};
+use safeplan::{
+    dag_query_probability, dag_query_probability_counted, dag_ranked_probabilities, DagOptions,
+    OpCounters,
+};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
-const SHARDS: [usize; 3] = [1, 2, 4];
+const SHARDS: [usize; 5] = [1, 2, 3, 4, 7];
 
 /// Random hierarchical self-join-free query: a forest of hierarchy trees
 /// where every atom's variables are a root-to-node path, each atom over a
@@ -66,7 +72,10 @@ fn random_db(q: &Query, voc: &Vocabulary, rng: &mut StdRng) -> ProbDb {
 
 /// DAG executor — every (threads × shards) tuning, including literal shard
 /// fan-outs the engine's cost model would collapse on databases this small
-/// — against the serial oracle, on random hierarchical SJF queries.
+/// — against the serial oracle, on random hierarchical SJF queries, with
+/// **shard-resident storage on**: the database carries the matching
+/// per-shard layout, so sharded scans resolve via per-shard posting lists
+/// with zero global-index probes (counter-verified).
 #[test]
 fn dag_matches_serial_on_random_hierarchical_queries() {
     let mut rng = StdRng::seed_from_u64(0x5AA2D);
@@ -75,12 +84,18 @@ fn dag_matches_serial_on_random_hierarchical_queries() {
         let q = random_hierarchical_query(&mut rng, &mut voc);
         let plan = safeplan::optimize(&build_plan(&q).unwrap());
         for round in 0..2 {
-            let db = random_db(&q, &voc, &mut rng);
+            let mut db = random_db(&q, &voc, &mut rng);
             let oracle = query_probability(&db, &plan);
             for threads in THREADS {
                 for shards in SHARDS {
-                    let (p, run) =
-                        dag_query_probability(&db, &plan, &DagOptions::new(threads, shards));
+                    db.set_shard_layout(shards);
+                    let mut counters = OpCounters::default();
+                    let (p, run) = dag_query_probability_counted(
+                        &db,
+                        &plan,
+                        &DagOptions::new(threads, shards),
+                        &mut counters,
+                    );
                     assert_eq!(
                         p.to_bits(),
                         oracle.to_bits(),
@@ -92,6 +107,16 @@ fn dag_matches_serial_on_random_hierarchical_queries() {
                         run.shards.shards, shards,
                         "case {case}: shard stats fan-out"
                     );
+                    if shards > 1 {
+                        assert_eq!(
+                            counters.global_index_probes, 0,
+                            "case {case} t={threads} s={shards}: resident scans probed the global index"
+                        );
+                        assert!(
+                            counters.shard_index_probes > 0,
+                            "case {case} t={threads} s={shards}: no shard-local probes recorded"
+                        );
+                    }
                 }
             }
         }
@@ -151,7 +176,7 @@ fn engine_and_views_agree_under_sharded_tuning() {
     let text = "R(x), S(x,y)";
 
     let build = |voc: Vocabulary| ProbDb::new(voc);
-    for (threads, shards) in [(1, 2), (2, 4), (4, 4), (8, 2)] {
+    for (threads, shards) in [(1, 2), (2, 4), (4, 4), (8, 2), (4, 3)] {
         let mut voc = Vocabulary::new();
         let q = parse_query(&mut voc, text).unwrap();
         let r = voc.find_relation("R").unwrap();
@@ -167,6 +192,10 @@ fn engine_and_views_agree_under_sharded_tuning() {
                 );
             }
         }
+
+        // Shard-resident layout matching the tuning: the engine's DAG path
+        // reads resident buffers, and churn below exercises delta routing.
+        db.set_shard_layout(shards);
 
         let serial = Engine::with_options(0, 7, ExecOptions::serial());
         let tuned = Engine::with_options(0, 7, ExecOptions::with_tuning(threads, shards));
