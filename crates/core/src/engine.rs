@@ -31,6 +31,7 @@
 use crate::classify::{Classification, ClassifyError};
 use crate::plan::{Executor, PhysicalPlan};
 use crate::planner::{PlannedQuery, Planner, PlannerStats};
+use crate::result_cache::ResultCache;
 use cq::Query;
 use exec_parallel::ExecStats;
 use incremental::{IncrementalView, RefreshCounters, RefreshOptions};
@@ -126,6 +127,11 @@ pub struct Evaluation {
     pub wall_time: Duration,
     /// Whether the plan came from the engine's plan cache.
     pub cache_hit: bool,
+    /// Whether the *answer* came from the engine's result cache (no
+    /// execution ran; every field below is the memoized run's). Always
+    /// `false` when the result cache is disabled — the default outside
+    /// the serving layer and `ENGINE_RESULT_CACHE=1`.
+    pub result_cache_hit: bool,
     /// Per-thread timing counters when the plan ran on the parallel
     /// executor (`ExecOptions::threads > 1`); `None` for serial runs.
     pub parallel: Option<ExecStats>,
@@ -162,6 +168,7 @@ impl Evaluation {
         m.set_ns("eval.execution_ns", self.execution.as_nanos() as u64);
         m.set_ns("eval.wall_ns", self.wall_time.as_nanos() as u64);
         m.set_count("eval.cache_hit", u64::from(self.cache_hit));
+        m.set_count("eval.result_cache_hit", u64::from(self.result_cache_hit));
         if let Some(ops) = &self.extensional {
             ops_metrics(&mut m, ops);
         }
@@ -277,6 +284,9 @@ pub struct Engine {
     /// Execution tuning (worker threads), honored at evaluation time.
     pub exec: ExecOptions,
     planner: Arc<Planner>,
+    /// The result cache, when enabled ([`Engine::with_result_cache`] or
+    /// `ENGINE_RESULT_CACHE=1`). Clones share it, like the planner.
+    results: Option<Arc<ResultCache>>,
 }
 
 impl fmt::Debug for Engine {
@@ -315,13 +325,38 @@ impl Engine {
     }
 
     /// An engine with explicit execution options (worker threads).
+    ///
+    /// Honors `ENGINE_RESULT_CACHE` (any value ≥ 1): CI forces the result
+    /// cache onto the whole suite that way to pin that cache-served
+    /// answers stay bit-for-bit cold executions.
     pub fn with_options(mc_samples: u64, seed: u64, exec: ExecOptions) -> Self {
+        let results = std::env::var("ENGINE_RESULT_CACHE")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+            .map(|_| Arc::new(ResultCache::new()));
         Engine {
             mc_samples,
             seed,
             exec,
             planner: Arc::new(Planner::new(mc_samples)),
+            results,
         }
+    }
+
+    /// Enable the result cache on this engine (idempotent). Clones made
+    /// afterwards share it — the serving layer's workers all probe one
+    /// memo.
+    pub fn with_result_cache(mut self) -> Self {
+        if self.results.is_none() {
+            self.results = Some(Arc::new(ResultCache::new()));
+        }
+        self
+    }
+
+    /// The result cache, when enabled.
+    pub fn result_cache(&self) -> Option<&ResultCache> {
+        self.results.as_deref()
     }
 
     /// The planner behind this engine (plan inspection, ranked templates).
@@ -391,12 +426,51 @@ impl Engine {
         let planning = plan_start.elapsed();
         drop(plan_span);
 
+        // The result cache interposes *after* planning (plan-cache stats
+        // stay meaningful either way) and keys on every input of the
+        // execution — content state `(uid, version)`, tuning, strategy,
+        // effective samples, canonical query — so a hit is bit-for-bit
+        // the outcome a cold execution would produce.
+        let result_key = self.results.as_ref().map(|_| {
+            let tag = match strategy {
+                Strategy::Auto => format!("auto:{}", self.mc_samples),
+                Strategy::ExactLineage => "exact".to_string(),
+                Strategy::MonteCarlo { samples } => format!("mc:{samples}"),
+            };
+            ResultCache::key(
+                db,
+                self.seed,
+                self.exec.threads,
+                self.exec.shards,
+                &tag,
+                &q.cache_key(),
+            )
+        });
+
         let exec_start = Instant::now();
-        let outcome = {
-            let _span = telemetry::span("execute");
-            self.executor()
-                .execute(db, plan)
-                .map_err(EngineError::Eval)?
+        let mut result_cache_hit = false;
+        let cached_outcome = match (&self.results, &result_key) {
+            (Some(cache), Some(key)) => {
+                let hit = cache.get(key);
+                result_cache_hit = hit.is_some();
+                hit
+            }
+            _ => None,
+        };
+        let outcome = match cached_outcome {
+            Some(outcome) => outcome,
+            None => {
+                let outcome = {
+                    let _span = telemetry::span("execute");
+                    self.executor()
+                        .execute(db, plan)
+                        .map_err(EngineError::Eval)?
+                };
+                if let (Some(cache), Some(key)) = (&self.results, result_key) {
+                    cache.insert(key, outcome.clone());
+                }
+                outcome
+            }
         };
         let execution = exec_start.elapsed();
 
@@ -419,6 +493,7 @@ impl Engine {
             execution,
             wall_time: planning + execution,
             cache_hit,
+            result_cache_hit,
             parallel: outcome.parallel,
             extensional: outcome.extensional,
             incremental: None,
@@ -555,9 +630,30 @@ impl ViewHandle {
         let _span = telemetry::span("view-read");
         let start = Instant::now();
         let mut inner = self.inner.lock().expect("view poisoned");
+        // Under the epoch-snapshot discipline a handle can be read against
+        // *older* epochs than the one it last synced to (worker A reads
+        // epoch v+1 and refreshes the view; worker B is still holding
+        // epoch v). Delta refresh only moves forward, so serving B from
+        // the v+1 state would be a wrong-epoch read: rebuild the view at
+        // B's snapshot instead (or degrade to re-execution if the build
+        // declines). Every read answers from the exact epoch it was
+        // handed.
+        let mut rebuilt = false;
+        if let ViewInner::Incremental(view) = &*inner {
+            if db.version() < view.synced_version() {
+                rebuilt = true;
+                *inner = match &self.planned.plan {
+                    PhysicalPlan::Extensional { plan } => match IncrementalView::new(db, plan) {
+                        Ok(view) => ViewInner::Incremental(Box::new(view)),
+                        Err(_) => ViewInner::Reexec { cached: None },
+                    },
+                    _ => ViewInner::Reexec { cached: None },
+                };
+            }
+        }
         match &mut *inner {
             ViewInner::Incremental(view) => {
-                let refreshed = view.synced_version() != db.version();
+                let refreshed = rebuilt || view.synced_version() != db.version();
                 let run = view.refresh_run(
                     db,
                     RefreshOptions::with_tuning(self.exec.threads, self.exec.shards),
@@ -579,6 +675,7 @@ impl ViewHandle {
                         execution,
                         wall_time: execution,
                         cache_hit: !refreshed,
+                        result_cache_hit: false,
                         parallel,
                         extensional: None,
                         incremental: Some(run.counters),
@@ -613,6 +710,7 @@ impl ViewHandle {
                         execution,
                         wall_time: execution,
                         cache_hit: !refreshed,
+                        result_cache_hit: false,
                         parallel: outcome.parallel,
                         extensional: outcome.extensional,
                         incremental: None,

@@ -69,7 +69,9 @@ pub mod plan;
 pub mod planner;
 pub mod ranking;
 pub mod recurrence;
+pub mod result_cache;
 pub mod safe_eval;
+pub mod shared_cache;
 
 pub use catalog::{CatalogEntry, Expected, CATALOG};
 pub use classify::{classify, Classification, Complexity, HardReason, PTimeReason};
@@ -91,4 +93,6 @@ pub use plan::{ExecOutcome, Executor, PhysicalPlan};
 pub use planner::{PlannedQuery, Planner, PlannerStats, RankedPlan, ResidualKind};
 pub use ranking::{ranked_answers, ranked_answers_counted, top_k, RankedAnswer, RankedRun};
 pub use recurrence::eval_recurrence;
+pub use result_cache::ResultCache;
 pub use safe_eval::eval_inversion_free;
+pub use shared_cache::ShardedCache;

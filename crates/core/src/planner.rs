@@ -16,11 +16,11 @@
 //! re-classifies.
 
 use crate::classify::{classify, Classification, ClassifyError, Complexity, PTimeReason};
-use crate::lru::LruMap;
 use crate::plan::PhysicalPlan;
+use crate::shared_cache::ShardedCache;
 use cq::{Query, Subst, Value, Var};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A classified, compiled Boolean query — the planner's cache line. The
 /// classification is behind an `Arc` so evaluations can report it without
@@ -105,8 +105,12 @@ struct Counters {
 pub struct Planner {
     /// Samples a compiled Karp–Luby plan will draw.
     mc_samples: u64,
-    cache: Mutex<LruMap<Arc<PlannedQuery>>>,
-    ranked_cache: Mutex<LruMap<Arc<RankedPlan>>>,
+    /// Boolean plans, sharded by key hash for concurrent serving traffic
+    /// (lock contention lands on `planner.cache.contended` in the
+    /// telemetry registry). Small capacities stay single-sharded with
+    /// exact global LRU order.
+    cache: ShardedCache<Arc<PlannedQuery>>,
+    ranked_cache: ShardedCache<Arc<RankedPlan>>,
     counters: Counters,
 }
 
@@ -121,8 +125,8 @@ impl Planner {
     pub fn with_capacity(mc_samples: u64, capacity: usize) -> Self {
         Planner {
             mc_samples,
-            cache: Mutex::new(LruMap::new(capacity)),
-            ranked_cache: Mutex::new(LruMap::new(capacity)),
+            cache: ShardedCache::new(capacity, "planner.cache.contended"),
+            ranked_cache: ShardedCache::new(capacity, "planner.ranked_cache.contended"),
             counters: Counters::default(),
         }
     }
@@ -138,7 +142,13 @@ impl Planner {
 
     /// Number of cached Boolean plans.
     pub fn cached_plans(&self) -> usize {
-        self.cache.lock().expect("planner cache poisoned").len()
+        self.cache.len()
+    }
+
+    /// Contended lock acquisitions on the Boolean plan cache (mirrors the
+    /// `planner.cache.contended` registry counter).
+    pub fn cache_contention(&self) -> u64 {
+        self.cache.contended()
     }
 
     /// Plan a Boolean query: classification + compilation on the first
@@ -153,37 +163,26 @@ impl Planner {
     /// particular call).
     pub fn plan_tracked(&self, q: &Query) -> Result<(Arc<PlannedQuery>, bool), ClassifyError> {
         let key = q.cache_key();
-        if let Some(hit) = self.cache.lock().expect("planner cache poisoned").get(&key) {
+        if let Some(hit) = self.cache.get(&key) {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((hit, true));
         }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let planned = Arc::new(self.plan_uncached(q)?);
-        self.cache
-            .lock()
-            .expect("planner cache poisoned")
-            .insert(key, Arc::clone(&planned));
+        self.cache.insert(key, Arc::clone(&planned));
         Ok((planned, false))
     }
 
     /// Plan a non-Boolean query template with head variables `head`.
     pub fn plan_ranked(&self, q: &Query, head: &[Var]) -> Result<Arc<RankedPlan>, ClassifyError> {
         let key = ranked_cache_key(q, head);
-        if let Some(hit) = self
-            .ranked_cache
-            .lock()
-            .expect("planner cache poisoned")
-            .get(&key)
-        {
+        if let Some(hit) = self.ranked_cache.get(&key) {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(self.plan_ranked_uncached(q, head)?);
-        self.ranked_cache
-            .lock()
-            .expect("planner cache poisoned")
-            .insert(key, Arc::clone(&plan));
+        self.ranked_cache.insert(key, Arc::clone(&plan));
         Ok(plan)
     }
 

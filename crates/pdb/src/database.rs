@@ -53,8 +53,15 @@ struct ShardSlab {
 /// structure together with a probability `p(t) ∈ [0,1]` for every tuple.
 /// Tuples not present have probability 0. The induced distribution over
 /// sub-structures is the product distribution of Eq. 1.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug)]
 pub struct ProbDb {
+    /// Process-unique identity, minted fresh on construction *and on
+    /// clone*: two databases share a `uid` only if they are the same
+    /// value. `(uid, version)` therefore names one immutable-under-`&`
+    /// content state, which is what cross-database caches (the engine's
+    /// result cache) key by — version stamps alone collide across
+    /// independently grown databases and across diverged clones.
+    uid: u64,
     pub voc: Vocabulary,
     tuples: Vec<ProbTuple>,
     /// Tombstone flags, parallel to `tuples`: deleting a tuple keeps its
@@ -105,6 +112,43 @@ pub struct ProbDb {
 /// (views further behind fall back to a full rebuild).
 pub const MAX_DELTA_LOG: usize = 1024;
 
+/// Mint a process-unique database identity (see `ProbDb::uid`).
+fn fresh_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Clone for ProbDb {
+    /// Clones carry every field verbatim — same version stamp, same delta
+    /// log, so incremental views synced against the original replay
+    /// against the clone — but mint a fresh `uid`: the clone may diverge,
+    /// and caches must not confuse its states with the original's.
+    fn clone(&self) -> Self {
+        ProbDb {
+            uid: fresh_uid(),
+            voc: self.voc.clone(),
+            tuples: self.tuples.clone(),
+            dead: self.dead.clone(),
+            index: self.index.clone(),
+            by_rel: self.by_rel.clone(),
+            cols: self.cols.clone(),
+            version: self.version,
+            log: self.log.clone(),
+            logged_from: self.logged_from,
+            layout: self.layout,
+            resident: self.resident.clone(),
+            shard_versions: self.shard_versions.clone(),
+        }
+    }
+}
+
+impl Default for ProbDb {
+    fn default() -> Self {
+        ProbDb::new(Vocabulary::default())
+    }
+}
+
 /// Splice `id` out of an ascending id list (binary search + remove).
 fn remove_ascending(list: &mut Vec<TupleId>, id: TupleId) {
     if let Ok(pos) = list.binary_search(&id) {
@@ -138,6 +182,7 @@ const _: () = {
 impl ProbDb {
     pub fn new(voc: Vocabulary) -> Self {
         ProbDb {
+            uid: fresh_uid(),
             voc,
             tuples: Vec::new(),
             dead: Vec::new(),
@@ -404,6 +449,14 @@ impl ProbDb {
     /// batch or out-of-band insert/delete — increases it.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Process-unique identity of this database value, fresh per
+    /// construction and per clone. `(uid(), version())` names one
+    /// immutable-under-`&` content state — the key cross-database caches
+    /// use (version stamps alone collide across databases and clones).
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// The oldest version the delta log can replay *from*: a reader synced

@@ -1,0 +1,383 @@
+//! Epoch-snapshot concurrency over [`ProbDb`]: many wait-free readers,
+//! one publishing writer.
+//!
+//! The `&mut ProbDb` discipline used everywhere else in the workspace
+//! structurally forbids concurrent readers during a mutation. The
+//! [`EpochStore`] lifts that restriction for the serving layer:
+//!
+//! * **Readers** evaluate against immutable `Arc<ProbDb>` snapshots. A
+//!   registered [`ReaderHandle`] acquires the current snapshot with three
+//!   atomic operations and no locks — acquisition is wait-free, and a
+//!   reader never blocks on (or is blocked by) an in-flight writer.
+//! * **The writer** owns a private master copy. [`EpochStore::apply`]
+//!   mutates the master through the ordinary delta path
+//!   ([`ProbDb::apply`]), then *publishes* a fresh snapshot: clone the
+//!   master, swap the snapshot pointer, retire the previous epoch. The
+//!   PR-5 version stamps double as the epoch tokens — every published
+//!   snapshot carries the version its content reflects, and the delta log
+//!   rides along in the clone, so incremental views refresh across epochs
+//!   exactly as they do against a single mutating database.
+//!
+//! # Invariants (the epoch discipline)
+//!
+//! 1. **Published epochs are immutable.** The writer never mutates a
+//!    snapshot after its pointer is swapped in; readers can hold an epoch
+//!    arbitrarily long and observe bit-for-bit stable content.
+//! 2. **Versions are monotone.** Successive snapshots acquired by one
+//!    reader carry non-decreasing version stamps (the pointer only ever
+//!    advances).
+//! 3. **No torn reads.** A reader observes exactly the content of *some*
+//!    published epoch — never a mix of two epochs, never a half-applied
+//!    batch (the property test in `tests/epoch_snapshots.rs` races
+//!    readers against a writer to pin this).
+//! 4. **Readers never block the writer; the writer never blocks
+//!    readers.** Publication is a pointer swap; reclamation is deferred
+//!    until no in-flight acquisition can still reach the retired epoch.
+//!
+//! # How reclamation works
+//!
+//! Lock-free snapshot acquisition from a raw pointer needs a guarantee
+//! that the pointee is alive between the pointer load and the refcount
+//! increment. With no crates.io (`arc-swap`, `crossbeam`) available, the
+//! store hand-rolls a bounded epoch-based scheme: each registered reader
+//! owns an *announcement slot*. Acquisition announces the observed
+//! publication epoch, then loads the pointer; the writer swaps the
+//! pointer **before** bumping the publication epoch, retires the old
+//! `Arc` tagged with the post-bump epoch, and only drops a retired epoch
+//! once every active announcement is at least as new as its retirement
+//! tag. SeqCst ordering on the four operations makes the argument a
+//! total-order one: if a reader's load returned the retired pointer, its
+//! announcement preceded the writer's swap — and therefore carries an
+//! epoch strictly below the retirement tag, which keeps the `Arc` alive
+//! until the reader's own refcount increment lands and the slot clears.
+//!
+//! Slots are a fixed array of [`MAX_READERS`]; readers registered past
+//! that fall back to a lock-based acquisition (clone the published `Arc`
+//! under the writer mutex) — still correct, just not wait-free.
+
+use crate::database::ProbDb;
+use crate::delta::DeltaBatch;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Wait-free reader slots per store; readers registered past this use the
+/// lock-based fallback path.
+pub const MAX_READERS: usize = 64;
+
+struct WriterInner {
+    /// The writer's private working copy: the only `ProbDb` ever mutated.
+    master: ProbDb,
+    /// The `Arc` behind `Shared::current` — keeps the current epoch alive.
+    published: Arc<ProbDb>,
+    /// Former epochs awaiting reclamation, tagged with the publication
+    /// epoch at which they were retired.
+    retired: Vec<(u64, Arc<ProbDb>)>,
+}
+
+struct Shared {
+    /// Data pointer of `WriterInner::published`: the current epoch.
+    current: AtomicPtr<ProbDb>,
+    /// Publication counter, bumped (after the pointer swap) on every
+    /// publish.
+    epoch: AtomicU64,
+    /// Version stamp of the current epoch, mirrored for lock-free reads.
+    version: AtomicU64,
+    /// Reader announcement slots: 0 = idle, `e + 1` = acquiring after
+    /// observing publication epoch `e`.
+    slots: [AtomicU64; MAX_READERS],
+    /// Next slot to hand out.
+    registered: AtomicUsize,
+    /// Nanoseconds the last publication spent cloning + swapping (the
+    /// snapshot-publication latency the serve bench reports).
+    publish_ns: AtomicU64,
+    writer: Mutex<WriterInner>,
+}
+
+/// The epoch store: one writer, many snapshot readers. Cheap to clone —
+/// clones share the same epochs (hand one to the writer thread and one to
+/// every worker). See the module docs for the discipline.
+#[derive(Clone)]
+pub struct EpochStore {
+    shared: Arc<Shared>,
+}
+
+impl EpochStore {
+    /// Take ownership of `db` as the writer's master copy and publish it
+    /// as the first epoch.
+    pub fn new(db: ProbDb) -> EpochStore {
+        let published = Arc::new(db.clone());
+        let shared = Shared {
+            current: AtomicPtr::new(Arc::as_ptr(&published) as *mut ProbDb),
+            epoch: AtomicU64::new(1),
+            version: AtomicU64::new(db.version()),
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+            registered: AtomicUsize::new(0),
+            publish_ns: AtomicU64::new(0),
+            writer: Mutex::new(WriterInner {
+                master: db,
+                published,
+                retired: Vec::new(),
+            }),
+        };
+        EpochStore {
+            shared: Arc::new(shared),
+        }
+    }
+
+    /// Register a reader. The first [`MAX_READERS`] registrations get a
+    /// wait-free announcement slot; later ones fall back to lock-based
+    /// acquisition. One handle per thread — the slot protocol is
+    /// single-owner, which `snapshot(&mut self)` enforces.
+    pub fn reader(&self) -> ReaderHandle {
+        let idx = self.shared.registered.fetch_add(1, SeqCst);
+        ReaderHandle {
+            shared: Arc::clone(&self.shared),
+            slot: (idx < MAX_READERS).then_some(idx),
+        }
+    }
+
+    /// The version stamp of the current epoch.
+    pub fn version(&self) -> u64 {
+        self.shared.version.load(SeqCst)
+    }
+
+    /// The publication counter (1 after construction, +1 per publish).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(SeqCst)
+    }
+
+    /// Nanoseconds the most recent publication spent building and
+    /// swapping in the new epoch (0 before the first publish).
+    pub fn last_publish_ns(&self) -> u64 {
+        self.shared.publish_ns.load(SeqCst)
+    }
+
+    /// Lock-based snapshot of the current epoch — for casual readers
+    /// (stats endpoints, tests) that don't hold a [`ReaderHandle`].
+    pub fn snapshot(&self) -> Arc<ProbDb> {
+        Arc::clone(&self.lock_writer().published)
+    }
+
+    /// Apply one delta batch to the master and publish the new epoch.
+    /// Returns the new version stamp. Serializes with other writers (the
+    /// single-writer discipline is a mutex, so "single writer" means
+    /// "writes are serialized", not "only one thread may ever write").
+    pub fn apply(&self, batch: &DeltaBatch) -> u64 {
+        self.with_writer(|db| db.apply(batch))
+    }
+
+    /// Run `f` against the writer's master copy, then publish a new epoch
+    /// if the master's version moved (out-of-band mutations included —
+    /// the published clone carries the invalidated log, and views rebuild
+    /// exactly as they would against a single mutating database).
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut ProbDb) -> R) -> R {
+        let mut w = self.lock_writer();
+        let out = f(&mut w.master);
+        if w.master.version() != w.published.version() {
+            self.publish_locked(&mut w);
+        }
+        out
+    }
+
+    /// Epochs retired but not yet reclaimed (observability; bounded by
+    /// in-flight reader acquisitions, which are a few instructions long).
+    pub fn retired_epochs(&self) -> usize {
+        self.lock_writer().retired.len()
+    }
+
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, WriterInner> {
+        self.shared.writer.lock().expect("epoch writer poisoned")
+    }
+
+    /// Clone the master, swap the snapshot pointer, retire the previous
+    /// epoch, and reclaim every retired epoch no in-flight acquisition
+    /// can still reach. Caller holds the writer lock.
+    fn publish_locked(&self, w: &mut WriterInner) {
+        let start = Instant::now();
+        let snap = Arc::new(w.master.clone());
+        // Order matters (see module docs): swap the pointer first, *then*
+        // bump the publication epoch the retirement tag is drawn from.
+        self.shared
+            .current
+            .store(Arc::as_ptr(&snap) as *mut ProbDb, SeqCst);
+        let tag = self.shared.epoch.fetch_add(1, SeqCst) + 1;
+        self.shared.version.store(snap.version(), SeqCst);
+        let old = std::mem::replace(&mut w.published, snap);
+        w.retired.push((tag, old));
+        let slots = &self.shared.slots;
+        w.retired.retain(|(retired_at, _)| {
+            // Keep while any active announcement predates the retirement:
+            // that reader may still be between its pointer load and its
+            // refcount increment.
+            slots.iter().any(|s| {
+                let v = s.load(SeqCst);
+                v != 0 && v - 1 < *retired_at
+            })
+        });
+        self.shared
+            .publish_ns
+            .store(start.elapsed().as_nanos() as u64, SeqCst);
+    }
+}
+
+/// A registered reader: acquires the current epoch wait-free (or through
+/// the lock-based fallback when the slot array was exhausted).
+pub struct ReaderHandle {
+    shared: Arc<Shared>,
+    slot: Option<usize>,
+}
+
+impl ReaderHandle {
+    /// Acquire the current epoch. Wait-free for slotted readers: announce
+    /// the observed publication epoch, load the pointer, take a refcount,
+    /// clear the announcement — no locks, no retries, never blocked by a
+    /// concurrent [`EpochStore::apply`].
+    pub fn snapshot(&mut self) -> Arc<ProbDb> {
+        let Some(idx) = self.slot else {
+            return Arc::clone(
+                &self
+                    .shared
+                    .writer
+                    .lock()
+                    .expect("epoch writer poisoned")
+                    .published,
+            );
+        };
+        let slot = &self.shared.slots[idx];
+        let announce = self.shared.epoch.load(SeqCst);
+        slot.store(announce + 1, SeqCst);
+        let ptr = self.shared.current.load(SeqCst);
+        // SAFETY: `ptr` is the data pointer of an `Arc` the writer
+        // retains (`published`, or a retired entry). If this load
+        // returned a pointer the writer has since retired, our
+        // announcement — stored before the load, SeqCst — precedes the
+        // writer's swap in the total order and carries an epoch below the
+        // retirement tag, so the reclamation rule in `publish_locked`
+        // keeps the `Arc` alive until the increment below lands and the
+        // slot clears.
+        let snap = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr as *const ProbDb)
+        };
+        slot.store(0, SeqCst);
+        snap
+    }
+
+    /// Did this handle get a wait-free announcement slot?
+    pub fn is_wait_free(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// The version stamp of the current epoch (no acquisition).
+    pub fn version(&self) -> u64 {
+        self.shared.version.load(SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::{Value, Vocabulary};
+
+    fn seed_db() -> (ProbDb, cq::RelId) {
+        let mut voc = Vocabulary::new();
+        let r = voc.relation("R", 1).unwrap();
+        let mut db = ProbDb::new(voc);
+        let mut batch = DeltaBatch::new();
+        for i in 0..8u64 {
+            batch.insert(r, vec![Value(i)], 0.5);
+        }
+        db.apply(&batch);
+        (db, r)
+    }
+
+    #[test]
+    fn snapshots_track_published_epochs() {
+        let (db, r) = seed_db();
+        let v0 = db.version();
+        let store = EpochStore::new(db);
+        let mut reader = store.reader();
+        assert!(reader.is_wait_free());
+        let snap = reader.snapshot();
+        assert_eq!(snap.version(), v0);
+        assert_eq!(store.version(), v0);
+        assert_eq!(store.epoch(), 1);
+
+        let mut batch = DeltaBatch::new();
+        batch.update(r, vec![Value(0)], 0.9);
+        let v1 = store.apply(&batch);
+        assert_eq!(v1, v0 + 1);
+        assert_eq!(store.epoch(), 2);
+        assert!(store.last_publish_ns() > 0);
+        // The held snapshot is immutable; a fresh acquisition sees v1.
+        assert_eq!(snap.version(), v0);
+        assert_eq!(snap.prob_of(r, &[Value(0)]), 0.5);
+        let snap2 = reader.snapshot();
+        assert_eq!(snap2.version(), v1);
+        assert_eq!(snap2.prob_of(r, &[Value(0)]), 0.9);
+    }
+
+    #[test]
+    fn retired_epochs_are_reclaimed_when_no_reader_is_acquiring() {
+        let (db, r) = seed_db();
+        let store = EpochStore::new(db);
+        let mut reader = store.reader();
+        // Hold a snapshot across many publishes: holding an acquired Arc
+        // does not pin the retired list (only in-flight acquisitions do).
+        let held = reader.snapshot();
+        for i in 0..20u64 {
+            let mut batch = DeltaBatch::new();
+            batch.update(r, vec![Value(0)], 0.01 + (i as f64) * 0.01);
+            store.apply(&batch);
+        }
+        assert_eq!(
+            store.retired_epochs(),
+            0,
+            "no in-flight acquisition: every retired epoch reclaimed"
+        );
+        assert_eq!(held.prob_of(r, &[Value(1)]), 0.5, "held epoch stable");
+    }
+
+    #[test]
+    fn no_publish_without_a_version_change() {
+        let (db, r) = seed_db();
+        let store = EpochStore::new(db);
+        let before = store.epoch();
+        // Applying a batch always bumps the version (ProbDb::apply logs
+        // even empty change lists), but with_writer on a no-op closure
+        // must not publish.
+        store.with_writer(|_db| ());
+        assert_eq!(store.epoch(), before);
+        let mut batch = DeltaBatch::new();
+        batch.update(r, vec![Value(0)], 0.7);
+        store.apply(&batch);
+        assert_eq!(store.epoch(), before + 1);
+    }
+
+    #[test]
+    fn readers_past_the_slot_array_fall_back_to_locking() {
+        let (db, _r) = seed_db();
+        let v = db.version();
+        let store = EpochStore::new(db);
+        let mut handles: Vec<ReaderHandle> = (0..MAX_READERS + 2).map(|_| store.reader()).collect();
+        assert!(handles[0].is_wait_free());
+        assert!(!handles[MAX_READERS].is_wait_free());
+        assert_eq!(handles[MAX_READERS + 1].snapshot().version(), v);
+    }
+
+    #[test]
+    fn out_of_band_writer_mutations_publish_too() {
+        let (db, r) = seed_db();
+        let store = EpochStore::new(db);
+        let mut reader = store.reader();
+        store.with_writer(|db| {
+            db.insert(r, vec![Value(99)], 0.25);
+        });
+        let snap = reader.snapshot();
+        assert_eq!(snap.prob_of(r, &[Value(99)]), 0.25);
+        // The out-of-band insert invalidated the log; the published clone
+        // carries that invalidation so views rebuild rather than replay.
+        assert_eq!(snap.delta_log_start(), snap.version());
+    }
+}

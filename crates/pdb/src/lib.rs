@@ -25,6 +25,7 @@ pub mod bid;
 pub mod bid_exact;
 pub mod database;
 pub mod delta;
+pub mod epoch;
 pub mod eval;
 pub mod exact;
 pub mod generators;
@@ -36,6 +37,7 @@ pub mod worlds;
 pub use bid::{BidDb, Block};
 pub use database::{ProbDb, ProbTuple, ShardColumn, TupleId, MAX_DELTA_LOG};
 pub use delta::{AppliedDelta, ChangeKind, DeltaBatch, DeltaOp, TupleChange};
+pub use epoch::{EpochStore, ReaderHandle, MAX_READERS};
 pub use eval::{all_valuations, satisfies, Valuation};
 pub use exact::{
     brute_force_probability_exact, count_satisfying_worlds_exact, exact_query_probability, RatProbs,
@@ -43,6 +45,7 @@ pub use exact::{
 pub use lineage_ext::{lineage_of, lineages_by_head};
 pub use shard::ShardMap;
 pub use text::{
-    dump_db, dump_db_exact, load_db, load_db_exact, parse_delta_batches, parse_rational,
+    dump_db, dump_db_exact, load_db, load_db_exact, parse_delta_batches, parse_rational, DeltaPos,
+    TextError,
 };
 pub use worlds::{brute_force_probability, count_satisfying_worlds, WorldIter};

@@ -19,16 +19,52 @@ use cq::{Value, Vocabulary};
 use numeric::{BigInt, BigUint, QRat, Sign};
 use std::fmt;
 
-/// Parse failure with line number.
+/// Position of a failing operation inside a delta script, 1-based: which
+/// batch (blank-line-separated group) and which op within it. Lets a
+/// server-side `apply` rejection — where the client sent the script and
+/// has no file to open at a line number — name the exact delta that
+/// failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaPos {
+    pub batch: usize,
+    pub op: usize,
+}
+
+/// Parse failure with line number and, for delta scripts, the batch/op
+/// position of the failing operation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TextError {
     pub line: usize,
     pub message: String,
+    /// `Some` iff the failure was inside [`parse_delta_batches`].
+    pub delta: Option<DeltaPos>,
+}
+
+impl TextError {
+    fn at(line: usize, message: impl Into<String>) -> TextError {
+        TextError {
+            line,
+            message: message.into(),
+            delta: None,
+        }
+    }
+
+    fn with_delta(mut self, pos: DeltaPos) -> TextError {
+        self.delta = Some(pos);
+        self
+    }
 }
 
 impl fmt::Display for TextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match self.delta {
+            Some(DeltaPos { batch, op }) => write!(
+                f,
+                "line {} (batch {batch}, op {op}): {}",
+                self.line, self.message
+            ),
+            None => write!(f, "line {}: {}", self.line, self.message),
+        }
     }
 }
 
@@ -48,42 +84,30 @@ pub fn load_db(voc: &mut Vocabulary, text: &str) -> Result<ProbDb, TextError> {
             Some((h, p)) => (h.trim(), p.trim()),
             None => (line, "1.0"),
         };
-        let prob: f64 = prob_text.parse().map_err(|_| TextError {
-            line: lineno,
-            message: format!("invalid probability {prob_text:?}"),
-        })?;
+        let prob: f64 = prob_text
+            .parse()
+            .map_err(|_| TextError::at(lineno, format!("invalid probability {prob_text:?}")))?;
         if !(0.0..=1.0).contains(&prob) {
-            return Err(TextError {
-                line: lineno,
-                message: format!("probability {prob} outside [0,1]"),
-            });
+            return Err(TextError::at(
+                lineno,
+                format!("probability {prob} outside [0,1]"),
+            ));
         }
         // Reuse the query parser: a single ground atom.
-        let q = cq::parse_query(voc, head).map_err(|e| TextError {
-            line: lineno,
-            message: e.to_string(),
-        })?;
+        let q = cq::parse_query(voc, head).map_err(|e| TextError::at(lineno, e.to_string()))?;
         if q.atoms.len() != 1 || !q.preds.is_empty() {
-            return Err(TextError {
-                line: lineno,
-                message: "expected exactly one atom per line".into(),
-            });
+            return Err(TextError::at(lineno, "expected exactly one atom per line"));
         }
         let atom = &q.atoms[0];
         if atom.negated {
-            return Err(TextError {
-                line: lineno,
-                message: "tuples cannot be negated".into(),
-            });
+            return Err(TextError::at(lineno, "tuples cannot be negated"));
         }
         let args: Result<Vec<Value>, TextError> = atom
             .args
             .iter()
             .map(|t| {
-                t.as_const().ok_or(TextError {
-                    line: lineno,
-                    message: "tuple arguments must be constants".into(),
-                })
+                t.as_const()
+                    .ok_or_else(|| TextError::at(lineno, "tuple arguments must be constants"))
             })
             .collect();
         rows.push((atom.rel, args?, prob));
@@ -109,7 +133,7 @@ pub fn parse_delta_batches(
     voc: &mut Vocabulary,
     text: &str,
 ) -> Result<Vec<crate::DeltaBatch>, TextError> {
-    use crate::{DeltaBatch, DeltaOp};
+    use crate::DeltaBatch;
     let mut batches: Vec<DeltaBatch> = Vec::new();
     let mut cur = DeltaBatch::new();
     for (i, raw) in text.lines().enumerate() {
@@ -121,94 +145,98 @@ pub fn parse_delta_batches(
             }
             continue;
         }
-        let op = line.chars().next().expect("line is non-empty");
-        let rest = line[op.len_utf8()..].trim();
-        let (head, prob_text) = match rest.split_once('@') {
-            Some((h, p)) => (h.trim(), Some(p.trim())),
-            None => (rest, None),
+        // Where the op about to be parsed will land — so the error from a
+        // bad line names the failing delta (batch/op, 1-based), which is
+        // what a server-side `apply` rejection reports back to a client
+        // that has no script file to open at a line number.
+        let pos = DeltaPos {
+            batch: batches.len() + 1,
+            op: cur.len() + 1,
         };
-        let q = cq::parse_query(voc, head).map_err(|e| TextError {
-            line: lineno,
-            message: e.to_string(),
-        })?;
-        let atom = match q.atoms.as_slice() {
-            [atom] if q.preds.is_empty() && !atom.negated => atom,
-            _ => {
-                return Err(TextError {
-                    line: lineno,
-                    message: "expected exactly one positive atom per line".into(),
-                })
-            }
-        };
-        let args: Result<Vec<Value>, TextError> = atom
-            .args
-            .iter()
-            .map(|t| {
-                t.as_const().ok_or(TextError {
-                    line: lineno,
-                    message: "tuple arguments must be constants".into(),
-                })
-            })
-            .collect();
-        let args = args?;
-        let prob = |default: Option<f64>| -> Result<f64, TextError> {
-            let text = match (prob_text, default) {
-                (Some(t), _) => t,
-                (None, Some(d)) => return Ok(d),
-                (None, None) => {
-                    return Err(TextError {
-                        line: lineno,
-                        message: "this operation needs `@ prob`".into(),
-                    })
-                }
-            };
-            let p: f64 = text.parse().map_err(|_| TextError {
-                line: lineno,
-                message: format!("invalid probability {text:?}"),
-            })?;
-            if !(0.0..=1.0).contains(&p) {
-                return Err(TextError {
-                    line: lineno,
-                    message: format!("probability {p} outside [0,1]"),
-                });
-            }
-            Ok(p)
-        };
-        match op {
-            '+' => cur.ops.push(DeltaOp::Insert {
-                rel: atom.rel,
-                args,
-                prob: prob(Some(1.0))?,
-            }),
-            '~' => cur.ops.push(DeltaOp::Update {
-                rel: atom.rel,
-                args,
-                prob: prob(None)?,
-            }),
-            '-' => {
-                if prob_text.is_some() {
-                    return Err(TextError {
-                        line: lineno,
-                        message: "delete takes no probability".into(),
-                    });
-                }
-                cur.ops.push(DeltaOp::Delete {
-                    rel: atom.rel,
-                    args,
-                });
-            }
-            other => {
-                return Err(TextError {
-                    line: lineno,
-                    message: format!("expected +, -, or ~, got {other:?}"),
-                })
-            }
-        }
+        let op = parse_delta_line(voc, line, lineno).map_err(|e| e.with_delta(pos))?;
+        cur.ops.push(op);
     }
     if !cur.is_empty() {
         batches.push(cur);
     }
     Ok(batches)
+}
+
+/// Parse one (non-blank, comment-stripped) delta-script line into a
+/// [`DeltaOp`](crate::DeltaOp).
+fn parse_delta_line(
+    voc: &mut Vocabulary,
+    line: &str,
+    lineno: usize,
+) -> Result<crate::DeltaOp, TextError> {
+    use crate::DeltaOp;
+    let op = line.chars().next().expect("line is non-empty");
+    let rest = line[op.len_utf8()..].trim();
+    let (head, prob_text) = match rest.split_once('@') {
+        Some((h, p)) => (h.trim(), Some(p.trim())),
+        None => (rest, None),
+    };
+    let q = cq::parse_query(voc, head).map_err(|e| TextError::at(lineno, e.to_string()))?;
+    let atom = match q.atoms.as_slice() {
+        [atom] if q.preds.is_empty() && !atom.negated => atom,
+        _ => {
+            return Err(TextError::at(
+                lineno,
+                "expected exactly one positive atom per line",
+            ))
+        }
+    };
+    let args: Result<Vec<Value>, TextError> = atom
+        .args
+        .iter()
+        .map(|t| {
+            t.as_const()
+                .ok_or_else(|| TextError::at(lineno, "tuple arguments must be constants"))
+        })
+        .collect();
+    let args = args?;
+    let prob = |default: Option<f64>| -> Result<f64, TextError> {
+        let text = match (prob_text, default) {
+            (Some(t), _) => t,
+            (None, Some(d)) => return Ok(d),
+            (None, None) => return Err(TextError::at(lineno, "this operation needs `@ prob`")),
+        };
+        let p: f64 = text
+            .parse()
+            .map_err(|_| TextError::at(lineno, format!("invalid probability {text:?}")))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(TextError::at(
+                lineno,
+                format!("probability {p} outside [0,1]"),
+            ));
+        }
+        Ok(p)
+    };
+    match op {
+        '+' => Ok(DeltaOp::Insert {
+            rel: atom.rel,
+            args,
+            prob: prob(Some(1.0))?,
+        }),
+        '~' => Ok(DeltaOp::Update {
+            rel: atom.rel,
+            args,
+            prob: prob(None)?,
+        }),
+        '-' => {
+            if prob_text.is_some() {
+                return Err(TextError::at(lineno, "delete takes no probability"));
+            }
+            Ok(DeltaOp::Delete {
+                rel: atom.rel,
+                args,
+            })
+        }
+        other => Err(TextError::at(
+            lineno,
+            format!("expected +, -, or ~, got {other:?}"),
+        )),
+    }
 }
 
 /// Parse a probability written as `n/d` (exact rational), a decimal like
@@ -259,37 +287,30 @@ pub fn load_db_exact(voc: &mut Vocabulary, text: &str) -> Result<(ProbDb, RatPro
             Some((h, p)) => (h.trim(), p.trim()),
             None => (line, "1"),
         };
-        let prob = parse_rational(prob_text).ok_or_else(|| TextError {
-            line: lineno,
-            message: format!("invalid probability {prob_text:?}"),
-        })?;
+        let prob = parse_rational(prob_text)
+            .ok_or_else(|| TextError::at(lineno, format!("invalid probability {prob_text:?}")))?;
         if !prob.is_probability() {
-            return Err(TextError {
-                line: lineno,
-                message: format!("probability {prob} outside [0,1]"),
-            });
+            return Err(TextError::at(
+                lineno,
+                format!("probability {prob} outside [0,1]"),
+            ));
         }
-        let q = cq::parse_query(voc, head).map_err(|e| TextError {
-            line: lineno,
-            message: e.to_string(),
-        })?;
+        let q = cq::parse_query(voc, head).map_err(|e| TextError::at(lineno, e.to_string()))?;
         let atom = match q.atoms.as_slice() {
             [atom] if q.preds.is_empty() && !atom.negated => atom,
             _ => {
-                return Err(TextError {
-                    line: lineno,
-                    message: "expected exactly one positive atom per line".into(),
-                })
+                return Err(TextError::at(
+                    lineno,
+                    "expected exactly one positive atom per line",
+                ))
             }
         };
         let args: Result<Vec<Value>, TextError> = atom
             .args
             .iter()
             .map(|t| {
-                t.as_const().ok_or(TextError {
-                    line: lineno,
-                    message: "tuple arguments must be constants".into(),
-                })
+                t.as_const()
+                    .ok_or_else(|| TextError::at(lineno, "tuple arguments must be constants"))
             })
             .collect();
         rows.push((atom.rel, args?, prob));
@@ -494,5 +515,28 @@ mod tests {
                 .line,
             1
         );
+    }
+
+    #[test]
+    fn delta_parse_errors_name_the_failing_batch_and_op() {
+        let mut voc = Vocabulary::new();
+        // Batch 1 is fine; the second op of batch 2 (line 5) is bad.
+        let err = parse_delta_batches(&mut voc, "+ R(1) @ 0.5\n+ R(2)\n\n- R(1)\n~ R(2) @ 3.0\n")
+            .unwrap_err();
+        assert_eq!(err.line, 5);
+        assert_eq!(err.delta, Some(DeltaPos { batch: 2, op: 2 }));
+        assert_eq!(
+            err.to_string(),
+            "line 5 (batch 2, op 2): probability 3 outside [0,1]"
+        );
+        // Comment and blank lines don't shift the op numbering.
+        let err =
+            parse_delta_batches(&mut voc, "# header\n+ R(1)\n\n# note\n* R(2)\n").unwrap_err();
+        assert_eq!(err.line, 5);
+        assert_eq!(err.delta, Some(DeltaPos { batch: 2, op: 1 }));
+        // Database loads are not delta scripts: no batch/op context.
+        let err = load_db(&mut voc, "R(1) @ 2.0").unwrap_err();
+        assert_eq!(err.delta, None);
+        assert_eq!(err.to_string(), "line 1: probability 2 outside [0,1]");
     }
 }

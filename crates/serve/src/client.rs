@@ -1,0 +1,91 @@
+//! A minimal keep-alive HTTP/1.1 client for the bench harness and the
+//! integration tests — one persistent connection per client, blocking
+//! request/response, chunked-response decoding for `watch` streams.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::http;
+
+/// One keep-alive connection to the query service.
+pub struct HttpClient {
+    wr: TcpStream,
+    rd: BufReader<TcpStream>,
+}
+
+/// A decoded response: status code and body (chunked bodies are
+/// concatenated; the `watch` stream sends one JSON document per line).
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub body: String,
+}
+
+impl HttpClient {
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        let wr = TcpStream::connect(addr)?;
+        wr.set_nodelay(true).ok();
+        let rd = BufReader::new(wr.try_clone()?);
+        Ok(HttpClient { wr, rd })
+    }
+
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, "")
+    }
+
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, body)
+    }
+
+    /// Send one request and read the full response (including draining a
+    /// chunked stream to its terminal chunk).
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+        write!(
+            self.wr,
+            "{method} {path} HTTP/1.1\r\nHost: probdb\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        )?;
+        self.wr.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let mut status_line = String::new();
+        self.rd.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+        let mut content_length: Option<usize> = None;
+        let mut chunked = false;
+        loop {
+            let mut header = String::new();
+            self.rd.read_line(&mut header)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            let Some((name, value)) = header.split_once(':') else {
+                continue;
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            }
+        }
+        let body = if chunked {
+            http::read_chunked(&mut self.rd)?
+        } else {
+            let len = content_length.unwrap_or(0);
+            let mut buf = vec![0u8; len];
+            io::Read::read_exact(&mut self.rd, &mut buf)?;
+            String::from_utf8(buf)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?
+        };
+        Ok(HttpResponse { status, body })
+    }
+}

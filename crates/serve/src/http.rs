@@ -1,0 +1,309 @@
+//! A minimal HTTP/1.1 implementation over `std::net` — request parsing,
+//! JSON responses, and chunked transfer encoding for streams. No crates.io
+//! (same spirit as `exec-parallel` and `telemetry`): the service needs
+//! exactly the subset implemented here, and owning it keeps the stack
+//! inspectable down to the socket.
+//!
+//! Supported: request line + headers + `Content-Length` bodies,
+//! keep-alive (HTTP/1.1 default; `Connection: close` honored), chunked
+//! responses for the `watch` stream. Not supported (requests carrying
+//! them are rejected): request-side chunked encoding, continuation
+//! headers, HTTP/2.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request head (request line + headers) and body, in
+/// bytes. Guards the server against unbounded allocation from a
+/// misbehaving client; generous for the JSON bodies the service speaks.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: String,
+    /// Keep the connection open after responding (HTTP/1.1 default).
+    pub keep_alive: bool,
+}
+
+/// Read one request off `rd`. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (the normal end of a keep-alive
+/// session). `idle_interrupt` is polled while waiting for the *first*
+/// byte: returning `true` abandons the wait (used for server shutdown) —
+/// once a request has started arriving, it is read to completion.
+pub fn read_request(
+    rd: &mut impl BufRead,
+    mut idle_interrupt: impl FnMut() -> bool,
+) -> io::Result<Option<Request>> {
+    // Wait for the first byte, tolerating read timeouts so the caller can
+    // check for shutdown while the connection idles between requests.
+    loop {
+        match rd.fill_buf() {
+            Ok([]) => return Ok(None),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if idle_interrupt() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    let mut line = String::new();
+    read_line_retrying(rd, &mut line)?;
+    if line.trim().is_empty() {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(bad_data("malformed request line"));
+    }
+
+    let mut head_bytes = line.len();
+    let mut content_length: usize = 0;
+    let mut keep_alive = true; // HTTP/1.1 default
+    loop {
+        let mut header = String::new();
+        read_line_retrying(rd, &mut header)?;
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(bad_data("request head too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad_data("malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| bad_data("bad content-length"))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(bad_data("request body too large"));
+                }
+            }
+            "connection" if value.eq_ignore_ascii_case("close") => {
+                keep_alive = false;
+            }
+            "transfer-encoding" => {
+                return Err(bad_data("request transfer-encoding not supported"));
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    read_exact_retrying(rd, &mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad_data("request body is not UTF-8"))?;
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// `read_line` that rides through read timeouts (the caller arms one on
+/// the socket so *idle* connections stay interruptible; mid-request we
+/// just keep reading).
+fn read_line_retrying(rd: &mut impl BufRead, buf: &mut String) -> io::Result<()> {
+    loop {
+        match rd.read_line(buf) {
+            Ok(_) => return Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn read_exact_retrying(rd: &mut impl BufRead, mut buf: &mut [u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match rd.read(buf) {
+            Ok(0) => return Err(bad_data("request body truncated")),
+            Ok(n) => buf = &mut buf[n..],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete JSON response with `Content-Length`.
+pub fn respond_json(w: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    w.flush()
+}
+
+/// Write an error response: `{"error": "<message>"}`.
+pub fn respond_error(w: &mut impl Write, status: u16, message: &str) -> io::Result<()> {
+    let body = format!("{{\"error\":\"{}\"}}", telemetry::json::escape(message));
+    respond_json(w, status, &body)
+}
+
+/// A chunked (streaming) response in progress: the `watch` endpoint sends
+/// one JSON document per chunk as epochs are published, then terminates
+/// the stream. Dropping without [`ChunkedResponse::finish`] leaves the
+/// stream unterminated — the client sees a truncated transfer (which is
+/// the honest signal for a mid-stream server error).
+pub struct ChunkedResponse<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ChunkedResponse<W> {
+    /// Write the response head and switch to chunked transfer encoding.
+    pub fn begin(mut w: W, status: u16) -> io::Result<Self> {
+        write!(
+            w,
+            "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\n\r\n",
+            reason(status),
+        )?;
+        w.flush()?;
+        Ok(ChunkedResponse { w })
+    }
+
+    /// Send one chunk (flushed immediately — watchers see each update as
+    /// it is published, not when the stream ends).
+    pub fn chunk(&mut self, data: &str) -> io::Result<()> {
+        write!(self.w, "{:x}\r\n{data}\r\n", data.len())?;
+        self.w.flush()
+    }
+
+    /// Terminate the stream (zero-length chunk).
+    pub fn finish(mut self) -> io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// Decode a chunked response body from `rd` (headers already consumed).
+/// Returns the concatenated chunks. Used by the test/bench client.
+pub fn read_chunked(rd: &mut impl BufRead) -> io::Result<String> {
+    let mut out = String::new();
+    loop {
+        let mut size_line = String::new();
+        read_line_retrying(rd, &mut size_line)?;
+        let size =
+            usize::from_str_radix(size_line.trim(), 16).map_err(|_| bad_data("bad chunk size"))?;
+        let mut chunk = vec![0u8; size + 2]; // data + CRLF
+        read_exact_retrying(rd, &mut chunk)?;
+        if size == 0 {
+            return Ok(out);
+        }
+        chunk.truncate(size);
+        out.push_str(std::str::from_utf8(&chunk).map_err(|_| bad_data("chunk is not UTF-8"))?);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_request_with_body_and_keep_alive() {
+        let raw = "POST /eval HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let mut rd = BufReader::new(raw.as_bytes());
+        let req = read_request(&mut rd, || false).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/eval");
+        assert_eq!(req.body, "hello");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_clears_keep_alive_and_eof_is_none() {
+        let raw = "GET /health HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut rd = BufReader::new(raw.as_bytes());
+        let req = read_request(&mut rd, || false).unwrap().unwrap();
+        assert!(!req.keep_alive);
+        assert!(read_request(&mut rd, || false).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            let mut rd = BufReader::new(raw.as_bytes());
+            assert!(read_request(&mut rd, || false).is_err(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut out = Vec::new();
+        respond_json(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11"));
+        assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        respond_error(&mut out, 400, "bad \"thing\"").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("{\"error\":\"bad \\\"thing\\\"\"}"));
+    }
+
+    #[test]
+    fn chunked_stream_round_trips() {
+        let mut wire = Vec::new();
+        let mut resp = ChunkedResponse::begin(&mut wire, 200).unwrap();
+        resp.chunk("{\"a\":1}\n").unwrap();
+        resp.chunk("{\"b\":2}\n").unwrap();
+        resp.finish().unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        let body_at = text.find("\r\n\r\n").unwrap() + 4;
+        let mut rd = BufReader::new(&wire[body_at..]);
+        let decoded = read_chunked(&mut rd).unwrap();
+        assert_eq!(decoded, "{\"a\":1}\n{\"b\":2}\n");
+    }
+}

@@ -1,0 +1,63 @@
+//! # serve — concurrent query serving over epoch snapshots
+//!
+//! A hand-rolled HTTP/1.1 + JSON query service over `std::net` (no
+//! crates.io, like `exec-parallel` and `telemetry`): a listener feeds a
+//! fixed worker pool; every worker owns one wait-free reader slot in the
+//! shared [`pdb::EpochStore`] and evaluates against immutable
+//! `Arc<ProbDb>` snapshots while a single writer applies `DeltaBatch`es
+//! and publishes new epochs.
+//!
+//! ## Wire protocol
+//!
+//! HTTP/1.1 over TCP. Requests carry JSON bodies with `Content-Length`;
+//! responses are JSON (`Content-Length`) except `watch`, which streams
+//! one JSON document per chunk (`Transfer-Encoding: chunked`, one line
+//! per published epoch). Connections are keep-alive by default;
+//! `Connection: close` is honored. Request-side chunked encoding is
+//! rejected. Errors are `{"error": "<message>"}` with a 4xx/5xx status.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path      | Body                                              | Response |
+//! |--------|-----------|---------------------------------------------------|----------|
+//! | GET    | `/health` | —                                                 | `{ok, version, epoch}` |
+//! | GET    | `/stats`  | —                                                 | versions, plan/result-cache counters, publish latency |
+//! | POST   | `/eval`   | `{query, samples?, exact?}`                       | `{probability, std_error, method, cache_hit, result_cache_hit, version, epoch}` |
+//! | POST   | `/rank`   | `{query, head, top?}` (`head`: `"x0"` or `"x0 x1"`) | `{version, answers: [{tuple, probability, std_error, method}]}` |
+//! | POST   | `/apply`  | `{deltas}` (a delta script)                       | `{version, batches, ops, publish_ns}` |
+//! | POST   | `/watch`  | `{query, updates?, timeout_ms?}`                  | chunked stream of `{version, probability, refreshed, method}` |
+//!
+//! Queries naming relations or constants not present in the served
+//! database are rejected with 400: fresh interning is deterministic, so
+//! two different unknown names would otherwise collide in the plan and
+//! result caches.
+//!
+//! Rejected `/apply` scripts report exactly which delta failed — the
+//! parse error carries `line L (batch B, op O)` positions.
+//!
+//! ## Epoch discipline invariants
+//!
+//! 1. **Published epochs are immutable.** A snapshot handed to a reader
+//!    never changes; the writer clones, mutates the clone, and swaps the
+//!    published pointer.
+//! 2. **Versions are monotone.** Each publish carries a strictly greater
+//!    database version; a reader's successive snapshots never go
+//!    backwards.
+//! 3. **No torn reads.** Every response is computed against exactly one
+//!    snapshot — bit-for-bit the result of *some* published epoch, never
+//!    a mix of two.
+//! 4. **Readers never block the writer, the writer never blocks
+//!    readers.** Snapshot acquisition is wait-free (an atomic announce +
+//!    pointer load); `apply` runs concurrently with in-flight reads.
+//!
+//! The result cache is keyed by `(db uid, version, seed, exec shape,
+//! strategy, Query::cache_key())`, so hits are only possible within one
+//! epoch and are bit-identical to cold evaluation; the plan cache is the
+//! sharded-lock LRU shared by every worker.
+
+pub mod client;
+pub mod http;
+pub mod service;
+
+pub use client::{HttpClient, HttpResponse};
+pub use service::{ApplySummary, ServeOptions, Server};

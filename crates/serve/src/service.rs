@@ -1,0 +1,700 @@
+//! The query service: a `TcpListener` feeding a fixed worker pool, every
+//! worker holding its own wait-free [`pdb::ReaderHandle`] into the shared
+//! [`pdb::EpochStore`]. Reads (`/eval`, `/rank`, `/watch`) evaluate
+//! against immutable `Arc<ProbDb>` snapshots and never block the writer;
+//! `/apply` runs under the store's single-writer lock and publishes a new
+//! epoch. The engine is shared across workers — its plan cache is the
+//! sharded-lock LRU and its result cache short-circuits repeated
+//! identical reads within an epoch.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cq::{parse_query, Query, Term, Var, Vocabulary};
+use dichotomy::engine::{Engine, ExecOptions, Strategy};
+use dichotomy::ranking::ranked_answers_counted;
+use pdb::{EpochStore, ProbDb, ReaderHandle};
+use telemetry::json::{escape, parse, Json};
+use telemetry::metrics::format_f64;
+use telemetry::{Counter, Histogram};
+
+use crate::http::{self, ChunkedResponse, Request};
+
+/// Server configuration. `Default` matches the CLI's evaluation defaults
+/// (100k Monte-Carlo budget, fixed seed) with 4 workers on an ephemeral
+/// loopback port.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Fixed worker pool size (each worker owns one epoch reader slot).
+    pub workers: usize,
+    /// Monte-Carlo sample budget for `Strategy::Auto` hard queries.
+    pub mc_samples: u64,
+    /// RNG seed (kept fixed so identical requests are reproducible and
+    /// result-cacheable).
+    pub seed: u64,
+    /// Executor options for the shared engine.
+    pub exec: ExecOptions,
+    /// How long a `/watch` stream waits for the next epoch before
+    /// terminating the stream.
+    pub watch_timeout: Duration,
+    /// Interpose the result cache (on by default — it is the point of
+    /// serving many identical reads per epoch).
+    pub result_cache: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            mc_samples: 100_000,
+            seed: 0xDA151,
+            exec: ExecOptions::default(),
+            watch_timeout: Duration::from_secs(5),
+            result_cache: true,
+        }
+    }
+}
+
+/// Per-endpoint counters/histograms, registered once in the global
+/// telemetry registry (`server.*` family) and cached as `Arc`s.
+struct Metrics {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    eval_ns: Arc<Histogram>,
+    rank_ns: Arc<Histogram>,
+    apply_ns: Arc<Histogram>,
+    watch_ns: Arc<Histogram>,
+    publish_ns: Arc<Histogram>,
+    watch_updates: Arc<Counter>,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let r = telemetry::registry();
+        Metrics {
+            requests: r.counter("server.requests"),
+            errors: r.counter("server.errors"),
+            eval_ns: r.histogram("server.latency_ns.eval"),
+            rank_ns: r.histogram("server.latency_ns.rank"),
+            apply_ns: r.histogram("server.latency_ns.apply"),
+            watch_ns: r.histogram("server.latency_ns.watch"),
+            publish_ns: r.histogram("server.publish_ns"),
+            watch_updates: r.counter("server.watch.updates"),
+        }
+    }
+}
+
+struct Shared {
+    store: EpochStore,
+    engine: Engine,
+    opts: ServeOptions,
+    /// Accepted connections queued for the worker pool.
+    conns: Mutex<VecDeque<TcpStream>>,
+    conn_cv: Condvar,
+    /// Latest published version, bumped by `/apply` to wake watchers.
+    publish: Mutex<u64>,
+    publish_cv: Condvar,
+    shutdown: AtomicBool,
+    metrics: Metrics,
+}
+
+/// Summary of a successful `/apply` (also returned by [`Server::apply`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ApplySummary {
+    pub version: u64,
+    pub batches: usize,
+    pub ops: usize,
+    /// Snapshot-publication latency of this epoch (clone + pointer swap).
+    pub publish_ns: u64,
+}
+
+/// A running query service. Dropping the server shuts it down and joins
+/// all threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and the fixed worker pool, and start
+    /// serving `db`.
+    pub fn start(db: ProbDb, opts: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let mut engine = Engine::with_options(opts.mc_samples, opts.seed, opts.exec);
+        if opts.result_cache {
+            engine = engine.with_result_cache();
+        }
+        let shared = Arc::new(Shared {
+            store: EpochStore::new(db),
+            engine,
+            opts: opts.clone(),
+            conns: Mutex::new(VecDeque::new()),
+            conn_cv: Condvar::new(),
+            publish: Mutex::new(0),
+            publish_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: Metrics::new(),
+        });
+        *shared.publish.lock().expect("publish poisoned") = shared.store.version();
+
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+
+        let mut workers = Vec::with_capacity(opts.workers.max(1));
+        for i in 0..opts.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            let reader = worker_shared.store.reader();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(worker_shared, reader))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (use this to connect when the port was 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The epoch store behind the service (tests use this to observe
+    /// versions/epochs and to drive out-of-band writes).
+    pub fn store(&self) -> &EpochStore {
+        &self.shared.store
+    }
+
+    /// Current published database version.
+    pub fn version(&self) -> u64 {
+        self.shared.store.version()
+    }
+
+    /// Apply a delta script server-side (same path as the `/apply`
+    /// endpoint: parse, apply under the writer lock, publish, wake
+    /// watchers).
+    pub fn apply(&self, script: &str) -> Result<ApplySummary, String> {
+        apply_script(&self.shared, script)
+    }
+
+    /// Stop accepting, drain the queue, and join every thread.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.conn_cv.notify_all();
+        self.shared.publish_cv.notify_all();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let mut q = shared.conns.lock().expect("conns poisoned");
+                q.push_back(stream);
+                drop(q);
+                shared.conn_cv.notify_one();
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, mut reader: ReaderHandle) {
+    loop {
+        let conn = {
+            let mut q = shared.conns.lock().expect("conns poisoned");
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .conn_cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .expect("conns poisoned");
+                q = guard;
+            }
+        };
+        match conn {
+            Some(stream) => {
+                let _ = handle_connection(&shared, &mut reader, stream);
+            }
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(
+    shared: &Arc<Shared>,
+    reader: &mut ReaderHandle,
+    stream: TcpStream,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // Short read timeout so idle keep-alive connections notice shutdown;
+    // `http::read_request` rides through the timeouts otherwise.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .ok();
+    let mut rd = BufReader::new(stream.try_clone()?);
+    let mut wr = stream;
+    loop {
+        let req = match http::read_request(&mut rd, || shared.shutdown.load(Ordering::SeqCst)) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                shared.metrics.errors.incr();
+                let _ = http::respond_error(&mut wr, 400, &e.to_string());
+                return Ok(());
+            }
+            Err(_) => return Ok(()),
+        };
+        let keep_alive = req.keep_alive;
+        dispatch(shared, reader, &req, &mut wr)?;
+        if !keep_alive || shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn dispatch(
+    shared: &Arc<Shared>,
+    reader: &mut ReaderHandle,
+    req: &Request,
+    wr: &mut TcpStream,
+) -> io::Result<()> {
+    shared.metrics.requests.incr();
+    let start = Instant::now();
+    let (status, histo) = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (handle_health(shared, wr)?, None),
+        ("GET", "/stats") => (handle_stats(shared, wr)?, None),
+        ("POST", "/eval") => (
+            handle_eval(shared, reader, &req.body, wr)?,
+            Some(&shared.metrics.eval_ns),
+        ),
+        ("POST", "/rank") => (
+            handle_rank(shared, reader, &req.body, wr)?,
+            Some(&shared.metrics.rank_ns),
+        ),
+        ("POST", "/apply") => (
+            handle_apply(shared, &req.body, wr)?,
+            Some(&shared.metrics.apply_ns),
+        ),
+        ("POST", "/watch") => (
+            handle_watch(shared, reader, &req.body, wr)?,
+            Some(&shared.metrics.watch_ns),
+        ),
+        (_, "/health" | "/stats" | "/eval" | "/rank" | "/apply" | "/watch") => {
+            http::respond_error(wr, 405, "method not allowed")?;
+            (405, None)
+        }
+        _ => {
+            http::respond_error(wr, 404, "no such endpoint")?;
+            (404, None)
+        }
+    };
+    if let Some(h) = histo {
+        h.record_ns(start.elapsed().as_nanos() as u64);
+    }
+    if status >= 400 {
+        shared.metrics.errors.incr();
+    }
+    Ok(())
+}
+
+/// Parse the request body as a JSON object (empty body → empty object).
+fn parse_body(body: &str) -> Result<Json, String> {
+    if body.trim().is_empty() {
+        return Ok(Json::Obj(Default::default()));
+    }
+    parse(body).map_err(|e| format!("bad JSON body: {e}"))
+}
+
+/// Parse `text` against a *clone* of the snapshot's vocabulary and reject
+/// queries that intern anything new. Fresh interning is deterministic, so
+/// two queries naming two *different* unknown relations would otherwise
+/// collide in the plan/result caches (both would get the next free id);
+/// rejecting up front keeps cache keys honest and gives the client a real
+/// error instead of probability 0.
+fn parse_known_query(snap: &ProbDb, text: &str) -> Result<(Query, Vocabulary), String> {
+    let mut voc = snap.voc.clone();
+    let q = parse_query(&mut voc, text).map_err(|e| e.to_string())?;
+    let known_rels = snap.voc.num_relations() as u32;
+    for atom in &q.atoms {
+        if atom.rel.0 >= known_rels {
+            return Err(format!(
+                "unknown relation '{}' (not in the served database)",
+                voc.rel_name(atom.rel)
+            ));
+        }
+        for t in &atom.args {
+            if let Term::Const(v) = *t {
+                if v.is_named() && snap.voc.value_name(v).starts_with('#') {
+                    return Err(format!(
+                        "unknown constant {} (not in the served database)",
+                        voc.value_name(v)
+                    ));
+                }
+            }
+        }
+    }
+    Ok((q, voc))
+}
+
+fn handle_health(shared: &Arc<Shared>, wr: &mut TcpStream) -> io::Result<u16> {
+    let body = format!(
+        "{{\"ok\":true,\"version\":{},\"epoch\":{}}}",
+        shared.store.version(),
+        shared.store.epoch()
+    );
+    http::respond_json(wr, 200, &body)?;
+    Ok(200)
+}
+
+fn handle_stats(shared: &Arc<Shared>, wr: &mut TcpStream) -> io::Result<u16> {
+    let plans = shared.engine.cache_stats();
+    let (rc_hits, rc_misses, rc_len) = match shared.engine.result_cache() {
+        Some(rc) => (rc.hits(), rc.misses(), rc.len()),
+        None => (0, 0, 0),
+    };
+    let m = &shared.metrics;
+    let body = format!(
+        concat!(
+            "{{\"version\":{},\"epoch\":{},\"retired_epochs\":{},",
+            "\"requests\":{},\"errors\":{},\"watch_updates\":{},",
+            "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"classifications\":{}}},",
+            "\"result_cache\":{{\"enabled\":{},\"hits\":{},\"misses\":{},\"entries\":{}}},",
+            "\"publish\":{{\"count\":{},\"last_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}}}"
+        ),
+        shared.store.version(),
+        shared.store.epoch(),
+        shared.store.retired_epochs(),
+        m.requests.get(),
+        m.errors.get(),
+        m.watch_updates.get(),
+        plans.hits,
+        plans.misses,
+        plans.classifications,
+        shared.engine.result_cache().is_some(),
+        rc_hits,
+        rc_misses,
+        rc_len,
+        m.publish_ns.count(),
+        shared.store.last_publish_ns(),
+        m.publish_ns.quantile_ns(0.50),
+        m.publish_ns.quantile_ns(0.99),
+    );
+    http::respond_json(wr, 200, &body)?;
+    Ok(200)
+}
+
+fn handle_eval(
+    shared: &Arc<Shared>,
+    reader: &mut ReaderHandle,
+    body: &str,
+    wr: &mut TcpStream,
+) -> io::Result<u16> {
+    let doc = match parse_body(body) {
+        Ok(d) => d,
+        Err(e) => return bad_request(wr, &e),
+    };
+    let Some(qtext) = doc.get("query").and_then(|j| j.as_str()) else {
+        return bad_request(wr, "missing 'query'");
+    };
+    let snap = reader.snapshot();
+    let (q, _) = match parse_known_query(&snap, qtext) {
+        Ok(x) => x,
+        Err(e) => return bad_request(wr, &e),
+    };
+    let strategy = match doc.get("samples").and_then(|j| j.as_u64()) {
+        Some(samples) => Strategy::MonteCarlo { samples },
+        None if doc.get("exact").is_some_and(|j| j == &Json::Bool(true)) => Strategy::ExactLineage,
+        None => Strategy::Auto,
+    };
+    let ev = match shared.engine.evaluate(&snap, &q, strategy) {
+        Ok(ev) => ev,
+        Err(e) => return bad_request(wr, &e.to_string()),
+    };
+    let out = format!(
+        concat!(
+            "{{\"probability\":{},\"std_error\":{},\"method\":\"{}\",",
+            "\"cache_hit\":{},\"result_cache_hit\":{},\"version\":{},\"epoch\":{}}}"
+        ),
+        format_f64(ev.probability),
+        format_f64(ev.std_error),
+        escape(&ev.method.to_string()),
+        ev.cache_hit,
+        ev.result_cache_hit,
+        snap.version(),
+        shared.store.epoch(),
+    );
+    http::respond_json(wr, 200, &out)?;
+    Ok(200)
+}
+
+fn handle_rank(
+    shared: &Arc<Shared>,
+    reader: &mut ReaderHandle,
+    body: &str,
+    wr: &mut TcpStream,
+) -> io::Result<u16> {
+    let doc = match parse_body(body) {
+        Ok(d) => d,
+        Err(e) => return bad_request(wr, &e),
+    };
+    let Some(qtext) = doc.get("query").and_then(|j| j.as_str()) else {
+        return bad_request(wr, "missing 'query'");
+    };
+    let Some(head_text) = doc.get("head").and_then(|j| j.as_str()) else {
+        return bad_request(wr, "missing 'head' (e.g. \"x0\" or \"x0 x1\")");
+    };
+    let top = doc.get("top").and_then(|j| j.as_u64()).map(|t| t as usize);
+    let snap = reader.snapshot();
+    let (q, _) = match parse_known_query(&snap, qtext) {
+        Ok(x) => x,
+        Err(e) => return bad_request(wr, &e),
+    };
+    // Head variables use the CLI's convention: `xN` names `Var(N)`.
+    let mut head = Vec::new();
+    for name in head_text.split([' ', ',']).filter(|s| !s.is_empty()) {
+        let Ok(idx) = name.trim_start_matches('x').parse::<u32>() else {
+            return bad_request(wr, &format!("bad head variable '{name}'"));
+        };
+        let v = Var(idx);
+        if !q.vars().contains(&v) {
+            return bad_request(wr, &format!("head variable '{name}' not in query"));
+        }
+        head.push(v);
+    }
+    if head.is_empty() {
+        return bad_request(wr, "empty 'head'");
+    }
+    let (mut answers, _run) =
+        match ranked_answers_counted(&shared.engine, &snap, &q, &head, Strategy::Auto) {
+            Ok(x) => x,
+            Err(e) => return bad_request(wr, &e.to_string()),
+        };
+    if let Some(k) = top {
+        answers.truncate(k);
+    }
+    let rows: Vec<String> = answers
+        .iter()
+        .map(|a| {
+            let tuple: Vec<String> = a
+                .tuple
+                .iter()
+                .map(|v| format!("\"{}\"", escape(&snap.voc.value_name(*v))))
+                .collect();
+            format!(
+                "{{\"tuple\":[{}],\"probability\":{},\"std_error\":{},\"method\":\"{}\"}}",
+                tuple.join(","),
+                format_f64(a.probability),
+                format_f64(a.std_error),
+                escape(&a.method.to_string()),
+            )
+        })
+        .collect();
+    let out = format!(
+        "{{\"version\":{},\"answers\":[{}]}}",
+        snap.version(),
+        rows.join(",")
+    );
+    http::respond_json(wr, 200, &out)?;
+    Ok(200)
+}
+
+/// The shared `/apply` path: parse the delta script against a clone of
+/// the writer's vocabulary (so a rejected script leaves nothing behind),
+/// apply every batch under the writer lock, publish, and wake watchers.
+fn apply_script(shared: &Arc<Shared>, script: &str) -> Result<ApplySummary, String> {
+    let applied = shared.store.with_writer(|db| {
+        let mut voc = db.voc.clone();
+        let batches =
+            pdb::text::parse_delta_batches(&mut voc, script).map_err(|e| e.to_string())?;
+        db.voc = voc;
+        let mut ops = 0;
+        let mut version = db.version();
+        for b in &batches {
+            ops += b.ops.len();
+            version = db.apply(b);
+        }
+        Ok::<_, String>((batches.len(), ops, version))
+    });
+    let (batches, ops, version) = applied?;
+    let publish_ns = shared.store.last_publish_ns();
+    shared.metrics.publish_ns.record_ns(publish_ns);
+    {
+        let mut latest = shared.publish.lock().expect("publish poisoned");
+        if version > *latest {
+            *latest = version;
+        }
+    }
+    shared.publish_cv.notify_all();
+    Ok(ApplySummary {
+        version,
+        batches,
+        ops,
+        publish_ns,
+    })
+}
+
+fn handle_apply(shared: &Arc<Shared>, body: &str, wr: &mut TcpStream) -> io::Result<u16> {
+    let doc = match parse_body(body) {
+        Ok(d) => d,
+        Err(e) => return bad_request(wr, &e),
+    };
+    let Some(script) = doc.get("deltas").and_then(|j| j.as_str()) else {
+        return bad_request(wr, "missing 'deltas' (a delta script)");
+    };
+    match apply_script(shared, script) {
+        Ok(s) => {
+            let out = format!(
+                "{{\"version\":{},\"batches\":{},\"ops\":{},\"publish_ns\":{}}}",
+                s.version, s.batches, s.ops, s.publish_ns
+            );
+            http::respond_json(wr, 200, &out)?;
+            Ok(200)
+        }
+        // The TextError Display carries "line L (batch B, op O): ..." so
+        // the client learns exactly which delta was rejected.
+        Err(e) => bad_request(wr, &e),
+    }
+}
+
+fn handle_watch(
+    shared: &Arc<Shared>,
+    reader: &mut ReaderHandle,
+    body: &str,
+    wr: &mut TcpStream,
+) -> io::Result<u16> {
+    let doc = match parse_body(body) {
+        Ok(d) => d,
+        Err(e) => return bad_request(wr, &e),
+    };
+    let Some(qtext) = doc.get("query").and_then(|j| j.as_str()) else {
+        return bad_request(wr, "missing 'query'");
+    };
+    let updates = doc
+        .get("updates")
+        .and_then(|j| j.as_u64())
+        .unwrap_or(1)
+        .clamp(1, 1000) as usize;
+    let timeout = doc
+        .get("timeout_ms")
+        .and_then(|j| j.as_u64())
+        .map(Duration::from_millis)
+        .unwrap_or(shared.opts.watch_timeout);
+
+    let snap = reader.snapshot();
+    let (q, _) = match parse_known_query(&snap, qtext) {
+        Ok(x) => x,
+        Err(e) => return bad_request(wr, &e),
+    };
+    let view = match shared.engine.subscribe(&snap, &q) {
+        Ok(v) => v,
+        Err(e) => return bad_request(wr, &e.to_string()),
+    };
+    // First reading before committing to a chunked response, so plan or
+    // read failures still get a proper error status.
+    let first = match view.read(&snap) {
+        Ok(r) => r,
+        Err(e) => return bad_request(wr, &e.to_string()),
+    };
+
+    let mut resp = ChunkedResponse::begin(wr.try_clone()?, 200)?;
+    let mut last_version = first.version;
+    resp.chunk(&reading_json(&first))?;
+    shared.metrics.watch_updates.incr();
+    let mut delivered = 1;
+    let deadline = Instant::now() + timeout;
+    while delivered < updates {
+        // Wait for the next published epoch (or the deadline / shutdown).
+        let mut latest = shared.publish.lock().expect("publish poisoned");
+        while *latest <= last_version {
+            if shared.shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+                break;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let (guard, _) = shared
+                .publish_cv
+                .wait_timeout(latest, remaining.min(Duration::from_millis(50)))
+                .expect("publish poisoned");
+            latest = guard;
+        }
+        let available = *latest;
+        drop(latest);
+        if available <= last_version {
+            break; // timed out or shutting down — terminate the stream.
+        }
+        let snap = reader.snapshot();
+        if snap.version() <= last_version {
+            continue; // our reader raced the publish; try again.
+        }
+        let reading = match view.read(&snap) {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        resp.chunk(&reading_json(&reading))?;
+        shared.metrics.watch_updates.incr();
+        last_version = reading.version;
+        delivered += 1;
+    }
+    resp.finish()?;
+    Ok(200)
+}
+
+fn reading_json(r: &dichotomy::ViewReading) -> String {
+    format!(
+        "{{\"version\":{},\"probability\":{},\"refreshed\":{},\"method\":\"{}\"}}\n",
+        r.version,
+        format_f64(r.evaluation.probability),
+        r.refreshed,
+        escape(&r.evaluation.method.to_string()),
+    )
+}
+
+fn bad_request(wr: &mut TcpStream, message: &str) -> io::Result<u16> {
+    http::respond_error(wr, 400, message)?;
+    Ok(400)
+}

@@ -15,6 +15,9 @@
 //! probdb watch db.txt "R(x), S(x,y)" deltas.txt [--threads N]
 //!                                   # subscribe an incremental view, then
 //!                                   # apply each batch and read through it
+//! probdb serve db.txt [--addr host:port] [--workers N]
+//!                                   # HTTP query service: epoch-snapshot
+//!                                   # reads, single-writer applies
 //! ```
 //!
 //! Delta scripts hold one mutation per line — `+ R(1,2) @ 0.5` (insert),
@@ -54,7 +57,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] [--shards N] [--json] [--trace out.json] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N] [--shards N] [--json] [--trace out.json] | apply <db.txt> <deltas.txt> [-o out.txt] | watch <db.txt> <query> <deltas.txt> [--threads N] [--shards N] [--trace out.json]"
+                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] [--shards N] [--json] [--trace out.json] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N] [--shards N] [--json] [--trace out.json] | apply <db.txt> <deltas.txt> [-o out.txt] | watch <db.txt> <query> <deltas.txt> [--threads N] [--shards N] [--trace out.json] | serve <db.txt> [--addr host:port] [--workers N] [--mc-samples N] [--threads N] [--shards N]"
             );
             ExitCode::from(2)
         }
@@ -406,6 +409,46 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 );
             }
             Ok(())
+        }
+        "serve" => {
+            let db_path = args.get(1).ok_or("missing database file")?;
+            let data = std::fs::read_to_string(db_path).map_err(|e| e.to_string())?;
+            let mut voc = Vocabulary::new();
+            let mut db = load_db(&mut voc, &data).map_err(|e| e.to_string())?;
+            db.voc = voc;
+            let mut opts = serve::ServeOptions {
+                exec: exec_options(args)?,
+                ..serve::ServeOptions::default()
+            };
+            if opts.exec.shards > 1 {
+                db.set_shard_layout(opts.exec.shards);
+            }
+            if let Some(i) = args.iter().position(|a| a == "--addr") {
+                opts.addr = args.get(i + 1).ok_or("--addr needs host:port")?.clone();
+            }
+            if let Some(i) = args.iter().position(|a| a == "--workers") {
+                opts.workers = args
+                    .get(i + 1)
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            if let Some(i) = args.iter().position(|a| a == "--mc-samples") {
+                opts.mc_samples = args
+                    .get(i + 1)
+                    .ok_or("--mc-samples needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--mc-samples: {e}"))?;
+            }
+            let server = serve::Server::start(db, opts).map_err(|e| e.to_string())?;
+            println!("serving on http://{}", server.addr());
+            eprintln!(
+                "endpoints: GET /health /stats; POST /eval /rank /apply /watch (Ctrl-C to stop)"
+            );
+            // Serve until killed.
+            loop {
+                std::thread::park();
+            }
         }
         other => Err(format!("unknown command {other:?}")),
     }

@@ -27,7 +27,11 @@
 //!   probability computation and substructure counting,
 //! * [`telemetry`] — hand-rolled observability: span tracing with
 //!   Chrome-trace export (`ENGINE_TRACE`, `--trace`) and the typed metrics
-//!   registry behind `Evaluation::metric_set` and the CLI's `--json` mode.
+//!   registry behind `Evaluation::metric_set` and the CLI's `--json` mode,
+//! * [`serve`] — the concurrent query service: a hand-rolled HTTP/1.1 +
+//!   JSON server whose workers read wait-free epoch snapshots of the
+//!   database while a single writer applies deltas and publishes new
+//!   epochs (`probdb serve`).
 //!
 //! ## Quickstart
 //!
@@ -68,6 +72,7 @@ pub use numeric;
 pub use pdb;
 pub use reductions;
 pub use safeplan;
+pub use serve;
 pub use telemetry;
 
 /// Everything a typical user needs.
@@ -87,13 +92,14 @@ pub mod prelude {
     pub use numeric::{BigInt, BigUint, QRat};
     pub use pdb::{
         brute_force_probability, count_satisfying_worlds_exact, lineage_of, DeltaBatch, DeltaOp,
-        ProbDb, RatProbs, TupleId,
+        EpochStore, ProbDb, RatProbs, ReaderHandle, TupleId,
     };
     pub use reductions::{count_via_hk, count_via_pattern, Bipartite2Dnf};
     pub use safeplan::{
         build_plan, par_execute, par_query_probability, query_probability, query_probability_exact,
         OpCounters, ParOptions, PlanNode, Pool,
     };
+    pub use serve::{HttpClient, HttpResponse, ServeOptions, Server};
 }
 
 #[cfg(test)]

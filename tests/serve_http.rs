@@ -1,0 +1,244 @@
+//! End-to-end coverage of the query service: endpoint behavior over real
+//! sockets, epoch visibility of `apply`, result-cache hits bit-identical
+//! to cold evaluation, watch streams following published epochs, and the
+//! rejection paths (unknown symbols, malformed deltas with batch/op
+//! positions, bad routes).
+
+use std::time::Duration;
+
+use probdb::prelude::*;
+use telemetry::json::{parse, Json};
+
+fn sensor_db() -> (ProbDb, Vocabulary) {
+    let mut voc = Vocabulary::new();
+    // Intern the query shape once so relations/constants exist server-side.
+    parse_query(&mut voc, "R(x), S(x, y)").unwrap();
+    let r = voc.find_relation("R").unwrap();
+    let s = voc.find_relation("S").unwrap();
+    let mut db = ProbDb::new(voc.clone());
+    let mut batch = DeltaBatch::new();
+    for i in 0..20u64 {
+        batch.insert(r, vec![Value(i)], 0.4 + (i as f64) * 0.01);
+        batch.insert(s, vec![Value(i), Value(i + 100)], 0.7);
+    }
+    db.apply(&batch);
+    (db, voc)
+}
+
+fn start_server() -> Server {
+    let (db, _) = sensor_db();
+    let opts = ServeOptions {
+        workers: 2,
+        watch_timeout: Duration::from_secs(2),
+        ..ServeOptions::default()
+    };
+    Server::start(db, opts).expect("server starts")
+}
+
+fn num(doc: &Json, key: &str) -> f64 {
+    doc.get(key).and_then(|j| j.as_f64()).unwrap()
+}
+
+#[test]
+fn health_eval_and_stats_round_trip() {
+    let server = start_server();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    let health = client.get("/health").unwrap();
+    assert_eq!(health.status, 200);
+    let doc = parse(&health.body).unwrap();
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(num(&doc, "version") as u64, server.version());
+
+    // Cold evaluation, then a repeat: the repeat must be a result-cache
+    // hit with bit-identical probability.
+    let body = "{\"query\":\"R(x), S(x, y)\"}";
+    let first = client.post("/eval", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    let first_doc = parse(&first.body).unwrap();
+    assert_eq!(first_doc.get("result_cache_hit"), Some(&Json::Bool(false)));
+
+    let second = client.post("/eval", body).unwrap();
+    let second_doc = parse(&second.body).unwrap();
+    assert_eq!(second_doc.get("result_cache_hit"), Some(&Json::Bool(true)));
+    assert_eq!(
+        num(&first_doc, "probability").to_bits(),
+        num(&second_doc, "probability").to_bits(),
+        "result-cache hit must be bit-identical to the cold evaluation"
+    );
+
+    // The served probability matches a direct engine evaluation.
+    let (db, mut voc) = sensor_db();
+    let q = parse_query(&mut voc, "R(x), S(x, y)").unwrap();
+    let direct = Engine::new().evaluate(&db, &q, Strategy::Auto).unwrap();
+    assert_eq!(
+        num(&first_doc, "probability").to_bits(),
+        direct.probability.to_bits(),
+        "served answer must be bit-identical to a direct evaluation"
+    );
+
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let sdoc = parse(&stats.body).unwrap();
+    let rc = sdoc.get("result_cache").unwrap();
+    assert_eq!(rc.get("enabled"), Some(&Json::Bool(true)));
+    assert!(rc.get("hits").and_then(|j| j.as_u64()).unwrap() >= 1);
+}
+
+#[test]
+fn apply_publishes_a_new_epoch_visible_to_eval() {
+    let server = start_server();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let v0 = server.version();
+
+    let before = client
+        .post("/eval", "{\"query\":\"R(x), S(x, y)\"}")
+        .unwrap();
+    let before_doc = parse(&before.body).unwrap();
+    assert_eq!(num(&before_doc, "version") as u64, v0);
+
+    let apply = client
+        .post(
+            "/apply",
+            "{\"deltas\":\"+ R(500) @ 0.9\\n+ S(500, 501) @ 0.9\"}",
+        )
+        .unwrap();
+    assert_eq!(apply.status, 200, "{}", apply.body);
+    let apply_doc = parse(&apply.body).unwrap();
+    let v1 = num(&apply_doc, "version") as u64;
+    assert!(v1 > v0);
+    assert_eq!(server.version(), v1);
+
+    let after = client
+        .post("/eval", "{\"query\":\"R(x), S(x, y)\"}")
+        .unwrap();
+    let after_doc = parse(&after.body).unwrap();
+    assert_eq!(num(&after_doc, "version") as u64, v1);
+    // New epoch → new result-cache key → cold evaluation with a changed
+    // probability (the inserted pair raises it).
+    assert_eq!(after_doc.get("result_cache_hit"), Some(&Json::Bool(false)));
+    assert!(num(&after_doc, "probability") > num(&before_doc, "probability"));
+}
+
+#[test]
+fn apply_rejections_name_the_failing_delta() {
+    let server = start_server();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let v0 = server.version();
+
+    let resp = client
+        .post(
+            "/apply",
+            "{\"deltas\":\"+ R(1) @ 0.5\\n\\n+ R(2) @ 0.6\\n+ R(3) @ 7\"}",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(
+        resp.body.contains("(batch 2, op 2)"),
+        "rejection must name the failing delta: {}",
+        resp.body
+    );
+    // A rejected script must leave the database untouched (no partial
+    // batch, no epoch).
+    assert_eq!(server.version(), v0);
+}
+
+#[test]
+fn unknown_symbols_and_bad_routes_are_rejected() {
+    let server = start_server();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    let resp = client.post("/eval", "{\"query\":\"Nope(x)\"}").unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("unknown relation"), "{}", resp.body);
+
+    let resp = client
+        .post("/eval", "{\"query\":\"R(x), S(x, 'mystery')\"}")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("unknown constant"), "{}", resp.body);
+
+    let resp = client.post("/eval", "{}").unwrap();
+    assert_eq!(resp.status, 400);
+
+    let resp = client.get("/nope").unwrap();
+    assert_eq!(resp.status, 404);
+
+    let resp = client.get("/eval").unwrap();
+    assert_eq!(resp.status, 405);
+
+    // The connection survives all those errors (keep-alive).
+    let health = client.get("/health").unwrap();
+    assert_eq!(health.status, 200);
+}
+
+#[test]
+fn rank_returns_answers_ordered_by_probability() {
+    let server = start_server();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    let resp = client
+        .post(
+            "/rank",
+            "{\"query\":\"R(x0), S(x0, x1)\",\"head\":\"x0\",\"top\":5}",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc = parse(&resp.body).unwrap();
+    let answers = doc.get("answers").and_then(|j| j.as_arr()).unwrap();
+    assert_eq!(answers.len(), 5);
+    let probs: Vec<f64> = answers
+        .iter()
+        .map(|a| a.get("probability").and_then(|j| j.as_f64()).unwrap())
+        .collect();
+    for w in probs.windows(2) {
+        assert!(w[0] >= w[1], "answers must be ranked: {probs:?}");
+    }
+
+    let resp = client
+        .post("/rank", "{\"query\":\"R(x0)\",\"head\":\"x9\"}")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("not in query"), "{}", resp.body);
+}
+
+#[test]
+fn watch_streams_follow_published_epochs() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let watcher = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).unwrap();
+        client
+            .post("/watch", "{\"query\":\"R(x), S(x, y)\",\"updates\":3}")
+            .unwrap()
+    });
+
+    // Give the watcher time to subscribe, then publish two epochs.
+    std::thread::sleep(Duration::from_millis(200));
+    server.apply("+ R(600) @ 0.8\n+ S(600, 601) @ 0.8").unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    server.apply("~ R(600) @ 0.2").unwrap();
+
+    let resp = watcher.join().unwrap();
+    assert_eq!(resp.status, 200);
+    let readings: Vec<Json> = resp
+        .body
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse(l).unwrap())
+        .collect();
+    assert_eq!(resp.body.lines().count(), readings.len());
+    assert!(
+        readings.len() >= 2,
+        "watch must deliver the initial reading plus published epochs: {}",
+        resp.body
+    );
+    let versions: Vec<u64> = readings
+        .iter()
+        .map(|r| r.get("version").and_then(|j| j.as_u64()).unwrap())
+        .collect();
+    for w in versions.windows(2) {
+        assert!(w[0] < w[1], "watch versions must be monotone: {versions:?}");
+    }
+}
