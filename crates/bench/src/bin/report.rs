@@ -478,6 +478,18 @@ fn serve_report(smoke: bool) {
         "  eval p95 quiet {} ns vs under writer churn {} ns ({:.2}x — readers never block on apply)",
         m.quiet_eval_p95_ns, m.churn_eval_p95_ns, m.churn_ratio
     );
+    println!(
+        "  observability: warm eval p95 {} ns (obs on) vs {} ns (obs off) = {:.3}x overhead (gate <= 1.05)",
+        m.obs_warm_p95_ns, m.baseline_warm_p95_ns, m.obs_overhead_p95
+    );
+    println!(
+        "  /metrics scrape: {} families ({} bytes, valid Prometheus text)   access log: {} line(s), {} slow   flight recorder: {} request(s)",
+        m.metrics_families,
+        m.metrics_text.len(),
+        m.access_log.len(),
+        m.slow_log_lines,
+        m.debug_recorded
+    );
     println!("  (hardware threads available: {})", m.hardware_threads);
     if m.hardware_threads == 1 {
         println!(
@@ -507,6 +519,10 @@ fn serve_report(smoke: bool) {
          \"plan_cache\": {{\"hits\": {p_hits}, \"misses\": {p_misses}}},\n  \
          \"publish\": {{\"count\": {pub_n}, \"p50_ns\": {pub_p50}, \"p99_ns\": {pub_p99}}},\n  \
          \"churn\": {{\"quiet_eval_p95_ns\": {quiet}, \"churn_eval_p95_ns\": {churn}, \"ratio\": {churn_ratio:.3}}},\n  \
+         \"observability\": {{\"obs_warm_p95_ns\": {obs_warm}, \"baseline_warm_p95_ns\": {base_warm}, \
+         \"overhead_p95\": {obs_overhead:.4}, \"metrics_families\": {mfam}, \
+         \"metrics_valid_exposition\": true, \"access_log_lines\": {alog}, \
+         \"slow_log_lines\": {slog}, \"recorder_requests\": {drec}}},\n  \
          \"cache_hits_bit_identical\": true,\n  \"reader_blocked_on_apply\": false\n}}\n",
         roots = m.roots,
         fanout = m.fanout,
@@ -537,9 +553,30 @@ fn serve_report(smoke: bool) {
         quiet = m.quiet_eval_p95_ns,
         churn = m.churn_eval_p95_ns,
         churn_ratio = m.churn_ratio,
+        obs_warm = m.obs_warm_p95_ns,
+        base_warm = m.baseline_warm_p95_ns,
+        obs_overhead = m.obs_overhead_p95,
+        mfam = m.metrics_families,
+        alog = m.access_log.len(),
+        slog = m.slow_log_lines,
+        drec = m.debug_recorded,
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("-> wrote BENCH_serve.json");
+    std::fs::write("METRICS_serve.txt", &m.metrics_text).expect("write METRICS_serve.txt");
+    println!(
+        "-> wrote METRICS_serve.txt ({} families)",
+        m.metrics_families
+    );
+    let mut access = m.access_log.join("\n");
+    access.push('\n');
+    std::fs::write("ACCESS_serve.log", &access).expect("write ACCESS_serve.log");
+    println!("-> wrote ACCESS_serve.log ({} lines)", m.access_log.len());
+    std::fs::write("DEBUG_requests.json", &m.debug_dump).expect("write DEBUG_requests.json");
+    println!(
+        "-> wrote DEBUG_requests.json ({} recorded)",
+        m.debug_recorded
+    );
 }
 
 /// E1 + E2 + E3: the classification table over the full paper catalog

@@ -831,6 +831,29 @@ pub struct ServeMeasurement {
     /// (cold re-evaluations after each publish, not lock waits).
     pub churn_eval_p95_ns: u64,
     pub churn_ratio: f64,
+    /// Warm (result-cache hit) eval p95 with observability ON (access log
+    /// + flight recorder + span capture, the default)…
+    pub obs_warm_p95_ns: u64,
+    /// …and with observability OFF (the PR-9 baseline server).
+    pub baseline_warm_p95_ns: u64,
+    /// `obs_warm_p95_ns / baseline_warm_p95_ns` — the always-on
+    /// observability overhead (the ≤ 1.05 gate).
+    pub obs_overhead_p95: f64,
+    /// Metric families in the mid-run `/metrics` scrape (validated as
+    /// well-formed Prometheus text exposition — the scrape panics the
+    /// bench otherwise).
+    pub metrics_families: usize,
+    /// The raw `/metrics` scrape (report artifact).
+    pub metrics_text: String,
+    /// The JSONL access-log tail, one line per served request (every line
+    /// re-parsed as JSON during the measurement).
+    pub access_log: Vec<String>,
+    /// Access-log entries flagged slow (carrying the plan summary).
+    pub slow_log_lines: usize,
+    /// The raw `/debug/requests` flight-recorder dump (report artifact).
+    pub debug_dump: String,
+    /// Requests the flight recorder had seen at dump time.
+    pub debug_recorded: u64,
 }
 
 /// Per-client latency samples from the mixed phase, one `Vec` per
@@ -843,11 +866,17 @@ type EndpointSamples = (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>);
 /// 2. one closed-loop client on `/eval` (QPS + cold/warm split),
 /// 3. `clients` closed-loop clients on a mixed eval/rank/watch/apply
 ///    workload (aggregate QPS + per-endpoint percentiles),
-/// 4. eval latency while a writer publishes epochs in a tight loop.
+/// 4. eval latency while a writer publishes epochs in a tight loop,
+/// 5. observability overhead: the phase-2 warm loop repeated against a
+///    second server with observability off (the PR-9 baseline), plus a
+///    mid-run `/metrics` scrape (validated as Prometheus text), the
+///    access-log tail (every line re-parsed as JSON), and a
+///    `/debug/requests` flight-recorder dump.
 ///
 /// # Panics
-/// If any request fails, or a result-cache hit is not bit-identical to
-/// the cold evaluation it memoized.
+/// If any request fails, a result-cache hit is not bit-identical to the
+/// cold evaluation it memoized, the `/metrics` scrape is not valid
+/// Prometheus text exposition, or an access-log line is not valid JSON.
 pub fn measure_serve(
     roots: u64,
     fanout: u64,
@@ -1038,8 +1067,36 @@ pub fn measure_serve(
     });
     let churn_eval_p95_ns = summarize_ns(churn_ns).p95_ns;
 
-    // Harvest server-side cache/publish statistics.
+    // Phase 5a: observability surfaces, scraped while the server is hot.
+    // The exposition must parse — this is the "curl /metrics is valid
+    // Prometheus text" gate CI enforces via the bench artifact.
     let mut client = HttpClient::connect(addr).expect("connect");
+    let metrics_resp = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics_resp.status, 200, "{}", metrics_resp.body);
+    let metrics_text = metrics_resp.body;
+    let families =
+        telemetry::expose::parse_exposition(&metrics_text).expect("/metrics is valid exposition");
+    assert!(
+        families
+            .iter()
+            .any(|f| f.name == "server_requests_total" && f.kind == "counter"),
+        "scrape must carry the request counter"
+    );
+    let debug_resp = client.get("/debug/requests").expect("debug");
+    assert_eq!(debug_resp.status, 200, "{}", debug_resp.body);
+    let debug_dump = debug_resp.body;
+    let ddoc = telemetry::json::parse(&debug_dump).expect("debug dump json");
+    let debug_recorded = ddoc.get("recorded").and_then(|j| j.as_u64()).unwrap_or(0);
+    let access_log = server.access_log_tail();
+    let mut slow_log_lines = 0;
+    for line in &access_log {
+        let doc = telemetry::json::parse(line).expect("access log line is JSON");
+        if doc.get("slow") == Some(&telemetry::json::Json::Bool(true)) {
+            slow_log_lines += 1;
+        }
+    }
+
+    // Harvest server-side cache/publish statistics.
     let stats = client.get("/stats").expect("stats");
     let sdoc = telemetry::json::parse(&stats.body).expect("stats json");
     let u64_at = |path: &[&str]| -> u64 {
@@ -1049,6 +1106,71 @@ pub fn measure_serve(
         }
         j.as_u64().unwrap_or(0)
     };
+    drop(client);
+    drop(server);
+
+    // Phase 5b: the ≤ 5% overhead gate. Two fresh servers over the same
+    // database — one with observability on (the default), one with it off
+    // (the PR-9 baseline) — measured back-to-back with the requests
+    // interleaved so clock drift, page-cache state, and thermal effects
+    // hit both sides equally. Warm-up requests are excluded; only warm
+    // (result-cache hit) samples count, and every answer on both sides
+    // must stay bit-identical to the direct engine call.
+    let (obs_db, _) = star_workload(roots, fanout, seed);
+    let (baseline_db, _) = star_workload(roots, fanout, seed);
+    let obs_server = Server::start(
+        obs_db,
+        ServeOptions {
+            workers: clients.max(2),
+            watch_timeout: std::time::Duration::from_millis(500),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("obs server starts");
+    let baseline_server = Server::start(
+        baseline_db,
+        ServeOptions {
+            workers: clients.max(2),
+            watch_timeout: std::time::Duration::from_millis(500),
+            observability: false,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("baseline server starts");
+    let mut obs_client = HttpClient::connect(obs_server.addr()).expect("connect");
+    let mut base_client = HttpClient::connect(baseline_server.addr()).expect("connect");
+    let mut obs_warm_ns = Vec::new();
+    let mut baseline_warm_ns = Vec::new();
+    let warmup = 20usize;
+    let measured = requests.max(300);
+    for i in 0..warmup + measured {
+        for (client, samples, side) in [
+            (&mut obs_client, &mut obs_warm_ns, "obs"),
+            (&mut base_client, &mut baseline_warm_ns, "baseline"),
+        ] {
+            let t = Instant::now();
+            let resp = client.post("/eval", &eval_body).expect("overhead eval");
+            let ns = t.elapsed().as_nanos() as u64;
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            let doc = telemetry::json::parse(&resp.body).expect("overhead eval json");
+            let p = doc.get("probability").and_then(|j| j.as_f64()).unwrap();
+            assert_eq!(
+                p.to_bits(),
+                expected.probability.to_bits(),
+                "{side} served answer diverged from the direct engine call"
+            );
+            let hit = doc.get("result_cache_hit") == Some(&telemetry::json::Json::Bool(true));
+            if hit && i >= warmup {
+                samples.push(ns);
+            }
+        }
+    }
+    drop(obs_client);
+    drop(base_client);
+    drop(obs_server);
+    drop(baseline_server);
+    let obs_warm_p95_ns = summarize_ns(obs_warm_ns).p95_ns;
+    let baseline_warm_p95_ns = summarize_ns(baseline_warm_ns).p95_ns;
 
     ServeMeasurement {
         roots,
@@ -1078,6 +1200,15 @@ pub fn measure_serve(
         quiet_eval_p95_ns,
         churn_eval_p95_ns,
         churn_ratio: churn_eval_p95_ns as f64 / quiet_eval_p95_ns.max(1) as f64,
+        obs_warm_p95_ns,
+        baseline_warm_p95_ns,
+        obs_overhead_p95: obs_warm_p95_ns as f64 / baseline_warm_p95_ns.max(1) as f64,
+        metrics_families: families.len(),
+        metrics_text,
+        access_log,
+        slow_log_lines,
+        debug_dump,
+        debug_recorded,
     }
 }
 

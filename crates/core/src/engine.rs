@@ -502,6 +502,27 @@ impl Engine {
         })
     }
 
+    /// [`Engine::evaluate`] with the calling thread's spans captured and
+    /// returned alongside the evaluation — the per-request trace behind
+    /// the serving layer's flight recorder and opt-in `"trace": true`
+    /// responses. Capture works whether or not global tracing
+    /// (`ENGINE_TRACE`) is on, records into a private bounded buffer
+    /// (never the global sink), and is purely observational: the
+    /// evaluation is byte-identical to an uncaptured call. Spans emitted
+    /// on pool worker threads during a parallel execution stay out of the
+    /// window — the capture is the serving thread's view (evaluate /
+    /// plan / execute), which is what per-request triage needs.
+    pub fn evaluate_captured(
+        &self,
+        db: &ProbDb,
+        q: &Query,
+        strategy: Strategy,
+    ) -> Result<(Evaluation, Vec<telemetry::SpanRec>), EngineError> {
+        let mut window = telemetry::Capture::begin();
+        let ev = self.evaluate(db, q, strategy)?;
+        Ok((ev, window.take()))
+    }
+
     /// Subscribe to `q` over `db`: plan through the shared cache, then pin
     /// the plan together with per-operator materialized state as an
     /// incremental view. The returned handle has **refresh-on-read**

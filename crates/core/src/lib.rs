@@ -91,7 +91,9 @@ pub use multisim::{
 };
 pub use plan::{ExecOutcome, Executor, PhysicalPlan};
 pub use planner::{PlannedQuery, Planner, PlannerStats, RankedPlan, ResidualKind};
-pub use ranking::{ranked_answers, ranked_answers_counted, top_k, RankedAnswer, RankedRun};
+pub use ranking::{
+    ranked_answers, ranked_answers_captured, ranked_answers_counted, top_k, RankedAnswer, RankedRun,
+};
 pub use recurrence::eval_recurrence;
 pub use result_cache::ResultCache;
 pub use safe_eval::eval_inversion_free;

@@ -151,6 +151,12 @@ impl Planner {
         self.cache.contended()
     }
 
+    /// Contended lock acquisitions on the ranked-template cache (mirrors
+    /// the `planner.ranked_cache.contended` registry counter).
+    pub fn ranked_cache_contention(&self) -> u64 {
+        self.ranked_cache.contended()
+    }
+
     /// Plan a Boolean query: classification + compilation on the first
     /// sight of a canonical query, a cache hit afterwards.
     pub fn plan(&self, q: &Query) -> Result<Arc<PlannedQuery>, ClassifyError> {

@@ -130,6 +130,23 @@ pub fn ranked_answers_counted(
     Ok((out, run))
 }
 
+/// [`ranked_answers_counted`] with the calling thread's spans captured
+/// and returned — the ranked counterpart of
+/// [`Engine::evaluate_captured`](crate::engine::Engine::evaluate_captured):
+/// same bounded per-thread window, same purely-observational guarantee
+/// (answers are byte-identical to an uncaptured run).
+pub fn ranked_answers_captured(
+    engine: &Engine,
+    db: &ProbDb,
+    q: &Query,
+    head: &[Var],
+    strategy: Strategy,
+) -> Result<(Vec<RankedAnswer>, RankedRun, Vec<telemetry::SpanRec>), EngineError> {
+    let mut window = telemetry::Capture::begin();
+    let (answers, run) = ranked_answers_counted(engine, db, q, head, strategy)?;
+    Ok((answers, run, window.take()))
+}
+
 /// The plan-once path: one ranked template per query shape.
 fn ranked_auto(
     engine: &Engine,

@@ -124,6 +124,12 @@ impl ResultCache {
         self.local_misses.load(Ordering::Relaxed)
     }
 
+    /// Contended lock acquisitions observed by the underlying sharded
+    /// store (serving surfaces this next to hits/misses).
+    pub fn contended(&self) -> u64 {
+        self.cache.contended()
+    }
+
     /// Entries currently held.
     pub fn len(&self) -> usize {
         self.cache.len()

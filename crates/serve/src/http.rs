@@ -169,15 +169,27 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete JSON response with `Content-Length`.
-pub fn respond_json(w: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+/// Write a complete response with an explicit content type and
+/// `Content-Length` (the `/metrics` endpoint speaks Prometheus text
+/// exposition, not JSON).
+pub fn respond_text(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n{body}",
         reason(status),
         body.len(),
     )?;
     w.flush()
+}
+
+/// Write a complete JSON response with `Content-Length`.
+pub fn respond_json(w: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    respond_text(w, status, "application/json", body)
 }
 
 /// Write an error response: `{"error": "<message>"}`.

@@ -21,16 +21,31 @@
 //! | Method | Path      | Body                                              | Response |
 //! |--------|-----------|---------------------------------------------------|----------|
 //! | GET    | `/health` | —                                                 | `{ok, version, epoch}` |
-//! | GET    | `/stats`  | —                                                 | versions, plan/result-cache counters, publish latency |
-//! | POST   | `/eval`   | `{query, samples?, exact?}`                       | `{probability, std_error, method, cache_hit, result_cache_hit, version, epoch}` |
-//! | POST   | `/rank`   | `{query, head, top?}` (`head`: `"x0"` or `"x0 x1"`) | `{version, answers: [{tuple, probability, std_error, method}]}` |
+//! | GET    | `/stats`  | —                                                 | versions, uptime, per-endpoint latency summaries, plan/result-cache counters (incl. contention), publish latency, recorder state |
+//! | GET    | `/metrics` | —                                                | the telemetry registry in Prometheus text exposition (`text/plain; version=0.0.4`) |
+//! | GET    | `/debug/requests` | —                                         | the flight recorder: per-endpoint window summaries + recent requests, newest first, with span captures for slow ones |
+//! | POST   | `/eval`   | `{query, samples?, exact?, trace?}`               | `{probability, std_error, method, cache_hit, result_cache_hit, version, epoch, trace?}` |
+//! | POST   | `/rank`   | `{query, head, top?, trace?}` (`head`: `"x0"` or `"x0 x1"`) | `{version, answers: [{tuple, probability, std_error, method}], trace?}` |
 //! | POST   | `/apply`  | `{deltas}` (a delta script)                       | `{version, batches, ops, publish_ns}` |
 //! | POST   | `/watch`  | `{query, updates?, timeout_ms?}`                  | chunked stream of `{version, probability, refreshed, method}` |
+//!
+//! `"trace": true` on `/eval`/`/rank` returns the serving thread's span
+//! capture for that request inline (`trace: [{id, parent, label,
+//! start_ns, end_ns}]`) — no `ENGINE_TRACE` restart needed.
 //!
 //! Queries naming relations or constants not present in the served
 //! database are rejected with 400: fresh interning is deterministic, so
 //! two different unknown names would otherwise collide in the plan and
 //! result caches.
+//!
+//! ## Observability
+//!
+//! On by default (see [`service`] module docs): per-endpoint
+//! counters/histograms + in-flight gauge in the global registry, a
+//! bounded JSONL access log whose slow entries (≥ `slow_ms`, env
+//! `ENGINE_SLOW_MS`) carry the plan summary and operator counters, and a
+//! fixed-capacity flight recorder of recent requests. All purely
+//! observational: answers are bit-identical with observability off.
 //!
 //! Rejected `/apply` scripts report exactly which delta failed — the
 //! parse error carries `line L (batch B, op O)` positions.

@@ -1,20 +1,32 @@
 //! Chrome trace-event JSON export (the `chrome://tracing` / Perfetto
 //! format): every [`SpanRec`] becomes a `"ph":"X"` complete event with
 //! microsecond timestamps, plus one `"M"` metadata event per lane naming
-//! the thread row.
+//! the thread row. The document's top-level `otherData` carries the
+//! process's dropped-span count so a truncated trace (sink past
+//! [`crate::span::SPAN_CAP`]) is never mistaken for a complete one.
 
 use crate::json::escape;
 use crate::span::SpanRec;
 
-/// Render `spans` as a Chrome trace-event JSON document. Timestamps are
-/// microseconds since the process clock epoch; `pid` is fixed at 1 and
-/// `tid` is the recording lane, so each worker renders as its own row.
+/// Render `spans` as a Chrome trace-event JSON document, stamping the
+/// current process-wide dropped-span count ([`crate::dropped_spans`]) into
+/// the metadata. Timestamps are microseconds since the process clock
+/// epoch; `pid` is fixed at 1 and `tid` is the recording lane, so each
+/// worker renders as its own row.
 pub fn chrome_trace(spans: &[SpanRec]) -> String {
+    chrome_trace_with_drops(spans, crate::dropped_spans())
+}
+
+/// [`chrome_trace`] with an explicit dropped-span count (callers that
+/// snapshot the counter themselves, and tests that need a pure function).
+pub fn chrome_trace_with_drops(spans: &[SpanRec], dropped: u64) -> String {
     let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
     tids.sort_unstable();
     tids.dedup();
 
-    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut out = format!(
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"spansDropped\":{dropped}}},\"traceEvents\":["
+    );
     let mut first = true;
     for tid in &tids {
         push_event(
@@ -110,5 +122,20 @@ mod tests {
         let doc = chrome_trace(&[]);
         let v = crate::json::parse(&doc).unwrap();
         assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn metadata_carries_dropped_span_count() {
+        let doc = chrome_trace_with_drops(&[rec(1, 0, 0, "x", 0, 10)], 42);
+        let v = crate::json::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("otherData")
+                .and_then(|o| o.get("spansDropped"))
+                .and_then(|d| d.as_u64()),
+            Some(42),
+            "truncation must be visible in the trace: {doc}"
+        );
+        // The metadata is not a trace event — event counts are unchanged.
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 2);
     }
 }

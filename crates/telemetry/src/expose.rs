@@ -1,0 +1,386 @@
+//! Prometheus text exposition (format version 0.0.4) over the metrics
+//! [`Registry`] — the scrape surface behind the query service's
+//! `GET /metrics` — plus a small validating parser so tests and the bench
+//! harness can pin the output without external tooling.
+//!
+//! Rendering rules:
+//!
+//! * Dotted registry paths sanitize to `[a-zA-Z0-9_:]` metric names
+//!   (`server.latency_ns.eval` → `server_latency_ns_eval`); a `# HELP`
+//!   line preserves the original dotted path.
+//! * Counters render with the conventional `_total` suffix.
+//! * Gauges render verbatim.
+//! * Histograms render their fixed power-of-two nanosecond buckets as
+//!   *cumulative* `_bucket{le="..."}` samples (one per non-empty prefix
+//!   change plus the mandatory `le="+Inf"`), then `_sum` and `_count`.
+//!   Bucket bounds are nanoseconds ([`crate::metrics::bucket_bound`]);
+//!   the last bucket absorbs overflow, so `+Inf` always equals `_count`.
+//!
+//! Concurrent recording makes a scrape a *racy* snapshot: each atomic is
+//! read once, so a histogram's `+Inf` bucket and `_count` are taken from
+//! the same loads and stay consistent, but two histograms may disagree
+//! about a request in flight — the standard Prometheus contract.
+
+use crate::metrics::{bucket_bound, Metric, Registry, HISTO_BUCKETS};
+
+/// Sanitize a dotted registry path into a legal Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with dots and every other illegal byte
+/// mapped to `_` (a leading digit gains a `_` prefix).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok || c.is_ascii_digit() { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render every metric in `reg` as Prometheus text exposition.
+pub fn prometheus_text(reg: &Registry) -> String {
+    let mut out = String::new();
+    reg.visit(|name, metric| {
+        let base = sanitize_name(name);
+        match metric {
+            Metric::Counter(c) => {
+                let n = format!("{base}_total");
+                out.push_str(&format!("# HELP {n} {name}\n# TYPE {n} counter\n"));
+                out.push_str(&format!("{n} {}\n", c.get()));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!("# HELP {base} {name}\n# TYPE {base} gauge\n"));
+                out.push_str(&format!("{base} {}\n", g.get()));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# HELP {base} {name}\n# TYPE {base} histogram\n"));
+                let buckets = h.bucket_counts();
+                let mut cumulative = 0u64;
+                for (i, b) in buckets.iter().enumerate() {
+                    cumulative += b;
+                    // Keep the exposition compact: emit a bucket when it
+                    // holds samples, plus the first (floor) and the last
+                    // finite bound so the shape is always visible.
+                    if *b > 0 || i == 0 || i == HISTO_BUCKETS - 1 {
+                        out.push_str(&format!(
+                            "{base}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            bucket_bound(i)
+                        ));
+                    }
+                }
+                out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                out.push_str(&format!("{base}_sum {}\n", h.sum_ns()));
+                out.push_str(&format!("{base}_count {cumulative}\n"));
+            }
+        }
+    });
+    out
+}
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    /// The `le` label value, when present.
+    pub fn le(&self) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One metric family: a `# TYPE` declaration and its samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Family {
+    pub name: String,
+    pub kind: String,
+    pub samples: Vec<Sample>,
+}
+
+impl Family {
+    /// Convenience: the value of the sample named exactly `name`.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+}
+
+/// Parse and validate a text-exposition document. Beyond syntax, this
+/// enforces the structural invariants scrapers rely on: every sample
+/// belongs to a declared family, histogram buckets are cumulative
+/// (non-decreasing in `le` order) and end with `le="+Inf"` equal to the
+/// family's `_count`.
+pub fn parse_exposition(text: &str) -> Result<Vec<Family>, String> {
+    let mut families: Vec<Family> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it
+                .next()
+                .ok_or(format!("line {lineno}: TYPE without name"))?;
+            let kind = it
+                .next()
+                .ok_or(format!("line {lineno}: TYPE without kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown TYPE kind {kind:?}"));
+            }
+            families.push(Family {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let fam = families
+            .iter_mut()
+            .rev()
+            .find(|f| {
+                sample.name == f.name
+                    || (f.kind == "histogram"
+                        && [
+                            format!("{}_bucket", f.name),
+                            format!("{}_sum", f.name),
+                            format!("{}_count", f.name),
+                        ]
+                        .contains(&sample.name))
+            })
+            .ok_or(format!(
+                "line {lineno}: sample {:?} without a TYPE family",
+                sample.name
+            ))?;
+        fam.samples.push(sample);
+    }
+    for f in &families {
+        validate_family(f)?;
+    }
+    Ok(families)
+}
+
+fn validate_family(f: &Family) -> Result<(), String> {
+    if f.kind != "histogram" {
+        if f.samples.is_empty() {
+            return Err(format!("family {:?}: no samples", f.name));
+        }
+        return Ok(());
+    }
+    let buckets: Vec<&Sample> = f
+        .samples
+        .iter()
+        .filter(|s| s.name == format!("{}_bucket", f.name))
+        .collect();
+    if buckets.is_empty() {
+        return Err(format!("histogram {:?}: no buckets", f.name));
+    }
+    let mut prev_le = f64::NEG_INFINITY;
+    let mut prev_cum = 0.0f64;
+    for b in &buckets {
+        let le = b
+            .le()
+            .ok_or(format!("histogram {:?}: bucket without le", f.name))?;
+        let le = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse::<f64>()
+                .map_err(|_| format!("histogram {:?}: bad le {le:?}", f.name))?
+        };
+        if le <= prev_le {
+            return Err(format!("histogram {:?}: le bounds not increasing", f.name));
+        }
+        if b.value < prev_cum {
+            return Err(format!(
+                "histogram {:?}: buckets not cumulative ({} after {})",
+                f.name, b.value, prev_cum
+            ));
+        }
+        prev_le = le;
+        prev_cum = b.value;
+    }
+    let last = buckets.last().unwrap();
+    if last.le() != Some("+Inf") {
+        return Err(format!("histogram {:?}: missing +Inf bucket", f.name));
+    }
+    let count = f
+        .samples
+        .iter()
+        .find(|s| s.name == format!("{}_count", f.name))
+        .ok_or(format!("histogram {:?}: missing _count", f.name))?;
+    if (last.value - count.value).abs() > f64::EPSILON {
+        return Err(format!(
+            "histogram {:?}: +Inf bucket {} != count {}",
+            f.name, last.value, count.value
+        ));
+    }
+    if !f
+        .samples
+        .iter()
+        .any(|s| s.name == format!("{}_sum", f.name))
+    {
+        return Err(format!("histogram {:?}: missing _sum", f.name));
+    }
+    Ok(())
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("no value in {line:?}"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("bad value in {line:?}"))?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated labels in {line:?}"))?;
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad label pair {pair:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value {pair:?}"))?;
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (name.to_string(), labels)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("illegal metric name {name:?}"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistoSummary;
+
+    #[test]
+    fn names_sanitize_to_legal_prometheus() {
+        assert_eq!(
+            sanitize_name("server.latency_ns.eval"),
+            "server_latency_ns_eval"
+        );
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_the_parser() {
+        let r = Registry::new();
+        r.counter("server.requests").add(17);
+        r.gauge("server.inflight").set(3);
+        let h = r.histogram("server.latency_ns.eval");
+        for ns in [300u64, 500, 1_000, 50_000, 2_000_000] {
+            h.record_ns(ns);
+        }
+        let text = prometheus_text(&r);
+        let families = parse_exposition(&text).expect("exposition parses");
+        assert_eq!(families.len(), 3);
+
+        let c = families
+            .iter()
+            .find(|f| f.name == "server_requests_total")
+            .unwrap();
+        assert_eq!(c.kind, "counter");
+        assert_eq!(c.value("server_requests_total"), Some(17.0));
+
+        let g = families
+            .iter()
+            .find(|f| f.name == "server_inflight")
+            .unwrap();
+        assert_eq!(g.kind, "gauge");
+        assert_eq!(g.value("server_inflight"), Some(3.0));
+
+        // Histogram: cumulative buckets consistent with the HistoSummary
+        // snapshot the registry reports elsewhere.
+        let hist = families
+            .iter()
+            .find(|f| f.name == "server_latency_ns_eval")
+            .unwrap();
+        assert_eq!(hist.kind, "histogram");
+        let summary = HistoSummary {
+            count: h.count(),
+            sum_ns: h.sum_ns(),
+            p50_ns: h.p50_ns(),
+            p95_ns: h.p95_ns(),
+            p99_ns: h.p99_ns(),
+        };
+        assert_eq!(
+            hist.value("server_latency_ns_eval_count"),
+            Some(summary.count as f64)
+        );
+        assert_eq!(
+            hist.value("server_latency_ns_eval_sum"),
+            Some(summary.sum_ns as f64)
+        );
+        // The p50 bound reported by the summary is one of the rendered
+        // bucket bounds, and at least half the count sits at or below it.
+        let at_p50 = hist
+            .samples
+            .iter()
+            .find(|s| s.le() == Some(&summary.p50_ns.to_string()))
+            .expect("p50 bound is a rendered bucket");
+        assert!(at_p50.value * 2.0 >= summary.count as f64);
+    }
+
+    #[test]
+    fn parser_rejects_broken_documents() {
+        // Sample without a family.
+        assert!(parse_exposition("orphan 1\n").is_err());
+        // Non-cumulative buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(parse_exposition(bad).unwrap_err().contains("cumulative"));
+        // +Inf disagreeing with count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 6\n";
+        assert!(parse_exposition(bad).unwrap_err().contains("count"));
+        // Missing +Inf.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(parse_exposition(bad).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn empty_histogram_is_still_well_formed() {
+        let r = Registry::new();
+        let _ = r.histogram("quiet.lat");
+        let text = prometheus_text(&r);
+        let families = parse_exposition(&text).expect("empty histogram parses");
+        let f = &families[0];
+        assert_eq!(f.value("quiet_lat_count"), Some(0.0));
+        assert_eq!(f.value("quiet_lat_sum"), Some(0.0));
+    }
+}

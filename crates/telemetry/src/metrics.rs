@@ -42,6 +42,16 @@ impl Gauge {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Increment (for in-flight style gauges; pair every `incr` with a
+    /// `decr` — the counter wraps rather than saturates on imbalance).
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn decr(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -49,9 +59,10 @@ impl Gauge {
 
 /// Bucket upper bounds: powers of two from 256 ns up — 32 buckets cover
 /// 256 ns to ~9 minutes, plus an implicit overflow bucket.
-const HISTO_BUCKETS: usize = 32;
+pub const HISTO_BUCKETS: usize = 32;
 
-fn bucket_bound(i: usize) -> u64 {
+/// Upper bound (inclusive, in nanoseconds) of bucket `i`.
+pub fn bucket_bound(i: usize) -> u64 {
     1u64 << (8 + i)
 }
 
@@ -122,10 +133,18 @@ impl Histogram {
     pub fn p99_ns(&self) -> u64 {
         self.quantile_ns(0.99)
     }
+
+    /// Per-bucket counts (index `i` counts samples in
+    /// `(bucket_bound(i-1), bucket_bound(i)]`; the last bucket also
+    /// absorbs overflow). The Prometheus exposition renders these as
+    /// cumulative `le` buckets.
+    pub fn bucket_counts(&self) -> [u64; HISTO_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
 }
 
 #[derive(Clone, Debug)]
-enum Metric {
+pub(crate) enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
@@ -175,6 +194,16 @@ impl Registry {
         {
             Metric::Histogram(h) => Arc::clone(h),
             _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Visit every registered metric in name order (the Prometheus
+    /// exposition renderer walks the live handles so histograms can render
+    /// their raw buckets, which a [`MetricSet`] snapshot flattens away).
+    pub(crate) fn visit(&self, mut f: impl FnMut(&str, &Metric)) {
+        let m = self.metrics.lock().unwrap();
+        for (name, metric) in m.iter() {
+            f(name, metric);
         }
     }
 

@@ -1,0 +1,124 @@
+//! Flight-recorder substrate: a fixed-capacity, lock-light ring buffer of
+//! recent records. The query service keeps one `Ring<RequestRecord>` alive
+//! for the life of the process — always on, bounded memory, no allocation
+//! on the hot path beyond the record itself.
+//!
+//! Concurrency model: a single atomic head assigns each push a distinct
+//! slot (fetch_add, relaxed), and each slot is guarded by its own `Mutex`
+//! so two writers never contend unless the ring has fully wrapped between
+//! them — with a capacity in the hundreds and pushes taking nanoseconds,
+//! slot collisions are vanishingly rare. Readers ([`Ring::snapshot`])
+//! clone slot contents one at a time; they never block the head counter,
+//! so a scrape can at worst race an individual slot overwrite.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fixed-capacity ring of the most recent `capacity` records.
+#[derive(Debug)]
+pub struct Ring<T> {
+    slots: Box<[Mutex<Option<T>>]>,
+    head: AtomicU64,
+}
+
+impl<T: Clone> Ring<T> {
+    /// A ring retaining the last `capacity` pushes (`capacity` ≥ 1).
+    pub fn new(capacity: usize) -> Ring<T> {
+        let capacity = capacity.max(1);
+        Ring {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed (not the current occupancy).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Append a record, overwriting the oldest once the ring is full.
+    pub fn push(&self, value: T) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().unwrap() = Some(value);
+    }
+
+    /// The retained records, oldest first. Taken slot-by-slot, so a
+    /// snapshot concurrent with pushes is a near-point-in-time view.
+    pub fn snapshot(&self) -> Vec<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let (start, len) = if head <= cap {
+            (0, head)
+        } else {
+            (head - cap, cap)
+        };
+        let mut out = Vec::with_capacity(len as usize);
+        for seq in start..head {
+            let slot = (seq % cap) as usize;
+            if let Some(v) = self.slots[slot].lock().unwrap().as_ref() {
+                out.push(v.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn retains_last_capacity_pushes_in_order() {
+        let ring = Ring::new(4);
+        assert_eq!(ring.snapshot(), Vec::<u64>::new());
+        for i in 0..3u64 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![0, 1, 2]);
+        for i in 3..10u64 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![6, 7, 8, 9]);
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.capacity(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = Ring::new(0);
+        ring.push(1u32);
+        ring.push(2);
+        assert_eq!(ring.snapshot(), vec![2]);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_lose_the_tail() {
+        let ring = Arc::new(Ring::new(64));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        ring.push(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 4_000);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 64);
+        // Every retained record is from the final stretch of pushes.
+        for v in snap {
+            assert!(v % 1_000 >= 1_000 - 64 - 4, "stale record {v} survived");
+        }
+    }
+}

@@ -11,10 +11,20 @@
 //!
 //! The sink is capped at [`SPAN_CAP`] records so a long test suite run
 //! with `ENGINE_TRACE=1` stays bounded; overflow is counted, never
-//! reallocated past the cap.
+//! reallocated past the cap — and surfaced: every drop also bumps the
+//! `telemetry.spans.dropped` registry counter so a truncated trace is
+//! never mistaken for a complete one.
+//!
+//! Independent of the global flag, a thread can open a **capture window**
+//! ([`Capture`]): spans recorded on that thread while the window is open
+//! are copied into a per-thread buffer (capped at [`CAPTURE_CAP`]) and
+//! returned by [`Capture::take`]. Capture forces recording for the
+//! capturing thread even when `ENGINE_TRACE` is off, but captured-only
+//! spans never reach the global sink — the serving layer's per-request
+//! flight recorder uses this without polluting process-wide traces.
 
 use std::borrow::Cow;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -99,12 +109,23 @@ impl Lane {
         if self.buf.is_empty() {
             return;
         }
-        let mut sink = SINK.lock().unwrap();
-        let room = SPAN_CAP.saturating_sub(sink.spans.len());
-        let take = room.min(self.buf.len());
-        sink.dropped += (self.buf.len() - take) as u64;
-        sink.spans.extend(self.buf.drain(..).take(take));
-        self.buf.clear();
+        let dropped = {
+            let mut sink = SINK.lock().unwrap();
+            let room = SPAN_CAP.saturating_sub(sink.spans.len());
+            let take = room.min(self.buf.len());
+            let dropped = (self.buf.len() - take) as u64;
+            sink.dropped += dropped;
+            sink.spans.extend(self.buf.drain(..).take(take));
+            self.buf.clear();
+            dropped
+        };
+        // Surface silent truncation in the metrics registry (outside the
+        // sink lock — the registry takes its own).
+        if dropped > 0 {
+            crate::registry()
+                .counter("telemetry.spans.dropped")
+                .add(dropped);
+        }
     }
 }
 
@@ -116,6 +137,65 @@ impl Drop for Lane {
 
 thread_local! {
     static LANE: RefCell<Lane> = RefCell::new(Lane::new());
+}
+
+/// Hard cap on spans retained by one [`Capture`] window; spans past it
+/// are silently discarded (a bounded per-request trace, not an archive).
+pub const CAPTURE_CAP: usize = 2048;
+
+thread_local! {
+    static CAPTURE_ON: Cell<bool> = const { Cell::new(false) };
+    static CAPTURE: RefCell<Vec<SpanRec>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Is a capture window open on the calling thread?
+#[inline]
+pub fn capture_active() -> bool {
+    CAPTURE_ON.try_with(|c| c.get()).unwrap_or(false)
+}
+
+/// True when spans should be recorded on this thread: the process-global
+/// flag, or a thread-local capture window.
+#[inline]
+fn recording() -> bool {
+    crate::enabled() || capture_active()
+}
+
+/// A per-thread capture window: spans recorded on the owning thread while
+/// the window is open are copied into a private buffer, independent of the
+/// global tracing flag. [`Capture::take`] drains the buffer; dropping the
+/// guard closes the window. Windows do not nest — opening a second window
+/// on the same thread continues the first buffer, and whichever guard
+/// takes first gets the accumulated spans.
+pub struct Capture {
+    // !Send: the window is bound to the thread that opened it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Capture {
+    /// Open a capture window on the calling thread.
+    pub fn begin() -> Capture {
+        let _ = CAPTURE_ON.try_with(|c| c.set(true));
+        Capture {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Drain the spans captured so far, ordered by start tick.
+    pub fn take(&mut self) -> Vec<SpanRec> {
+        let mut spans = CAPTURE
+            .try_with(|c| std::mem::take(&mut *c.borrow_mut()))
+            .unwrap_or_default();
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        spans
+    }
+}
+
+impl Drop for Capture {
+    fn drop(&mut self) {
+        let _ = CAPTURE_ON.try_with(|c| c.set(false));
+        let _ = CAPTURE.try_with(|c| c.borrow_mut().clear());
+    }
 }
 
 struct OpenSpan {
@@ -166,29 +246,44 @@ impl Drop for Span {
             if let Some(pos) = lane.stack.iter().rposition(|&id| id == rec.id) {
                 lane.stack.truncate(pos);
             }
-            lane.buf.push(rec);
-            if lane.buf.len() >= FLUSH_AT {
-                lane.flush();
+            if capture_active() {
+                let _ = CAPTURE.try_with(|c| {
+                    let mut c = c.borrow_mut();
+                    if c.len() < CAPTURE_CAP {
+                        c.push(rec.clone());
+                    }
+                });
+            }
+            // Capture-only spans stay out of the global sink: when tracing
+            // is off process-wide, a serving capture must not make
+            // `take_spans` non-empty for everyone else.
+            if crate::enabled() {
+                lane.buf.push(rec);
+                if lane.buf.len() >= FLUSH_AT {
+                    lane.flush();
+                }
             }
         });
     }
 }
 
-/// Open a span with a static label. When tracing is disabled this is one
-/// relaxed atomic load and returns an inert guard — no allocation.
+/// Open a span with a static label. When tracing is disabled and no
+/// capture window is open, this is one relaxed atomic load plus one
+/// thread-local flag read and returns an inert guard — no allocation.
 #[inline]
 pub fn span(label: &'static str) -> Span {
-    if !crate::enabled() {
+    if !recording() {
         return Span::disabled();
     }
     open_span(Cow::Borrowed(label))
 }
 
 /// Open a span with a lazily-built label; the closure only runs when
-/// tracing is enabled, so the disabled path stays allocation-free.
+/// recording (tracing or capture), so the disabled path stays
+/// allocation-free.
 #[inline]
 pub fn span_with<F: FnOnce() -> String>(label: F) -> Span {
-    if !crate::enabled() {
+    if !recording() {
         return Span::disabled();
     }
     open_span(Cow::Owned(label()))
@@ -341,6 +436,8 @@ mod tests {
         let _g = TEST_LOCK.lock().unwrap();
         crate::set_enabled(true);
         clear_spans();
+        let drop_counter = crate::registry().counter("telemetry.spans.dropped");
+        let before = drop_counter.get();
         // Fill the sink directly to the cap, then record one more span.
         {
             let mut sink = SINK.lock().unwrap();
@@ -357,7 +454,51 @@ mod tests {
         drop(span("overflow"));
         flush_thread();
         assert_eq!(dropped_spans(), 1);
+        // The silent truncation surfaces in the registry (cumulative: a
+        // `clear_spans` resets the sink's counter but not the metric).
+        assert_eq!(drop_counter.get(), before + 1);
         clear_spans();
         crate::set_enabled(false);
+    }
+
+    #[test]
+    fn capture_window_records_without_global_tracing() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        clear_spans();
+        let mut cap = Capture::begin();
+        {
+            let _outer = span("captured-outer");
+            let _inner = span_with(|| format!("captured-{}", 1));
+        }
+        let got = cap.take();
+        assert_eq!(got.len(), 2);
+        let outer = got.iter().find(|s| s.label == "captured-outer").unwrap();
+        let inner = got.iter().find(|s| s.label == "captured-1").unwrap();
+        assert_eq!(inner.parent, outer.id, "capture keeps parent links");
+        // Capture-only spans never reach the global sink.
+        assert_eq!(span_count(), 0);
+        assert!(take_spans().is_empty());
+        drop(cap);
+        // Window closed: back to the inert disabled path.
+        let s = span("quiet");
+        assert_eq!(s.id(), 0);
+    }
+
+    #[test]
+    fn capture_alongside_global_tracing_feeds_both() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        clear_spans();
+        let mut cap = Capture::begin();
+        {
+            let _s = span("both");
+        }
+        let got = cap.take();
+        drop(cap);
+        let sunk = take_spans();
+        crate::set_enabled(false);
+        assert_eq!(got.len(), 1);
+        assert!(sunk.iter().any(|s| s.label == "both"));
     }
 }

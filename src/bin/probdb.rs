@@ -15,9 +15,11 @@
 //! probdb watch db.txt "R(x), S(x,y)" deltas.txt [--threads N]
 //!                                   # subscribe an incremental view, then
 //!                                   # apply each batch and read through it
-//! probdb serve db.txt [--addr host:port] [--workers N]
+//! probdb serve db.txt [--addr host:port] [--workers N] [--slow-ms N] [--access-log file]
 //!                                   # HTTP query service: epoch-snapshot
-//!                                   # reads, single-writer applies
+//!                                   # reads, single-writer applies;
+//!                                   # /metrics (Prometheus), /debug/requests
+//!                                   # (flight recorder), JSONL access log
 //! ```
 //!
 //! Delta scripts hold one mutation per line — `+ R(1,2) @ 0.5` (insert),
@@ -43,6 +45,16 @@
 //! output path. `--json` on `eval` and `rank` replaces the human-readable
 //! report with one JSON object: the result plus the evaluation's uniform
 //! metric snapshot (`Evaluation::metric_set` dotted keys).
+//!
+//! `serve` ships with observability on: `GET /metrics` exposes the
+//! telemetry registry as Prometheus text, `GET /debug/requests` dumps the
+//! in-memory flight recorder, and every request writes one JSONL access
+//! log line (in-memory tail; `--access-log file` appends to disk).
+//! Requests at or above the slow threshold — `--slow-ms N`, env
+//! `ENGINE_SLOW_MS`, default 500 — log their plan summary (method,
+//! dichotomy classification, operator counters) and retain a span capture
+//! served by `/debug/requests`; `"trace": true` on `/eval`/`/rank`
+//! returns the request's spans inline.
 
 use dichotomy::engine::{Engine, ExecOptions, Strategy};
 use dichotomy::{classify, count_substructures_recurrence, explain, ranked_answers_counted};
@@ -57,7 +69,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] [--shards N] [--json] [--trace out.json] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N] [--shards N] [--json] [--trace out.json] | apply <db.txt> <deltas.txt> [-o out.txt] | watch <db.txt> <query> <deltas.txt> [--threads N] [--shards N] [--trace out.json] | serve <db.txt> [--addr host:port] [--workers N] [--mc-samples N] [--threads N] [--shards N]"
+                "usage: probdb classify <query> | explain <query> | eval <db.txt> <query> [--mc-samples N] [--threads N] [--shards N] [--json] [--trace out.json] | count <db.txt> <query> | plan <query> | rank <db.txt> <query> <head-var> [--top K] [--threads N] [--shards N] [--json] [--trace out.json] | apply <db.txt> <deltas.txt> [-o out.txt] | watch <db.txt> <query> <deltas.txt> [--threads N] [--shards N] [--trace out.json] | serve <db.txt> [--addr host:port] [--workers N] [--mc-samples N] [--threads N] [--shards N] [--slow-ms N] [--access-log file]"
             );
             ExitCode::from(2)
         }
@@ -440,10 +452,30 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--mc-samples: {e}"))?;
             }
+            if let Some(i) = args.iter().position(|a| a == "--slow-ms") {
+                opts.slow_ms = Some(
+                    args.get(i + 1)
+                        .ok_or("--slow-ms needs a value (milliseconds)")?
+                        .parse()
+                        .map_err(|e| format!("--slow-ms: {e}"))?,
+                );
+            }
+            if let Some(i) = args.iter().position(|a| a == "--access-log") {
+                opts.access_log_path = Some(
+                    args.get(i + 1)
+                        .ok_or("--access-log needs a file path")?
+                        .clone(),
+                );
+            }
             let server = serve::Server::start(db, opts).map_err(|e| e.to_string())?;
             println!("serving on http://{}", server.addr());
             eprintln!(
-                "endpoints: GET /health /stats; POST /eval /rank /apply /watch (Ctrl-C to stop)"
+                "endpoints: GET /health /stats /metrics /debug/requests; \
+                 POST /eval /rank /apply /watch (Ctrl-C to stop)"
+            );
+            eprintln!(
+                "observability: slow threshold {} ms (--slow-ms / ENGINE_SLOW_MS)",
+                server.slow_ms()
             );
             // Serve until killed.
             loop {
